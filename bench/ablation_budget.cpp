@@ -1,0 +1,44 @@
+// Ablation: GPU cache budget vs hit rate and simulated time, for the
+// frequency-ranked (GCSM) and degree-ranked (Naive) policies. Shows the
+// value of the estimator's ranking under tight budgets: GCSM reaches its
+// peak hit rate with far fewer cached bytes because it spends the budget on
+// the vertices that will actually be read.
+#include <cstdio>
+
+#include "harness.hpp"
+
+namespace {
+using namespace gcsm;
+using namespace gcsm::bench;
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  RunConfig base_config = RunConfig::from_cli(args, "FR", 4096, 1.0);
+
+  print_title("Ablation — cache budget sweep (GCSM vs Naive ranking)",
+              "GCSM saturates its hit rate at a small budget (it caches "
+              "what will be read); degree ranking needs several times more "
+              "bytes for the same hit rate");
+
+  const PreparedStream stream = prepare_stream(base_config);
+  print_workload_line(stream.initial, base_config.dataset, base_config);
+  const QueryGraph query = paper_query(1, base_config);
+
+  std::printf("%10s %14s %12s %14s %12s\n", "budget_MB", "GCSM_hit%",
+              "GCSM_sim_ms", "Naive_hit%", "Naive_sim_ms");
+  for (const std::uint64_t mb : {1ull, 2ull, 4ull, 8ull, 16ull, 32ull}) {
+    RunConfig config = base_config;
+    config.cache_budget_bytes = mb << 20;
+    const EngineResult g =
+        run_engine(EngineKind::kGcsm, stream, query, config);
+    const EngineResult n =
+        run_engine(EngineKind::kNaiveDegree, stream, query, config);
+    std::printf("%10llu %13.1f%% %12.3f %13.1f%% %12.3f\n",
+                static_cast<unsigned long long>(mb),
+                100.0 * g.cache_hit_rate, g.sim_ms, 100.0 * n.cache_hit_rate,
+                n.sim_ms);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Paper Fig. 11: counting all size-3, size-4 and size-5 motifs from a batch
+// of 4096 edges on the road networks (PA/CA analogs). Road nets have tiny
+// max degree, so this validates that GCSM's caching still wins when the
+// degree distribution is NOT skewed (locality comes from the small batch).
+#include <cstdio>
+
+#include "harness.hpp"
+#include "query/motifs.hpp"
+
+namespace {
+
+using namespace gcsm;
+using namespace gcsm::bench;
+
+EngineResult sum_over_motifs(EngineKind kind, const PreparedStream& stream,
+                             const std::vector<QueryGraph>& motifs,
+                             const RunConfig& config) {
+  EngineResult total;
+  total.engine = engine_kind_name(kind);
+  for (const QueryGraph& motif : motifs) {
+    const EngineResult r = run_engine(kind, stream, motif, config);
+    total.wall_ms += r.wall_ms;
+    total.sim_ms += r.sim_ms;
+    total.sim_match_ms += r.sim_match_ms;
+    total.sim_dc_ms += r.sim_dc_ms;
+    total.cpu_access_mb += r.cpu_access_mb;
+    total.cache_hit_rate += r.cache_hit_rate;
+    total.signed_embeddings += r.signed_embeddings;
+  }
+  if (!motifs.empty()) {
+    total.cache_hit_rate /= static_cast<double>(motifs.size());
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  RunConfig config = RunConfig::from_cli(args, "PA", 4096, 1.0);
+  config.num_labels = static_cast<std::uint32_t>(args.get_int("labels", 1));
+  config.labeled_queries = false;  // motifs are unlabeled, as in the paper
+  const int max_motif_size = static_cast<int>(args.get_int("max-size", 5));
+
+  print_title("Fig. 11 — size-3/4/5 motif counting on road networks",
+              "GCSM 1.6-2.0x faster than ZP and 1.6-2.1x faster than Naive "
+              "even without degree skew");
+
+  const std::vector<EngineKind> engines{
+      EngineKind::kGcsm, EngineKind::kZeroCopy, EngineKind::kNaiveDegree,
+      EngineKind::kCpu};
+
+  for (const std::string& dataset :
+       {std::string("PA"), std::string("CA")}) {
+    RunConfig c = config;
+    c.dataset = dataset;
+    const PreparedStream stream = prepare_stream(c);
+    print_workload_line(stream.initial, dataset, c);
+    print_result_header();
+    for (std::uint32_t size = 3;
+         size <= static_cast<std::uint32_t>(max_motif_size); ++size) {
+      const auto motifs = all_motifs(size);
+      double baseline = 0.0;
+      for (std::size_t e = 0; e < engines.size(); ++e) {
+        const EngineResult r = sum_over_motifs(engines[e], stream, motifs, c);
+        if (e == 0) baseline = r.sim_ms;
+        print_result_row("motif-" + std::to_string(size), r,
+                         e == 0 ? 0.0 : baseline);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Paper Fig. 12: batch-size sweep (64 .. 8192) for Q6 on SF3K and Q5 on
+// SF10K, GCSM vs zero-copy vs the degree-based cache. Execution time should
+// be roughly proportional to batch size and GCSM's speedup over ZP should
+// hold across the sweep (paper: 1.8-2.9x vs ZP, 1.6-2.8x vs Naive).
+#include <cstdio>
+
+#include "harness.hpp"
+
+namespace {
+using namespace gcsm;
+using namespace gcsm::bench;
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  RunConfig base_config = RunConfig::from_cli(args, "SF3K", 8192, 1.0);
+  if (!args.has("labels")) {
+    // The sweep is about batch-size scaling, not tree depth; shallower
+    // labeled trees keep the 2 x 8 x 3-engine grid affordable.
+    base_config.num_labels = 4;
+    base_config.labeled_queries = true;
+  }
+  const std::size_t min_batch =
+      static_cast<std::size_t>(args.get_int("min-batch", 64));
+  const std::size_t max_batch =
+      static_cast<std::size_t>(args.get_int("max-batch", 8192));
+
+  print_title("Fig. 12 — batch-size sweep",
+              "time ~ proportional to batch size; GCSM 1.8-2.9x vs ZP, "
+              "1.6-2.8x vs Naive across the sweep");
+
+  struct Case {
+    const char* dataset;
+    int query;
+  };
+  for (const Case c : {Case{"SF3K", 6}, Case{"SF10K", 5}}) {
+    std::printf("\n-- %s / Q%d --\n", c.dataset, c.query);
+    std::printf("%8s %14s %14s %14s %12s %12s\n", "batch", "GCSM_sim_ms",
+                "ZP_sim_ms", "Naive_sim_ms", "x_vs_ZP", "x_vs_Naive");
+    for (std::size_t batch = max_batch; batch >= min_batch; batch /= 2) {
+      RunConfig config = base_config;
+      config.dataset = c.dataset;
+      config.batch_size = batch;
+      const PreparedStream stream = prepare_stream(config);
+      const QueryGraph query = paper_query(c.query, config);
+      const EngineResult gcsm_r =
+          run_engine(EngineKind::kGcsm, stream, query, config);
+      const EngineResult zp_r =
+          run_engine(EngineKind::kZeroCopy, stream, query, config);
+      const EngineResult naive_r =
+          run_engine(EngineKind::kNaiveDegree, stream, query, config);
+      std::printf("%8zu %14.3f %14.3f %14.3f %12.2f %12.2f\n", batch,
+                  gcsm_r.sim_ms, zp_r.sim_ms, naive_r.sim_ms,
+                  zp_r.sim_ms / gcsm_r.sim_ms,
+                  naive_r.sim_ms / gcsm_r.sim_ms);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,214 @@
+#include "harness.hpp"
+
+#include <cstdio>
+
+#include "query/patterns.hpp"
+
+namespace gcsm::bench {
+
+RunConfig RunConfig::from_cli(const CliArgs& args,
+                              std::string default_dataset,
+                              std::size_t default_batch,
+                              double default_scale) {
+  RunConfig c;
+  c.dataset = args.get("dataset", default_dataset);
+  c.scale = args.get_double("scale", default_scale);
+  c.num_labels =
+      static_cast<std::uint32_t>(args.get_int("labels", c.num_labels));
+  c.labeled_queries = c.num_labels > 1;
+  c.batch_size =
+      static_cast<std::size_t>(args.get_int("batch", default_batch));
+  c.num_batches =
+      static_cast<std::size_t>(args.get_int("batches", c.num_batches));
+  c.workers = static_cast<std::size_t>(args.get_int("workers", 0));
+  c.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  // 0 = auto: ~10% of the graph's adjacency bytes (the paper's buffer is a
+  // small fraction of its biggest graphs), resolved in prepare_stream.
+  c.cache_budget_bytes =
+      static_cast<std::uint64_t>(args.get_int("budget", 0)) << 20;
+  c.num_walks = static_cast<std::uint64_t>(args.get_int("walks", 0));
+  return c;
+}
+
+std::uint64_t resolve_cache_budget(const RunConfig& config,
+                                   const CsrGraph& graph) {
+  if (config.cache_budget_bytes != 0) return config.cache_budget_bytes;
+  const std::uint64_t adjacency_bytes =
+      2 * graph.num_edges() * sizeof(VertexId);
+  return std::max<std::uint64_t>(2ull << 20, adjacency_bytes / 10);
+}
+
+PreparedStream prepare_stream(const RunConfig& config) {
+  PreparedStream out;
+  out.dataset = config.dataset;
+  CsrGraph base = make_workload_graph(config.dataset, config.scale,
+                                      config.num_labels, config.seed);
+  const UpdateStreamOptions opt = default_stream_options(
+      config.dataset, config.batch_size, config.seed + 1);
+  UpdateStream stream = make_update_stream(base, opt);
+  out.initial = std::move(stream.initial);
+  out.batches = std::move(stream.batches);
+  return out;
+}
+
+QueryGraph paper_query(int index, const RunConfig& config) {
+  const QueryGraph q = make_pattern(index);
+  return config.labeled_queries
+             ? with_round_robin_labels(
+                   q, static_cast<int>(config.num_labels))
+             : q;
+}
+
+namespace {
+
+PipelineOptions pipeline_options(EngineKind kind, const RunConfig& config,
+                                 const CsrGraph& graph) {
+  PipelineOptions opt;
+  opt.kind = kind;
+  opt.workers = config.workers;
+  // VSGM semantically needs the whole k-hop set on the device, so it is
+  // limited by device memory, not by the frequent-vertex buffer.
+  opt.cache_budget_bytes = kind == EngineKind::kVsgm
+                               ? opt.sim.device_memory_bytes
+                               : resolve_cache_budget(config, graph);
+  opt.estimator.num_walks = config.num_walks;
+  opt.seed = config.seed + 13;
+  return opt;
+}
+
+}  // namespace
+
+EngineResult run_engine(EngineKind kind, const PreparedStream& stream,
+                        const QueryGraph& query, const RunConfig& config) {
+  Pipeline pipe(stream.initial, query,
+                pipeline_options(kind, config, stream.initial));
+  EngineResult r;
+  r.engine = engine_kind_name(kind);
+  const std::size_t n =
+      std::min(config.num_batches, stream.batches.size());
+  const gpusim::SimParams params = pipe.options().sim;
+  for (std::size_t i = 0; i < n; ++i) {
+    const BatchReport report = pipe.process_batch(stream.batches[i]);
+    r.wall_ms += report.wall_total_ms();
+    r.sim_ms += report.sim_total_s() * 1e3;
+    r.sim_match_ms += report.sim_match_s * 1e3;
+    r.sim_dc_ms += (report.sim_estimate_s + report.sim_pack_s) * 1e3;
+    r.sim_fe_ms += report.sim_estimate_s * 1e3;
+    r.cpu_access_mb +=
+        static_cast<double>(report.traffic.cpu_access_bytes(params)) / 1e6;
+    r.cache_hit_rate += report.cache_hit_rate();
+    r.signed_embeddings += report.stats.signed_embeddings;
+    r.cached_vertices += report.cached_vertices;
+    r.wall_fe_ms += report.wall_estimate_ms;
+    r.wall_dc_ms += report.wall_pack_ms;
+    r.wall_reorg_ms += report.wall_reorg_ms;
+  }
+  const double inv = n == 0 ? 0.0 : 1.0 / static_cast<double>(n);
+  r.wall_ms *= inv;
+  r.sim_ms *= inv;
+  r.sim_match_ms *= inv;
+  r.sim_dc_ms *= inv;
+  r.sim_fe_ms *= inv;
+  r.cpu_access_mb *= inv;
+  r.cache_hit_rate *= inv;
+  r.wall_fe_ms *= inv;
+  r.wall_dc_ms *= inv;
+  r.wall_reorg_ms *= inv;
+  r.cached_vertices =
+      static_cast<std::uint64_t>(static_cast<double>(r.cached_vertices) * inv);
+  r.batches = n;
+  return r;
+}
+
+EngineResult run_rapidflow(const PreparedStream& stream,
+                           const QueryGraph& query, const RunConfig& config) {
+  RapidFlowLikeEngine rf(stream.initial, query, config.workers);
+  EngineResult r;
+  r.engine = "RF";
+  const std::size_t n =
+      std::min(config.num_batches, stream.batches.size());
+  const gpusim::SimParams params;
+  for (std::size_t i = 0; i < n; ++i) {
+    const RapidFlowReport report = rf.process_batch(stream.batches[i]);
+    r.wall_ms += report.wall_total_ms();
+    // RF runs on the host; its simulated time is host-ops driven, matching
+    // the CPU baseline's accounting.
+    const gpusim::SimTime st = simulate_time(report.traffic, params);
+    r.sim_ms += st.host * 1e3;
+    r.sim_match_ms += st.host * 1e3;
+    r.signed_embeddings += report.stats.signed_embeddings;
+    r.cached_vertices = report.index_bytes;  // repurposed: index footprint
+  }
+  const double inv = n == 0 ? 0.0 : 1.0 / static_cast<double>(n);
+  r.wall_ms *= inv;
+  r.sim_ms *= inv;
+  r.sim_match_ms *= inv;
+  r.batches = n;
+  return r;
+}
+
+void print_title(const std::string& title, const std::string& expectation) {
+  std::printf(
+      "\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  if (!expectation.empty()) {
+    std::printf("paper shape: %s\n", expectation.c_str());
+  }
+  std::printf(
+      "================================================================\n");
+}
+
+void print_workload_line(const CsrGraph& graph, const std::string& name,
+                         const RunConfig& config) {
+  std::printf("%s  (scale=%.3g labels=%u batch=%zu batches=%zu seed=%llu)\n",
+              graph.summary(name).c_str(), config.scale, config.num_labels,
+              config.batch_size, config.num_batches,
+              static_cast<unsigned long long>(config.seed));
+}
+
+void print_result_header() {
+  std::printf("%-10s %-7s %12s %12s %12s %12s %10s %9s %14s %8s\n", "query",
+              "engine", "sim_ms", "match_ms", "dc_ms", "wall_ms", "cpuMB",
+              "hit%", "d_embeddings", "vs_1st");
+}
+
+void print_result_row(const std::string& query, const EngineResult& r,
+                      double baseline_sim_ms) {
+  std::printf("%-10s %-7s %12.3f %12.3f %12.3f %12.1f %10.2f %9.1f %14lld",
+              query.c_str(), r.engine.c_str(), r.sim_ms, r.sim_match_ms,
+              r.sim_dc_ms, r.wall_ms, r.cpu_access_mb,
+              100.0 * r.cache_hit_rate,
+              static_cast<long long>(r.signed_embeddings));
+  if (baseline_sim_ms > 0.0 && r.sim_ms > 0.0) {
+    // How much faster the first-listed engine (GCSM) is than this row.
+    std::printf("    x%.2f", r.sim_ms / baseline_sim_ms);
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+int run_comparison(const std::string& title, const std::string& expectation,
+                   const RunConfig& config, const std::vector<int>& queries,
+                   const std::vector<EngineKind>& engines,
+                   bool include_rapidflow) {
+  print_title(title, expectation);
+  const PreparedStream stream = prepare_stream(config);
+  print_workload_line(stream.initial, config.dataset, config);
+  print_result_header();
+  for (const int qi : queries) {
+    const QueryGraph query = paper_query(qi, config);
+    double baseline = 0.0;
+    for (std::size_t e = 0; e < engines.size(); ++e) {
+      const EngineResult r = run_engine(engines[e], stream, query, config);
+      if (e == 0) baseline = r.sim_ms;
+      print_result_row(query.name(), r, e == 0 ? 0.0 : baseline);
+    }
+    if (include_rapidflow) {
+      const EngineResult r = run_rapidflow(stream, query, config);
+      print_result_row(query.name(), r, baseline);
+    }
+  }
+  return 0;
+}
+
+}  // namespace gcsm::bench

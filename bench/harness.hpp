@@ -1,0 +1,110 @@
+// Shared benchmark harness: builds workload analogs, runs engines over
+// update streams, and prints paper-style comparison tables.
+//
+// Every bench binary accepts:
+//   --scale=F     workload size multiplier (default from the binary)
+//   --labels=N    number of vertex labels (0/1 = unlabeled)
+//   --batch=N     update batch size
+//   --batches=N   number of batches to process (results averaged)
+//   --workers=N   simulated blocks / host threads
+//   --seed=N      master seed
+//   --budget=MB   GPU cache budget
+//   --queries=Q1,Q3  subset of queries (where applicable)
+// Results report both wall-clock on this host and the simulated time from
+// the gpusim cost model; paper-shape comparisons use the simulated time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/rapidflow_like.hpp"
+#include "core/workloads.hpp"
+#include "graph/update_stream.hpp"
+#include "query/query_graph.hpp"
+#include "util/cli.hpp"
+
+namespace gcsm::bench {
+
+struct RunConfig {
+  std::string dataset = "FR";
+  double scale = 1.0;
+  // 3 labels gives execution trees deep enough for paper-like phase shares
+  // at library scale; fewer labels explode Q5, more make trees so shallow
+  // that fixed per-batch costs (FE) dominate.
+  std::uint32_t num_labels = 3;
+  bool labeled_queries = true;
+  std::size_t batch_size = 4096;
+  std::size_t num_batches = 1;
+  std::size_t workers = 0;
+  std::uint64_t seed = 7;
+  std::uint64_t cache_budget_bytes = 256ull << 20;
+  std::uint64_t num_walks = 0;  // 0 = paper default formula
+
+  static RunConfig from_cli(const CliArgs& args, std::string default_dataset,
+                            std::size_t default_batch, double default_scale);
+};
+
+// A prepared workload: initial snapshot plus batches.
+struct PreparedStream {
+  CsrGraph initial;
+  std::vector<EdgeBatch> batches;
+  std::string dataset;
+};
+
+PreparedStream prepare_stream(const RunConfig& config);
+
+// Labeled (or wildcard) paper query by index 1..6.
+QueryGraph paper_query(int index, const RunConfig& config);
+
+// The GPU cache budget for a run: the configured value, or (when 0) ~10% of
+// the graph's adjacency bytes, mirroring the paper's buffer-to-graph ratio
+// on its largest datasets.
+std::uint64_t resolve_cache_budget(const RunConfig& config,
+                                   const CsrGraph& graph);
+
+struct EngineResult {
+  std::string engine;
+  double wall_ms = 0.0;      // avg per batch
+  double sim_ms = 0.0;       // avg per batch (cost model)
+  double sim_match_ms = 0.0;
+  double sim_dc_ms = 0.0;    // FE + pack + DMA (the paper's DC+FE)
+  double cpu_access_mb = 0.0;
+  double cache_hit_rate = 0.0;
+  std::int64_t signed_embeddings = 0;
+  std::uint64_t cached_vertices = 0;
+  double wall_fe_ms = 0.0;
+  double wall_dc_ms = 0.0;
+  double wall_reorg_ms = 0.0;
+  double sim_fe_ms = 0.0;
+  std::size_t batches = 0;
+};
+
+// Runs `kind` over the stream's first `num_batches` batches; returns
+// averaged metrics. Each engine gets a fresh Pipeline (fresh graph state).
+EngineResult run_engine(EngineKind kind, const PreparedStream& stream,
+                        const QueryGraph& query, const RunConfig& config);
+
+// The RapidFlow-like CPU system, same reporting shape.
+EngineResult run_rapidflow(const PreparedStream& stream,
+                           const QueryGraph& query, const RunConfig& config);
+
+// ---- table printing -------------------------------------------------------
+
+void print_title(const std::string& title, const std::string& expectation);
+void print_workload_line(const CsrGraph& graph, const std::string& name,
+                         const RunConfig& config);
+void print_result_header();
+void print_result_row(const std::string& query, const EngineResult& r,
+                      double baseline_sim_ms);
+
+// Full comparison driver used by Figs. 8-11: runs `engines` (plus
+// optionally the RF-like system) for each query index over the configured
+// stream, printing one row per engine with speedups relative to the first
+// engine listed. Returns 0 for main().
+int run_comparison(const std::string& title, const std::string& expectation,
+                   const RunConfig& config, const std::vector<int>& queries,
+                   const std::vector<EngineKind>& engines,
+                   bool include_rapidflow = false);
+
+}  // namespace gcsm::bench

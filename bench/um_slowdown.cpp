@@ -1,0 +1,52 @@
+// Paper Sec. VI-B (text): the unified-memory baseline is 69x-210x slower
+// than naive zero-copy, because every fine-grained neighbor-list access
+// migrates a whole 4-KiB page. This bench measures the UM/ZP simulated-time
+// ratio directly (UM was left out of the paper's figures for being "out of
+// scale").
+#include <cstdio>
+
+#include "harness.hpp"
+
+namespace {
+using namespace gcsm;
+using namespace gcsm::bench;
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  RunConfig base_config = RunConfig::from_cli(args, "FR", 4096, 1.0);
+  const int query_index = static_cast<int>(args.get_int("query", 1));
+
+  print_title("Sec. VI-B — unified-memory slowdown vs zero-copy",
+              "UM 69x-210x slower than ZP");
+
+  std::printf("%-8s %14s %14s %12s %14s\n", "graph", "ZP_sim_ms",
+              "UM_sim_ms", "UM/ZP", "um_faults");
+  for (const std::string& dataset :
+       {std::string("FR"), std::string("SF3K")}) {
+    RunConfig config = base_config;
+    config.dataset = dataset;
+    const PreparedStream stream = prepare_stream(config);
+    const QueryGraph query = paper_query(query_index, config);
+
+    const EngineResult zp =
+        run_engine(EngineKind::kZeroCopy, stream, query, config);
+    // Measure UM with its own pipeline (persistent device page cache sized
+    // from the same scaled device budget as the cached engines).
+    Pipeline um_pipe(stream.initial, query, [&] {
+      PipelineOptions o;
+      o.kind = EngineKind::kUnifiedMemory;
+      o.workers = config.workers;
+      o.cache_budget_bytes = resolve_cache_budget(config, stream.initial);
+      return o;
+    }());
+    const BatchReport um = um_pipe.process_batch(stream.batches[0]);
+
+    const double um_ms = um.sim_total_s() * 1e3;
+    std::printf("%-8s %14.3f %14.3f %12.1f %14llu\n", dataset.c_str(),
+                zp.sim_ms, um_ms, um_ms / zp.sim_ms,
+                static_cast<unsigned long long>(um.traffic.um_faults));
+    std::fflush(stdout);
+  }
+  return 0;
+}

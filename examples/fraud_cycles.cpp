@@ -1,0 +1,88 @@
+// Fraud monitoring on a transaction stream (the paper's money-laundering
+// motivation, Sec. I): accounts are vertices, transactions are edges, and a
+// short cycle of transfers among distinct accounts is a classic laundering
+// signature. CSM flags every NEW cycle the moment its closing transaction
+// arrives, instead of re-scanning the ledger.
+//
+// Accounts carry labels (0=retail, 1=business, 2=offshore); we watch for a
+// 4-cycle that passes through an offshore account.
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "graph/generators.hpp"
+#include "graph/update_stream.hpp"
+#include "query/patterns.hpp"
+#include "util/cli.hpp"
+
+using namespace gcsm;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  Rng rng(args.get_int("seed", 17));
+
+  // Transaction network: heavy-tailed (a few exchange-like hubs), with
+  // label 2 (offshore) assigned to ~1/8 of accounts by the generator.
+  const CsrGraph network = generate_barabasi_albert(
+      static_cast<VertexId>(args.get_int("accounts", 30000)), 3, 3, rng);
+  std::printf("%s\n", network.summary("transaction network").c_str());
+
+  // Suspicious pattern: a 4-cycle of transfers where at least one party is
+  // an offshore account (label 2). Remaining parties unconstrained.
+  const QueryGraph pattern = QueryGraph::from_edges(
+      4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}},
+      {2, kWildcardLabel, kWildcardLabel, kWildcardLabel},
+      "offshore-cycle");
+  std::printf("watching: 4-cycle through an offshore account\n");
+
+  // The transaction feed: 20%% of edges replayed as inserts/deletes
+  // (deletes model chargebacks / reversals).
+  UpdateStreamOptions stream_opt;
+  stream_opt.pool_edge_fraction = 0.20;
+  stream_opt.batch_size =
+      static_cast<std::size_t>(args.get_int("batch", 256));
+  const UpdateStream feed = make_update_stream(network, stream_opt);
+
+  PipelineOptions opt;
+  opt.kind = EngineKind::kGcsm;
+  Pipeline monitor(feed.initial, pattern, opt);
+
+  // Alert sink: deduplicate embeddings into distinct account sets.
+  std::set<std::set<VertexId>> alerts;
+  MatchSink sink = [&](const MatchPlan&, std::span<const VertexId> binding,
+                       int sign) {
+    if (sign > 0) {
+      alerts.emplace(binding.begin(), binding.end());
+    }
+  };
+
+  const std::size_t max_batches =
+      static_cast<std::size_t>(args.get_int("batches", 8));
+  std::int64_t net_cycles = 0;
+  for (std::size_t k = 0; k < std::min(max_batches, feed.num_batches());
+       ++k) {
+    alerts.clear();
+    const BatchReport r = monitor.process_batch(feed.batches[k], &sink);
+    net_cycles += r.stats.signed_embeddings;
+    std::printf(
+        "batch %3zu: %4zu new suspicious rings, %+lld net cycle "
+        "embeddings, %.3f ms simulated\n",
+        k, alerts.size(), static_cast<long long>(r.stats.signed_embeddings),
+        r.sim_total_s() * 1e3);
+    std::size_t shown = 0;
+    for (const auto& ring : alerts) {
+      if (shown++ >= 3) break;
+      std::printf("    ring:");
+      for (const VertexId account : ring) {
+        std::printf(" %d(%s)", account,
+                    monitor.graph().label(account) == 2 ? "offshore"
+                                                        : "onshore");
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("net cycle-embedding change across the feed: %+lld\n",
+              static_cast<long long>(net_cycles));
+  return 0;
+}

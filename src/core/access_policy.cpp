@@ -1,0 +1,91 @@
+#include "core/access_policy.hpp"
+
+namespace gcsm {
+namespace {
+
+std::uint64_t view_bytes(const NeighborView& v) {
+  return (static_cast<std::uint64_t>(v.prefix.size) + v.appended.size) *
+         sizeof(VertexId);
+}
+
+std::uint64_t lines_for(const NeighborSeg& seg, std::uint32_t line_bytes) {
+  if (seg.size == 0) return 0;
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(seg.size) * sizeof(VertexId);
+  return (bytes + line_bytes - 1) / line_bytes +
+         ((reinterpret_cast<std::uintptr_t>(seg.data) % line_bytes) != 0
+              ? 1
+              : 0);
+}
+
+}  // namespace
+
+NeighborView HostPolicy::fetch(VertexId v, ViewMode mode,
+                               gpusim::TrafficCounters& counters) {
+  const NeighborView view = graph_.view(v, mode);
+  counters.add_host(view.size_bound(), view_bytes(view));
+  return view;
+}
+
+NeighborView ZeroCopyPolicy::fetch(VertexId v, ViewMode mode,
+                                   gpusim::TrafficCounters& counters) {
+  const NeighborView view = graph_.view(v, mode);
+  const std::uint64_t lines = lines_for(view.prefix, line_bytes_) +
+                              lines_for(view.appended, line_bytes_);
+  counters.add_zero_copy(lines, view_bytes(view));
+  return view;
+}
+
+NeighborView UnifiedMemoryPolicy::fetch(VertexId v, ViewMode mode,
+                                        gpusim::TrafficCounters& counters) {
+  const NeighborView view = graph_.view(v, mode);
+  if (view.prefix.size > 0) {
+    pages_.access(view.prefix.data,
+                  view.prefix.size * sizeof(VertexId), counters);
+  }
+  if (view.appended.size > 0) {
+    pages_.access(view.appended.data,
+                  view.appended.size * sizeof(VertexId), counters);
+  }
+  return view;
+}
+
+NeighborView CachedPolicy::fetch(VertexId v, ViewMode mode,
+                                 gpusim::TrafficCounters& counters) {
+  std::uint32_t steps = 0;
+  if (auto cached = cache_.lookup(v, mode, steps)) {
+    // Binary-search probes plus the list itself: device-memory traffic.
+    counters.add_device_bytes(steps * sizeof(VertexId) + view_bytes(*cached));
+    counters.add_cache_hit();
+    return *cached;
+  }
+  counters.add_device_bytes(steps * sizeof(VertexId));
+  counters.add_cache_miss();
+  // Miss: the kernel takes the vertex's device-mapped host address (the
+  // pDevice array of Sec. V-A) and reads over PCIe by zero-copy.
+  const NeighborView view = graph_.view(v, mode);
+  const std::uint64_t lines = lines_for(view.prefix, line_bytes_) +
+                              lines_for(view.appended, line_bytes_);
+  counters.add_zero_copy(lines, view_bytes(view));
+  return view;
+}
+
+NeighborView CountingPolicy::fetch(VertexId v, ViewMode mode,
+                                   gpusim::TrafficCounters& counters) {
+  const NeighborView view = graph_.view(v, mode);
+  counters.add_host(view.size_bound(), view_bytes(view));
+  counts_[static_cast<std::size_t>(v)].fetch_add(1,
+                                                 std::memory_order_relaxed);
+  return view;
+}
+
+std::vector<std::uint64_t> CountingPolicy::access_counts() const {
+  std::vector<std::uint64_t> out(
+      static_cast<std::size_t>(graph_.num_vertices()));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+}  // namespace gcsm

@@ -1,0 +1,119 @@
+#include "core/dcsr_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace gcsm {
+
+void DcsrCache::build(const DynamicGraph& graph,
+                      std::vector<VertexId> vertices,
+                      std::uint64_t byte_budget, gpusim::Device& device,
+                      gpusim::TrafficCounters& counters) {
+  clear();
+
+  // Respect the byte budget in the caller's priority order, then sort the
+  // survivors so rowidx is binary-searchable.
+  std::vector<VertexId> selected;
+  selected.reserve(vertices.size());
+  std::uint64_t colidx_bytes = 0;
+  for (const VertexId v : vertices) {
+    const std::uint64_t lb = graph.list_bytes(v);
+    const std::uint64_t row_overhead = sizeof(VertexId) + sizeof(RowPtr);
+    if (colidx_bytes + lb +
+            (selected.size() + 2) * row_overhead >
+        byte_budget) {
+      continue;
+    }
+    selected.push_back(v);
+    colidx_bytes += lb;
+  }
+  std::sort(selected.begin(), selected.end());
+  selected.erase(std::unique(selected.begin(), selected.end()),
+                 selected.end());
+
+  row_count_ = static_cast<std::uint32_t>(selected.size());
+  const std::uint64_t rowptr_bytes =
+      (static_cast<std::uint64_t>(row_count_) + 1) * sizeof(RowPtr);
+  const std::uint64_t rowidx_bytes =
+      static_cast<std::uint64_t>(row_count_) * sizeof(VertexId);
+  // Recompute colidx_bytes over the deduplicated set.
+  colidx_bytes = 0;
+  for (const VertexId v : selected) colidx_bytes += graph.list_bytes(v);
+  blob_bytes_ = rowptr_bytes + rowidx_bytes + colidx_bytes;
+
+  // Host staging buffer: one allocation, then one DMA (paper Sec. V-B).
+  std::vector<std::byte> staging(blob_bytes_);
+  auto* rowptr = reinterpret_cast<RowPtr*>(staging.data());
+  auto* rowidx = reinterpret_cast<VertexId*>(staging.data() + rowptr_bytes);
+  auto* colidx = reinterpret_cast<VertexId*>(staging.data() + rowptr_bytes +
+                                             rowidx_bytes);
+
+  std::int64_t cursor = 0;
+  for (std::uint32_t i = 0; i < row_count_; ++i) {
+    const VertexId v = selected[i];
+    rowidx[i] = v;
+    const NeighborView view = graph.view(v, ViewMode::kNew);
+    rowptr[i].begin = cursor;
+    rowptr[i].new_begin =
+        view.appended.size > 0 ? cursor + view.prefix.size : -1;
+    std::memcpy(colidx + cursor, view.prefix.data,
+                view.prefix.size * sizeof(VertexId));
+    cursor += view.prefix.size;
+    std::memcpy(colidx + cursor, view.appended.data,
+                view.appended.size * sizeof(VertexId));
+    cursor += view.appended.size;
+  }
+  rowptr[row_count_].begin = cursor;  // sentinel: length of colidx
+  rowptr[row_count_].new_begin = -1;
+
+  blob_ = device.alloc(blob_bytes_);
+  device.dma_to_device(blob_, staging.data(), blob_bytes_, counters);
+
+  rowptr_ = reinterpret_cast<const RowPtr*>(blob_.data());
+  rowidx_ = reinterpret_cast<const VertexId*>(blob_.data() + rowptr_bytes);
+  colidx_ = reinterpret_cast<const VertexId*>(blob_.data() + rowptr_bytes +
+                                              rowidx_bytes);
+}
+
+void DcsrCache::clear() {
+  blob_ = gpusim::DeviceBuffer();
+  rowidx_ = nullptr;
+  rowptr_ = nullptr;
+  colidx_ = nullptr;
+  row_count_ = 0;
+  blob_bytes_ = 0;
+}
+
+std::optional<NeighborView> DcsrCache::lookup(
+    VertexId v, ViewMode mode, std::uint32_t& search_steps) const {
+  search_steps = 0;
+  std::uint32_t lo = 0;
+  std::uint32_t hi = row_count_;
+  while (lo < hi) {
+    ++search_steps;
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (rowidx_[mid] < v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo >= row_count_ || rowidx_[lo] != v) return std::nullopt;
+
+  const std::int64_t begin = rowptr_[lo].begin;
+  const std::int64_t new_begin = rowptr_[lo].new_begin;
+  const std::int64_t end = rowptr_[lo + 1].begin;
+  const std::int64_t prefix_end = new_begin < 0 ? end : new_begin;
+
+  NeighborView view;
+  view.mode = mode;
+  view.prefix = {colidx_ + begin,
+                 static_cast<std::uint32_t>(prefix_end - begin)};
+  if (mode == ViewMode::kNew && new_begin >= 0) {
+    view.appended = {colidx_ + new_begin,
+                     static_cast<std::uint32_t>(end - new_begin)};
+  }
+  return view;
+}
+
+}  // namespace gcsm

@@ -1,0 +1,40 @@
+// Cache-content selection strategies for the device-side matching engines.
+//
+//   * select_by_frequency — GCSM: vertices ordered by estimated access
+//     frequency (random-walk estimator), positive-frequency only;
+//   * select_by_degree    — the Naive baseline: degree as a (poor) proxy for
+//     access frequency;
+//   * khop_vertices       — VSGM: every vertex within k hops of the batch,
+//     k = query diameter, so the kernel never misses.
+//
+// The DcsrCache applies the byte budget in the order these return.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dynamic_graph.hpp"
+#include "graph/types.hpp"
+
+namespace gcsm {
+
+// Vertices with frequency > min_frequency, descending frequency order.
+std::vector<VertexId> select_by_frequency(const std::vector<double>& frequency,
+                                          double min_frequency = 0.0);
+
+// All vertices in descending live-degree order (ties by id).
+std::vector<VertexId> select_by_degree(const DynamicGraph& graph);
+
+// Every vertex reachable within `hops` hops (NEW view) of any endpoint of
+// the batch, in BFS order from the batch (so nearer vertices survive the
+// budget first).
+std::vector<VertexId> khop_vertices(const DynamicGraph& graph,
+                                    const EdgeBatch& batch,
+                                    std::uint32_t hops);
+
+// Total stored bytes of the given vertices' lists (what a DCSR pack would
+// place in colidx).
+std::uint64_t total_list_bytes(const DynamicGraph& graph,
+                               const std::vector<VertexId>& vertices);
+
+}  // namespace gcsm

@@ -1,0 +1,102 @@
+#include "core/intersect.hpp"
+
+#include <algorithm>
+
+namespace gcsm {
+namespace {
+
+// Galloping lower_bound: doubles the step from `from` before binary
+// searching; O(log distance) when the target is near.
+std::size_t gallop(const VertexId* data, std::size_t n, std::size_t from,
+                   VertexId target) {
+  std::size_t step = 1;
+  std::size_t hi = from;
+  while (hi < n && data[hi] < target) {
+    hi += step;
+    step *= 2;
+  }
+  const std::size_t lo = hi >= step ? hi - step : 0;
+  const VertexId* it = std::lower_bound(data + std::min(lo, n),
+                                        data + std::min(hi, n), target);
+  return static_cast<std::size_t>(it - data);
+}
+
+}  // namespace
+
+std::uint64_t intersect_sorted(const VertexId* a, std::size_t na,
+                               const VertexId* b, std::size_t nb,
+                               std::vector<VertexId>& out) {
+  out.clear();
+  if (na == 0 || nb == 0) return 0;
+  std::uint64_t ops = 0;
+
+  // Galloping path when one list is much shorter.
+  if (na * 32 < nb || nb * 32 < na) {
+    const VertexId* small = na <= nb ? a : b;
+    const std::size_t ns = na <= nb ? na : nb;
+    const VertexId* big = na <= nb ? b : a;
+    const std::size_t nbig = na <= nb ? nb : na;
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < ns; ++i) {
+      pos = gallop(big, nbig, pos, small[i]);
+      ops += 8;  // amortized gallop cost
+      if (pos == nbig) break;
+      if (big[pos] == small[i]) out.push_back(small[i]);
+    }
+    return ops;
+  }
+
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < na && j < nb) {
+    ++ops;
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out.push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  return ops;
+}
+
+std::uint64_t intersect_into(std::vector<VertexId>& acc, const VertexId* b,
+                             std::size_t nb) {
+  if (acc.empty()) return 0;
+  if (nb == 0) {
+    acc.clear();
+    return 0;
+  }
+  std::uint64_t ops = 0;
+  std::size_t w = 0;
+  if (acc.size() * 32 < nb) {
+    std::size_t pos = 0;
+    for (const VertexId x : acc) {
+      pos = gallop(b, nb, pos, x);
+      ops += 8;
+      if (pos == nb) break;
+      if (b[pos] == x) acc[w++] = x;
+    }
+  } else {
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < acc.size() && j < nb;) {
+      ++ops;
+      if (acc[i] < b[j]) {
+        ++i;
+      } else if (b[j] < acc[i]) {
+        ++j;
+      } else {
+        acc[w++] = acc[i];
+        ++i;
+        ++j;
+      }
+    }
+  }
+  acc.resize(w);
+  return ops;
+}
+
+}  // namespace gcsm

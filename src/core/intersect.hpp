@@ -1,0 +1,29 @@
+// Sorted set intersection kernels.
+//
+// STMatch's GPU kernel uses unrolled SIMD merge intersection; the host
+// analog here is a branch-light two-pointer merge with a galloping fast path
+// when the lists are very different in length (the common case around hub
+// vertices in power-law graphs). The returned op count feeds the simulated
+// compute-time model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace gcsm {
+
+// out = a ∩ b (both ascending, duplicate-free). Returns the number of
+// comparison operations performed (for compute accounting).
+std::uint64_t intersect_sorted(const VertexId* a, std::size_t na,
+                               const VertexId* b, std::size_t nb,
+                               std::vector<VertexId>& out);
+
+// In-place variant used by multi-way intersections: keeps only the elements
+// of `acc` present in [b, b+nb). Returns op count.
+std::uint64_t intersect_into(std::vector<VertexId>& acc, const VertexId* b,
+                             std::size_t nb);
+
+}  // namespace gcsm

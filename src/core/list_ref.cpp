@@ -1,0 +1,73 @@
+#include "core/list_ref.hpp"
+
+#include <algorithm>
+
+namespace gcsm {
+
+void materialize_view(const NeighborView& view, std::vector<VertexId>& out) {
+  const NeighborSeg& p = view.prefix;
+  if (view.mode == ViewMode::kOld) {
+    for (std::uint32_t i = 0; i < p.size; ++i) {
+      out.push_back(decode_neighbor(p.data[i]));
+    }
+    return;
+  }
+  // kNew: merge live prefix entries with the appended run.
+  const NeighborSeg& a = view.appended;
+  std::uint32_t i = 0;
+  std::uint32_t j = 0;
+  while (i < p.size && j < a.size) {
+    if (is_deleted_neighbor(p.data[i])) {
+      ++i;
+      continue;
+    }
+    if (p.data[i] < a.data[j]) {
+      out.push_back(p.data[i++]);
+    } else {
+      out.push_back(a.data[j++]);
+    }
+  }
+  for (; i < p.size; ++i) {
+    if (!is_deleted_neighbor(p.data[i])) out.push_back(p.data[i]);
+  }
+  for (; j < a.size; ++j) out.push_back(a.data[j]);
+}
+
+std::uint32_t view_live_size(const NeighborView& view) {
+  if (view.mode == ViewMode::kOld) return view.prefix.size;
+  std::uint32_t live = view.appended.size;
+  for (std::uint32_t i = 0; i < view.prefix.size; ++i) {
+    if (!is_deleted_neighbor(view.prefix.data[i])) ++live;
+  }
+  return live;
+}
+
+bool view_contains(const NeighborView& view, VertexId target) {
+  const NeighborSeg& p = view.prefix;
+  // The prefix is sorted by decoded id whether or not entries are
+  // tombstoned, so binary search on decoded values works for both modes.
+  std::uint32_t lo = 0;
+  std::uint32_t hi = p.size;
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (decode_neighbor(p.data[mid]) < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < p.size && decode_neighbor(p.data[lo]) == target) {
+    if (view.mode == ViewMode::kOld) return true;
+    if (!is_deleted_neighbor(p.data[lo])) return true;
+    // Tombstoned in the prefix: fall through to the appended run (an edge
+    // deleted and re-inserted in different batches).
+  }
+  if (view.mode == ViewMode::kNew && view.appended.size > 0) {
+    return std::binary_search(view.appended.data,
+                              view.appended.data + view.appended.size,
+                              target);
+  }
+  return false;
+}
+
+}  // namespace gcsm

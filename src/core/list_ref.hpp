@@ -1,0 +1,29 @@
+// Materialization of neighbor-list views.
+//
+// A NeighborView is up to two sorted runs with tombstone semantics (see
+// graph/dynamic_graph.hpp). The enumeration engines materialize views into
+// per-worker scratch buffers of decoded live ids before intersecting; this
+// is what the STMatch-style kernel does when it merges N and ΔN ("perform
+// set operations involving N' separately for N and ΔN", paper Sec. V-C).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dynamic_graph.hpp"
+
+namespace gcsm {
+
+// Appends the live decoded ids of `view` to `out` in ascending order.
+//  kOld: every prefix entry decoded (tombstones were live pre-batch).
+//  kNew: prefix entries that are not tombstoned, merged with the appended
+//        run (both sorted, so a linear merge).
+void materialize_view(const NeighborView& view, std::vector<VertexId>& out);
+
+// Number of live ids `materialize_view` would produce.
+std::uint32_t view_live_size(const NeighborView& view);
+
+// True if `target` is a live member of the view (binary search per run).
+bool view_contains(const NeighborView& view, VertexId target);
+
+}  // namespace gcsm

@@ -1,0 +1,95 @@
+#include "core/match_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gcsm {
+
+std::vector<VertexId> embedding_from_binding(
+    const MatchPlan& plan, std::span<const VertexId> binding) {
+  std::vector<VertexId> embedding(binding.size());
+  for (std::size_t pos = 0; pos < binding.size(); ++pos) {
+    embedding[plan.vertex_order[pos]] = binding[pos];
+  }
+  return embedding;
+}
+
+std::size_t MatchStore::VecHash::operator()(
+    const std::vector<VertexId>& v) const {
+  std::size_t h = 0x9e3779b97f4a7c15ULL;
+  for (const VertexId x : v) {
+    h ^= static_cast<std::size_t>(x) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+  }
+  return h;
+}
+
+MatchStore::MatchStore(const QueryGraph& query)
+    : query_(query),
+      automorphisms_(list_automorphisms(query)),
+      aut_count_(automorphisms_.size()) {}
+
+MatchSink MatchStore::sink() {
+  return [this](const MatchPlan& plan, std::span<const VertexId> binding,
+                int sign) {
+    const std::vector<VertexId> embedding =
+        embedding_from_binding(plan, binding);
+    apply(std::span<const VertexId>(embedding.data(), embedding.size()),
+          sign);
+  };
+}
+
+std::vector<VertexId> MatchStore::canonicalize(
+    std::span<const VertexId> embedding) const {
+  // The canonical form is the lexicographically smallest image of the
+  // embedding under Aut(Q): image[i] = embedding[perm^{-1}(i)], i.e. the
+  // data vertex matched to the query vertex that perm maps onto i.
+  std::vector<VertexId> best(embedding.begin(), embedding.end());
+  std::vector<VertexId> image(embedding.size());
+  for (const auto& perm : automorphisms_) {
+    for (std::size_t i = 0; i < embedding.size(); ++i) {
+      image[perm[i]] = embedding[i];
+    }
+    if (image < best) best = image;
+  }
+  return best;
+}
+
+void MatchStore::apply(std::span<const VertexId> embedding, int sign) {
+  if (embedding.size() != query_.num_vertices()) {
+    throw std::invalid_argument("embedding size mismatch");
+  }
+  auto key = canonicalize(embedding);
+  auto& count = subgraphs_[key];
+  const std::int64_t before = count;
+  count += sign > 0 ? 1 : -1;
+  embeddings_ += sign > 0 ? 1 : -1;
+  // A subgraph is "present" once its embedding multiplicity is positive;
+  // full presence is |Aut| embeddings, but the first positive one already
+  // identifies the subgraph (events within a batch arrive in any order).
+  if (before <= 0 && count > 0) ++positive_subgraphs_;
+  if (before > 0 && count <= 0) --positive_subgraphs_;
+  if (count == 0) subgraphs_.erase(key);
+}
+
+bool MatchStore::contains(std::span<const VertexId> embedding) const {
+  const auto it = subgraphs_.find(canonicalize(embedding));
+  return it != subgraphs_.end() && it->second > 0;
+}
+
+std::vector<std::vector<VertexId>> MatchStore::subgraphs() const {
+  std::vector<std::vector<VertexId>> out;
+  out.reserve(subgraphs_.size());
+  for (const auto& [key, count] : subgraphs_) {
+    if (count > 0) out.push_back(key);
+  }
+  return out;
+}
+
+void MatchStore::clear() {
+  subgraphs_.clear();
+  embeddings_ = 0;
+  positive_subgraphs_ = 0;
+}
+
+}  // namespace gcsm

@@ -1,0 +1,75 @@
+// Maintained view of the current match set.
+//
+// The incremental engine emits *signed embeddings* per batch; applications
+// like the paper's fraud/rumor monitoring scenarios usually want the live
+// set of matched subgraphs instead. MatchStore consumes the engine's sink
+// events and maintains exactly that: embeddings are canonicalized by the
+// query's automorphism group so each matched *subgraph* is stored once
+// (with multiplicity |Aut(Q)| worth of embeddings behind it).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cpu_engine.hpp"
+#include "query/automorphism.hpp"
+#include "query/query_graph.hpp"
+
+namespace gcsm {
+
+// Reorders an engine binding (plan order) into query-vertex order:
+// result[i] = data vertex matched to query vertex i.
+std::vector<VertexId> embedding_from_binding(const MatchPlan& plan,
+                                             std::span<const VertexId>
+                                                 binding);
+
+class MatchStore {
+ public:
+  explicit MatchStore(const QueryGraph& query);
+
+  // Sink to pass to MatchEngine::match_batch / Pipeline::process_batch.
+  // The engine serializes sink calls, so no extra locking is needed here.
+  MatchSink sink();
+
+  // Applies one signed embedding directly (embedding in query-vertex
+  // order). Exposed for testing and for feeding stored snapshots.
+  void apply(std::span<const VertexId> embedding, int sign);
+
+  // Net embeddings currently matched relative to the state at attach time
+  // (= subgraphs * |Aut| when the store observed the stream from an empty
+  // graph or was seeded with the initial matches via apply()).
+  std::int64_t embedding_count() const { return embeddings_; }
+  // Distinct subgraphs with positive multiplicity.
+  std::uint64_t subgraph_count() const { return positive_subgraphs_; }
+  std::uint64_t automorphisms() const { return aut_count_; }
+
+  // True if this embedding's subgraph is currently matched.
+  bool contains(std::span<const VertexId> embedding) const;
+
+  // Canonical embeddings (the lexicographically smallest automorphism
+  // image) of all current subgraphs. Order unspecified.
+  std::vector<std::vector<VertexId>> subgraphs() const;
+
+  void clear();
+
+ private:
+  std::vector<VertexId> canonicalize(std::span<const VertexId> embedding)
+      const;
+
+  struct VecHash {
+    std::size_t operator()(const std::vector<VertexId>& v) const;
+  };
+
+  QueryGraph query_;
+  std::vector<std::vector<std::uint32_t>> automorphisms_;
+  std::uint64_t aut_count_ = 0;
+  std::int64_t embeddings_ = 0;
+  std::uint64_t positive_subgraphs_ = 0;
+  // canonical embedding -> number of embeddings currently accumulated
+  // (reaches aut_count_ when the subgraph is fully present).
+  std::unordered_map<std::vector<VertexId>, std::int64_t, VecHash> subgraphs_;
+};
+
+}  // namespace gcsm

@@ -1,0 +1,175 @@
+#include "core/pipeline.hpp"
+
+#include <stdexcept>
+
+#include "core/gpu_engine.hpp"
+#include "util/timer.hpp"
+
+namespace gcsm {
+
+const char* engine_kind_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kGcsm:
+      return "GCSM";
+    case EngineKind::kZeroCopy:
+      return "ZP";
+    case EngineKind::kUnifiedMemory:
+      return "UM";
+    case EngineKind::kNaiveDegree:
+      return "Naive";
+    case EngineKind::kVsgm:
+      return "VSGM";
+    case EngineKind::kCpu:
+      return "CPU";
+  }
+  return "?";
+}
+
+Pipeline::Pipeline(const CsrGraph& initial, QueryGraph query,
+                   PipelineOptions options)
+    : options_(options),
+      graph_(initial),
+      device_(options.sim),
+      executor_(options.workers, options.schedule),
+      engine_(std::move(query), executor_, options.grain),
+      estimator_(engine_.query(), options.estimator),
+      rng_(options.seed) {
+  if (options_.kind == EngineKind::kUnifiedMemory) {
+    // The unified-memory resident set gets the same device buffer the
+    // cached engines use (the paper's setting: the graph far exceeds what
+    // the device can hold, so UM thrashes pages). Without this the page
+    // cache would silently swallow a scaled-down graph whole.
+    gpusim::SimParams um_params = options_.sim;
+    um_params.um_page_cache_bytes =
+        std::min<std::uint64_t>(um_params.um_page_cache_bytes,
+                                options_.cache_budget_bytes);
+    um_policy_ = std::make_unique<UnifiedMemoryPolicy>(graph_, um_params);
+  }
+}
+
+std::unique_ptr<AccessPolicy> Pipeline::make_policy() {
+  switch (options_.kind) {
+    case EngineKind::kCpu:
+      return std::make_unique<HostPolicy>(graph_);
+    case EngineKind::kZeroCopy:
+      return std::make_unique<ZeroCopyPolicy>(graph_, options_.sim);
+    case EngineKind::kUnifiedMemory:
+      // Returned fresh each call but sharing the persistent page cache via
+      // um_policy_ would double-charge; instead hand out a non-owning view.
+      return nullptr;  // handled specially in process_batch
+    case EngineKind::kGcsm:
+    case EngineKind::kNaiveDegree:
+    case EngineKind::kVsgm:
+      return std::make_unique<CachedPolicy>(graph_, cache_, options_.sim);
+  }
+  throw std::logic_error("unknown engine kind");
+}
+
+BatchReport Pipeline::process_batch(const EdgeBatch& batch,
+                                    const MatchSink* sink) {
+  BatchReport report;
+  gpusim::TrafficCounters& counters = device_.counters();
+  counters.reset();
+  const gpusim::SimParams& sim = options_.sim;
+
+  // Step 1: dynamic graph maintenance on the CPU.
+  Timer t;
+  graph_.apply_batch(batch);
+  report.wall_update_ms = t.millis();
+
+  // Step 2: frequency estimation (GCSM only).
+  std::vector<VertexId> cache_order;
+  if (options_.kind == EngineKind::kGcsm) {
+    t.reset();
+    const EstimateResult est = estimator_.estimate(graph_, batch, rng_);
+    cache_order = select_by_frequency(est.frequency);
+    report.walks = est.walks;
+    report.wall_estimate_ms = t.millis();
+    report.sim_estimate_s =
+        static_cast<double>(est.ops) /
+        (sim.host_ops_per_sec_per_thread * sim.host_threads);
+  } else if (options_.kind == EngineKind::kNaiveDegree) {
+    t.reset();
+    cache_order = select_by_degree(graph_);
+    report.wall_estimate_ms = t.millis();
+    report.sim_estimate_s =
+        static_cast<double>(graph_.num_vertices()) /
+        (sim.host_ops_per_sec_per_thread * sim.host_threads);
+  } else if (options_.kind == EngineKind::kVsgm) {
+    t.reset();
+    cache_order = khop_vertices(graph_, batch, engine_.query().diameter());
+    report.wall_estimate_ms = t.millis();
+    report.sim_estimate_s =
+        static_cast<double>(total_list_bytes(graph_, cache_order)) /
+        (sim.host_mem_bandwidth_gbps * 1e9);
+  }
+
+  // Step 3: pack the selected lists as DCSR and DMA to the device.
+  const bool uses_cache = options_.kind == EngineKind::kGcsm ||
+                          options_.kind == EngineKind::kNaiveDegree ||
+                          options_.kind == EngineKind::kVsgm;
+  if (uses_cache) {
+    t.reset();
+    cache_.clear();
+    // VSGM semantically requires the full k-hop data on the device; a
+    // budget overflow is a genuine device-OOM (the reason the paper shrinks
+    // VSGM's batches).
+    if (options_.kind == EngineKind::kVsgm) {
+      const std::uint64_t need = total_list_bytes(graph_, cache_order);
+      if (need > options_.cache_budget_bytes) {
+        throw gpusim::DeviceOomError(need, options_.cache_budget_bytes);
+      }
+    }
+    cache_.build(graph_, cache_order, options_.cache_budget_bytes, device_,
+                 counters);
+    report.cached_vertices = cache_.num_cached();
+    report.cache_bytes = cache_.blob_bytes();
+    report.wall_pack_ms = t.millis();
+  }
+
+  // Step 4: incremental matching.
+  t.reset();
+  {
+    const gpusim::Traffic before = counters.snapshot();
+    if (options_.kind == EngineKind::kUnifiedMemory) {
+      report.stats =
+          engine_.match_batch(graph_, batch, *um_policy_, counters, sink);
+    } else {
+      auto policy = make_policy();
+      report.stats =
+          engine_.match_batch(graph_, batch, *policy, counters, sink);
+    }
+    report.wall_match_ms = t.millis();
+    const gpusim::Traffic after = counters.snapshot();
+    // Kernel-phase simulated time: everything but the pack DMA.
+    gpusim::Traffic kernel = after;
+    kernel.dma_calls -= before.dma_calls;
+    kernel.dma_bytes -= before.dma_bytes;
+    const gpusim::SimTime st = simulate_time(kernel, sim);
+    report.sim_match_s = options_.kind == EngineKind::kCpu
+                             ? st.host
+                             : st.kernel() + st.dma;
+    const gpusim::SimTime pack = simulate_time(before, sim);
+    report.sim_pack_s = pack.dma;
+  }
+
+  // Step 5: reorganize the touched lists on the CPU.
+  t.reset();
+  const DynamicGraph::ReorgStats reorg = graph_.reorganize();
+  report.wall_reorg_ms = t.millis();
+  report.sim_reorg_s =
+      static_cast<double>(reorg.entries) * sizeof(VertexId) /
+      (sim.host_mem_bandwidth_gbps * 1e9);
+
+  report.traffic = counters.snapshot();
+  return report;
+}
+
+std::uint64_t Pipeline::count_current_embeddings() {
+  gpusim::TrafficCounters scratch;
+  HostPolicy policy(graph_);
+  const MatchStats stats = engine_.match_full(graph_, policy, scratch);
+  return stats.positive;
+}
+
+}  // namespace gcsm

@@ -1,0 +1,69 @@
+#include "core/reference_matcher.hpp"
+
+#include <functional>
+
+namespace gcsm {
+namespace {
+
+template <typename Emit>
+void backtrack(const CsrGraph& g, const QueryGraph& q,
+               std::array<VertexId, kMaxQueryVertices>& binding,
+               std::uint32_t depth, const Emit& emit) {
+  const std::uint32_t n = q.num_vertices();
+  if (depth == n) {
+    emit(binding);
+    return;
+  }
+  // Candidate source: neighbors of an already-bound adjacent query vertex
+  // when one exists (query is connected, so depth > 0 always has one);
+  // otherwise all vertices.
+  std::int32_t anchor = -1;
+  for (std::uint32_t i = 0; i < depth; ++i) {
+    if (q.adjacent(i, depth)) {
+      anchor = static_cast<std::int32_t>(i);
+      break;
+    }
+  }
+
+  auto try_vertex = [&](VertexId v) {
+    if (!q.label_matches(depth, g.label(v))) return;
+    for (std::uint32_t i = 0; i < depth; ++i) {
+      if (binding[i] == v) return;  // injectivity
+      const bool need = q.adjacent(i, depth);
+      if (need && !g.has_edge(binding[i], v)) return;
+      // Non-adjacent query vertices impose no constraint (subgraph
+      // isomorphism, not induced).
+    }
+    binding[depth] = v;
+    backtrack(g, q, binding, depth + 1, emit);
+  };
+
+  if (anchor >= 0) {
+    for (const VertexId v : g.neighbors(binding[anchor])) try_vertex(v);
+  } else {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) try_vertex(v);
+  }
+}
+
+}  // namespace
+
+std::uint64_t reference_count_embeddings(const CsrGraph& g,
+                                         const QueryGraph& q) {
+  std::uint64_t count = 0;
+  std::array<VertexId, kMaxQueryVertices> binding{};
+  backtrack(g, q, binding, 0, [&](const auto&) { ++count; });
+  return count;
+}
+
+std::vector<std::array<VertexId, kMaxQueryVertices>>
+reference_list_embeddings(const CsrGraph& g, const QueryGraph& q) {
+  std::vector<std::array<VertexId, kMaxQueryVertices>> out;
+  std::array<VertexId, kMaxQueryVertices> binding{};
+  backtrack(g, q, binding, 0,
+            [&](const std::array<VertexId, kMaxQueryVertices>& b) {
+              out.push_back(b);
+            });
+  return out;
+}
+
+}  // namespace gcsm

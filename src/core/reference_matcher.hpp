@@ -1,0 +1,26 @@
+// Independent brute-force subgraph matcher used as the ground truth in
+// tests. Deliberately implemented with a different algorithm from the main
+// engine (plain backtracking over query vertices in id order, adjacency
+// checked edge-by-edge with binary search) so the two can cross-validate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "query/query_graph.hpp"
+
+namespace gcsm {
+
+// Number of embeddings (injective label/adjacency-preserving mappings) of q
+// in g. Exponential in |q|; for test-sized graphs only.
+std::uint64_t reference_count_embeddings(const CsrGraph& g,
+                                         const QueryGraph& q);
+
+// The embeddings themselves; embedding[i] = data vertex matched to query
+// vertex i.
+std::vector<std::array<VertexId, kMaxQueryVertices>>
+reference_list_embeddings(const CsrGraph& g, const QueryGraph& q);
+
+}  // namespace gcsm

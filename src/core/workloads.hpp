@@ -1,0 +1,38 @@
+// Named dataset analogs for the paper's Table I, scaled to this machine.
+//
+// Each workload names a paper dataset and builds a synthetic graph with the
+// same structural regime (see generators.hpp and DESIGN.md §2). `scale`
+// multiplies the vertex count (1.0 = the benchmark default size); every
+// bench prints the realized |V|/|E|/max-degree next to its results so runs
+// are self-describing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/update_stream.hpp"
+
+namespace gcsm {
+
+struct WorkloadSpec {
+  std::string name;          // paper dataset it stands in for
+  std::string generator;     // "ba", "rmat", or "road"
+  std::string paper_size;    // the original's |V|/|E| for the logs
+};
+
+// Names: AZ, PA, CA, LJ, FR, SF3K, SF10K (paper Table I).
+const std::vector<WorkloadSpec>& workload_specs();
+
+// Builds the analog graph. Throws on unknown name.
+CsrGraph make_workload_graph(const std::string& name, double scale,
+                             std::uint32_t num_labels, std::uint64_t seed);
+
+// The paper's update-stream settings for this dataset (Sec. VI-A): large
+// graphs pool 12*8192 random edges; small graphs pool 10% of edges.
+UpdateStreamOptions default_stream_options(const std::string& name,
+                                           std::size_t batch_size,
+                                           std::uint64_t seed);
+
+}  // namespace gcsm

@@ -1,0 +1,66 @@
+#include "gpusim/device.hpp"
+
+#include <cstring>
+#include <string>
+
+namespace gcsm::gpusim {
+
+DeviceBuffer::DeviceBuffer(Device* dev, std::size_t bytes)
+    : dev_(dev), data_(new std::byte[bytes]), bytes_(bytes) {}
+
+DeviceBuffer::~DeviceBuffer() { release(); }
+
+DeviceBuffer::DeviceBuffer(DeviceBuffer&& o) noexcept
+    : dev_(o.dev_), data_(std::move(o.data_)), bytes_(o.bytes_) {
+  o.dev_ = nullptr;
+  o.bytes_ = 0;
+}
+
+DeviceBuffer& DeviceBuffer::operator=(DeviceBuffer&& o) noexcept {
+  if (this != &o) {
+    release();
+    dev_ = o.dev_;
+    data_ = std::move(o.data_);
+    bytes_ = o.bytes_;
+    o.dev_ = nullptr;
+    o.bytes_ = 0;
+  }
+  return *this;
+}
+
+void DeviceBuffer::release() {
+  if (dev_ != nullptr && bytes_ > 0) {
+    dev_->used_ -= bytes_;
+  }
+  data_.reset();
+  dev_ = nullptr;
+  bytes_ = 0;
+}
+
+DeviceOomError::DeviceOomError(std::size_t req, std::size_t avail)
+    : std::runtime_error("simulated device out of memory: requested " +
+                         std::to_string(req) + " bytes, available " +
+                         std::to_string(avail)),
+      requested(req),
+      available(avail) {}
+
+Device::Device(SimParams params) : params_(params) {}
+
+DeviceBuffer Device::alloc(std::size_t bytes) {
+  if (bytes > available()) {
+    throw DeviceOomError(bytes, available());
+  }
+  used_ += bytes;
+  return DeviceBuffer(this, bytes);
+}
+
+void Device::dma_to_device(DeviceBuffer& dst, const void* src,
+                           std::size_t bytes, TrafficCounters& counters) {
+  if (bytes > dst.size()) {
+    throw std::invalid_argument("dma_to_device: copy larger than buffer");
+  }
+  std::memcpy(dst.data(), src, bytes);
+  counters.add_dma(1, bytes);
+}
+
+}  // namespace gcsm::gpusim

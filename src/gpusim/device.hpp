@@ -1,0 +1,121 @@
+// The simulated GPU device: a bounded global-memory arena plus the pinned
+// host-memory registry (the cudaHostAlloc / cudaHostGetDevicePointer analog
+// used by the dynamic graph, paper Sec. V-A).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "gpusim/cost_model.hpp"
+
+namespace gcsm::gpusim {
+
+class Device;
+
+// A chunk of simulated device global memory. Owns host storage; the Device
+// tracks the aggregate footprint against its capacity.
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(Device* dev, std::size_t bytes);
+  ~DeviceBuffer();
+
+  DeviceBuffer(DeviceBuffer&& o) noexcept;
+  DeviceBuffer& operator=(DeviceBuffer&& o) noexcept;
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  std::byte* data() { return data_.get(); }
+  const std::byte* data() const { return data_.get(); }
+  std::size_t size() const { return bytes_; }
+  bool valid() const { return data_ != nullptr; }
+
+  template <typename T>
+  T* as() {
+    return reinterpret_cast<T*>(data_.get());
+  }
+  template <typename T>
+  const T* as() const {
+    return reinterpret_cast<const T*>(data_.get());
+  }
+
+ private:
+  void release();
+
+  Device* dev_ = nullptr;
+  std::unique_ptr<std::byte[]> data_;
+  std::size_t bytes_ = 0;
+};
+
+// Thrown when an allocation would exceed device capacity — the condition
+// that forces VSGM-style k-hop copying to shrink its batch size (Sec. VI-B).
+class DeviceOomError : public std::runtime_error {
+ public:
+  DeviceOomError(std::size_t requested, std::size_t available);
+  std::size_t requested;
+  std::size_t available;
+};
+
+class Device {
+ public:
+  explicit Device(SimParams params = {});
+
+  const SimParams& params() const { return params_; }
+  SimParams& mutable_params() { return params_; }
+
+  // Capacity accounting.
+  std::size_t capacity() const { return params_.device_memory_bytes; }
+  std::size_t used() const { return used_; }
+  std::size_t available() const { return capacity() - used_; }
+
+  // Allocates simulated global memory; throws DeviceOomError on exhaustion.
+  DeviceBuffer alloc(std::size_t bytes);
+
+  // DMA host->device copy (cudaMemcpyHostToDevice analog): moves bytes and
+  // charges one DMA transaction on the counters.
+  void dma_to_device(DeviceBuffer& dst, const void* src, std::size_t bytes,
+                     TrafficCounters& counters);
+
+  // Global traffic counters for kernels running on this device.
+  TrafficCounters& counters() { return counters_; }
+
+ private:
+  friend class DeviceBuffer;
+  SimParams params_;
+  std::size_t used_ = 0;
+  TrafficCounters counters_;
+};
+
+// Pinned host allocation (cudaHostAlloc analog). In the simulation this is
+// ordinary host memory; what matters is that engines *charge zero-copy cost*
+// when a kernel dereferences it. A plain vector with the right semantics.
+template <typename T>
+class PinnedVector {
+ public:
+  PinnedVector() = default;
+  explicit PinnedVector(std::size_t n) : v_(n) {}
+  PinnedVector(std::size_t n, const T& init) : v_(n, init) {}
+
+  T* data() { return v_.data(); }
+  const T* data() const { return v_.data(); }
+  std::size_t size() const { return v_.size(); }
+  void resize(std::size_t n) { v_.resize(n); }
+  void reserve(std::size_t n) { v_.reserve(n); }
+  void push_back(const T& x) { v_.push_back(x); }
+  T& operator[](std::size_t i) { return v_[i]; }
+  const T& operator[](std::size_t i) const { return v_[i]; }
+
+  // The "device pointer" of this pinned region
+  // (cudaHostGetDevicePointer analog): same address in the simulation, but
+  // kept as a distinct accessor so call sites document which address space
+  // they are in.
+  const T* device_ptr() const { return v_.data(); }
+
+ private:
+  std::vector<T> v_;
+};
+
+}  // namespace gcsm::gpusim

@@ -1,0 +1,30 @@
+#include "gpusim/simt_executor.hpp"
+
+namespace gcsm::gpusim {
+
+SimtExecutor::SimtExecutor(std::size_t num_blocks, Schedule schedule)
+    : pool_(std::make_unique<ThreadPool>(num_blocks)), schedule_(schedule) {}
+
+void SimtExecutor::for_each_item(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (schedule_ == Schedule::kWorkStealing) {
+    pool_->parallel_for(n, grain,
+                        [&](std::size_t begin, std::size_t end,
+                            std::size_t block) {
+                          for (std::size_t i = begin; i < end; ++i) {
+                            body(i, block);
+                          }
+                        });
+  } else {
+    const std::size_t blocks = pool_->size();
+    pool_->run_on_all([&](std::size_t block) {
+      for (std::size_t i = block; i < n; i += blocks) {
+        body(i, block);
+      }
+    });
+  }
+}
+
+}  // namespace gcsm::gpusim

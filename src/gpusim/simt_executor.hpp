@@ -1,0 +1,44 @@
+// SIMT-style executor backing the simulated GPU kernels.
+//
+// The paper launches 82 thread blocks of 1024 threads and balances work
+// among blocks with STMatch-style work stealing. In the simulation a
+// "block" is a host worker; blocks claim work items (updated edges) from a
+// shared queue. Two schedules are provided so the work-stealing choice can
+// be ablated:
+//   * kWorkStealing — blocks grab chunks from a shared atomic counter
+//   * kStatic       — items are pre-partitioned round-robin across blocks
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "util/thread_pool.hpp"
+
+namespace gcsm::gpusim {
+
+enum class Schedule { kWorkStealing, kStatic };
+
+class SimtExecutor {
+ public:
+  // num_blocks == 0 uses one block per hardware thread.
+  explicit SimtExecutor(std::size_t num_blocks = 0,
+                        Schedule schedule = Schedule::kWorkStealing);
+
+  std::size_t num_blocks() const { return pool_->size(); }
+  Schedule schedule() const { return schedule_; }
+  void set_schedule(Schedule s) { schedule_ = s; }
+
+  // Executes body(item, block_id) for every item in [0, n); blocks claim
+  // `grain` items at a time under kWorkStealing. Blocks until all items
+  // complete.
+  void for_each_item(std::size_t n, std::size_t grain,
+                     const std::function<void(std::size_t, std::size_t)>&
+                         body);
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
+  Schedule schedule_;
+};
+
+}  // namespace gcsm::gpusim

@@ -1,0 +1,79 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace gcsm {
+
+CsrGraph CsrGraph::from_edges(VertexId num_vertices,
+                              const std::vector<Edge>& edges,
+                              std::vector<Label> labels) {
+  if (!labels.empty() &&
+      static_cast<VertexId>(labels.size()) != num_vertices) {
+    throw std::invalid_argument("labels size must match num_vertices");
+  }
+
+  // Symmetrize, drop self loops, dedup.
+  std::vector<std::pair<VertexId, VertexId>> dir;
+  dir.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
+    if (e.u == e.v) continue;
+    if (e.u < 0 || e.v < 0 || e.u >= num_vertices || e.v >= num_vertices) {
+      throw std::out_of_range("edge endpoint out of range");
+    }
+    dir.emplace_back(e.u, e.v);
+    dir.emplace_back(e.v, e.u);
+  }
+  std::sort(dir.begin(), dir.end());
+  dir.erase(std::unique(dir.begin(), dir.end()), dir.end());
+
+  CsrGraph g;
+  g.offsets_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+  for (const auto& [u, v] : dir) {
+    (void)v;
+    ++g.offsets_[static_cast<std::size_t>(u) + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.adjacency_.resize(dir.size());
+  {
+    std::vector<std::uint64_t> cursor(g.offsets_.begin(),
+                                      g.offsets_.end() - 1);
+    for (const auto& [u, v] : dir) {
+      g.adjacency_[cursor[u]++] = v;
+    }
+  }
+  g.labels_ = labels.empty() ? std::vector<Label>(num_vertices, 0)
+                             : std::move(labels);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    g.max_degree_ = std::max(g.max_degree_, g.degree(v));
+  }
+  return g;
+}
+
+bool CsrGraph::has_edge(VertexId u, VertexId v) const {
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::vector<Edge> CsrGraph::edge_list() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges());
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    for (VertexId v : neighbors(u)) {
+      if (u < v) out.push_back({u, v});
+    }
+  }
+  return out;
+}
+
+std::string CsrGraph::summary(const std::string& name) const {
+  std::ostringstream os;
+  os << name << ": |V|=" << num_vertices() << " |E|=" << num_edges()
+     << " max_deg=" << max_degree() << " avg_deg=" << avg_degree();
+  return os.str();
+}
+
+}  // namespace gcsm

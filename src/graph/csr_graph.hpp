@@ -1,0 +1,63 @@
+// Immutable labeled CSR graph: the initial snapshot G_0 and the input to the
+// update-stream generator. Adjacency lists are sorted and deduplicated.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace gcsm {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  // Builds an undirected simple graph from an edge list. Self-loops and
+  // duplicate edges are dropped. `labels` may be empty (all label 0) or have
+  // exactly `num_vertices` entries.
+  static CsrGraph from_edges(VertexId num_vertices,
+                             const std::vector<Edge>& edges,
+                             std::vector<Label> labels = {});
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(offsets_.size()) - 1;
+  }
+  // Number of undirected edges.
+  EdgeCount num_edges() const { return adjacency_.size() / 2; }
+
+  std::uint32_t degree(VertexId v) const {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+  Label label(VertexId v) const { return labels_[v]; }
+  const std::vector<Label>& labels() const { return labels_; }
+
+  std::uint32_t max_degree() const { return max_degree_; }
+  double avg_degree() const {
+    return num_vertices() == 0
+               ? 0.0
+               : static_cast<double>(adjacency_.size()) / num_vertices();
+  }
+
+  bool has_edge(VertexId u, VertexId v) const;
+
+  // Enumerates each undirected edge once (u < v).
+  std::vector<Edge> edge_list() const;
+
+  // Human-readable one-line summary for benchmark logs.
+  std::string summary(const std::string& name) const;
+
+ private:
+  std::vector<std::uint64_t> offsets_;  // size num_vertices + 1
+  std::vector<VertexId> adjacency_;     // both directions, sorted per vertex
+  std::vector<Label> labels_;
+  std::uint32_t max_degree_ = 0;
+};
+
+}  // namespace gcsm

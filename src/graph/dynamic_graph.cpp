@@ -1,0 +1,219 @@
+#include "graph/dynamic_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace gcsm {
+
+DynamicGraph::DynamicGraph(const CsrGraph& initial) {
+  const VertexId n = initial.num_vertices();
+  adj_.resize(n);
+  labels_.assign(initial.labels().begin(), initial.labels().end());
+  touched_flag_.assign(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto nb = initial.neighbors(v);
+    auto& a = adj_[v];
+    // Paper: preallocate to double the initial neighbor count.
+    a.capacity = std::max<std::uint32_t>(
+        4, 2 * static_cast<std::uint32_t>(nb.size()));
+    a.data = std::make_unique<VertexId[]>(a.capacity);
+    std::copy(nb.begin(), nb.end(), a.data.get());
+    a.size = a.old_size = static_cast<std::uint32_t>(nb.size());
+  }
+  live_edges_ = initial.num_edges();
+  max_degree_bound_ = initial.max_degree();
+  initial_avg_degree_ = std::max<std::uint32_t>(
+      4, static_cast<std::uint32_t>(initial.avg_degree()) + 1);
+}
+
+double DynamicGraph::avg_degree() const {
+  return adj_.empty() ? 0.0
+                      : 2.0 * static_cast<double>(live_edges_) /
+                            static_cast<double>(adj_.size());
+}
+
+NeighborView DynamicGraph::view(VertexId v, ViewMode mode) const {
+  const auto& a = adj_[v];
+  NeighborView view;
+  view.mode = mode;
+  view.prefix = {a.data.get(), a.old_size};
+  if (mode == ViewMode::kNew) {
+    view.appended = {a.data.get() + a.old_size, a.size - a.old_size};
+  }
+  return view;
+}
+
+void DynamicGraph::ensure_capacity(VertexId v, std::uint32_t needed) {
+  auto& a = adj_[v];
+  if (needed <= a.capacity) return;
+  std::uint32_t cap = std::max<std::uint32_t>(a.capacity, 2);
+  while (cap < needed) cap *= 2;
+  auto bigger = std::make_unique<VertexId[]>(cap);
+  std::memcpy(bigger.get(), a.data.get(), a.size * sizeof(VertexId));
+  a.data = std::move(bigger);
+  a.capacity = cap;
+}
+
+void DynamicGraph::append_neighbor(VertexId v, VertexId neighbor) {
+  auto& a = adj_[v];
+  ensure_capacity(v, a.size + 1);
+  a.data[a.size++] = neighbor;
+}
+
+bool DynamicGraph::tombstone_in_prefix(VertexId v, VertexId neighbor) {
+  auto& a = adj_[v];
+  // Binary search on decoded values; the prefix stays sorted by decoded id
+  // because tombstoning rewrites entries in place.
+  std::uint32_t lo = 0;
+  std::uint32_t hi = a.old_size;
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (decode_neighbor(a.data[mid]) < neighbor) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < a.old_size && decode_neighbor(a.data[lo]) == neighbor &&
+      !is_deleted_neighbor(a.data[lo])) {
+    a.data[lo] = tombstone(neighbor);
+    ++a.old_tombstones;
+    return true;
+  }
+  return false;
+}
+
+void DynamicGraph::note_touched(VertexId v) {
+  if (!touched_flag_[v]) {
+    touched_flag_[v] = 1;
+    touched_.push_back(v);
+  }
+}
+
+void DynamicGraph::apply_batch(const EdgeBatch& batch) {
+  if (has_pending_batch()) {
+    throw std::logic_error(
+        "apply_batch called with a pending batch; call reorganize() first");
+  }
+
+  // Step 2: new vertices, arrays sized to the average degree.
+  for (const auto& [v, label] : batch.new_vertex_labels) {
+    if (v < num_vertices()) {
+      throw std::invalid_argument("new vertex id already exists");
+    }
+    while (num_vertices() <= v) {
+      AdjList a;
+      a.capacity = initial_avg_degree_;
+      a.data = std::make_unique<VertexId[]>(a.capacity);
+      adj_.push_back(std::move(a));
+      labels_.push_back(0);
+      touched_flag_.push_back(0);
+    }
+    labels_[v] = label;
+  }
+
+  for (const EdgeUpdate& e : batch.updates) {
+    if (e.u < 0 || e.v < 0 || e.u >= num_vertices() ||
+        e.v >= num_vertices()) {
+      throw std::out_of_range("update endpoint out of range");
+    }
+    if (e.sign > 0) {
+      // Step 1: append to both directed lists.
+      append_neighbor(e.u, e.v);
+      append_neighbor(e.v, e.u);
+      ++live_edges_;
+    } else {
+      // Step 3: tombstone in both directed prefixes.
+      const bool a = tombstone_in_prefix(e.u, e.v);
+      const bool b = tombstone_in_prefix(e.v, e.u);
+      if (!a || !b) {
+        throw std::invalid_argument("deletion of a non-live edge");
+      }
+      --live_edges_;
+    }
+    note_touched(e.u);
+    note_touched(e.v);
+  }
+
+  // Keep appended segments sorted so NEW-view set intersections can treat
+  // them as a second sorted run (paper Sec. V-C: "Since N and ΔN are
+  // sorted ...").
+  for (const VertexId v : touched_) {
+    auto& a = adj_[v];
+    std::sort(a.data.get() + a.old_size, a.data.get() + a.size);
+    max_degree_bound_ = std::max(max_degree_bound_, live_degree(v));
+  }
+}
+
+DynamicGraph::ReorgStats DynamicGraph::reorganize() {
+  ReorgStats stats;
+  stats.lists = touched_.size();
+  for (const VertexId v : touched_) {
+    auto& a = adj_[v];
+    stats.entries += a.size;
+    // Compact the prefix (drop tombstones) while preserving order, then
+    // merge with the sorted appended run: linear time per list, as in the
+    // paper's merge-sort reorganization step.
+    std::uint32_t w = 0;
+    for (std::uint32_t r = 0; r < a.old_size; ++r) {
+      if (!is_deleted_neighbor(a.data[r])) {
+        a.data[w++] = a.data[r];
+      }
+    }
+    const std::uint32_t appended = a.size - a.old_size;
+    if (appended > 0) {
+      std::memmove(a.data.get() + w, a.data.get() + a.old_size,
+                   appended * sizeof(VertexId));
+      std::inplace_merge(a.data.get(), a.data.get() + w,
+                         a.data.get() + w + appended);
+    }
+    a.size = a.old_size = w + appended;
+    a.old_tombstones = 0;
+    touched_flag_[v] = 0;
+  }
+  touched_.clear();
+  return stats;
+}
+
+bool DynamicGraph::has_live_edge(VertexId u, VertexId v) const {
+  if (u < 0 || u >= num_vertices() || v < 0 || v >= num_vertices()) {
+    return false;
+  }
+  const auto& a = adj_[u];
+  // Prefix: binary search on decoded ids, must be live.
+  std::uint32_t lo = 0;
+  std::uint32_t hi = a.old_size;
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (decode_neighbor(a.data[mid]) < v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < a.old_size && decode_neighbor(a.data[lo]) == v) {
+    return !is_deleted_neighbor(a.data[lo]);
+  }
+  // Appended run (sorted, all live).
+  return std::binary_search(a.data.get() + a.old_size, a.data.get() + a.size,
+                            v);
+}
+
+CsrGraph DynamicGraph::to_csr() const {
+  std::vector<Edge> edges;
+  edges.reserve(live_edges_);
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    const auto& a = adj_[v];
+    for (std::uint32_t i = 0; i < a.size; ++i) {
+      const VertexId stored = a.data[i];
+      if (i < a.old_size && is_deleted_neighbor(stored)) continue;
+      const VertexId w = decode_neighbor(stored);
+      if (v < w) edges.push_back({v, w});
+    }
+  }
+  return CsrGraph::from_edges(num_vertices(), edges, labels_);
+}
+
+}  // namespace gcsm

@@ -1,0 +1,205 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace gcsm {
+
+std::vector<Label> random_labels(VertexId num_vertices,
+                                 std::uint32_t num_labels, Rng& rng) {
+  std::vector<Label> labels(num_vertices, 0);
+  if (num_labels > 1) {
+    for (auto& l : labels) {
+      l = static_cast<Label>(rng.bounded(num_labels));
+    }
+  }
+  return labels;
+}
+
+CsrGraph generate_barabasi_albert(VertexId num_vertices,
+                                  std::uint32_t edges_per_vertex,
+                                  std::uint32_t num_labels, Rng& rng) {
+  if (num_vertices < 2 || edges_per_vertex == 0) {
+    throw std::invalid_argument("BA generator needs n >= 2, m >= 1");
+  }
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(num_vertices) * edges_per_vertex);
+  // `targets` holds one entry per edge endpoint, so sampling an element
+  // uniformly samples a vertex proportionally to its degree.
+  std::vector<VertexId> targets;
+  targets.reserve(edges.capacity() * 2);
+  targets.push_back(0);
+
+  for (VertexId v = 1; v < num_vertices; ++v) {
+    const std::uint32_t m =
+        std::min<std::uint32_t>(edges_per_vertex, static_cast<std::uint32_t>(v));
+    std::unordered_set<VertexId> picked;
+    while (picked.size() < m) {
+      const VertexId t = targets[rng.bounded(targets.size())];
+      picked.insert(t);
+    }
+    for (const VertexId t : picked) {
+      edges.push_back({v, t});
+      targets.push_back(v);
+      targets.push_back(t);
+    }
+  }
+  return CsrGraph::from_edges(num_vertices, edges,
+                              random_labels(num_vertices, num_labels, rng));
+}
+
+CsrGraph generate_rmat(std::uint32_t scale, std::uint32_t edge_factor,
+                       double a, double b, double c, std::uint32_t num_labels,
+                       Rng& rng) {
+  if (scale == 0 || scale > 30) {
+    throw std::invalid_argument("rmat scale must be in [1, 30]");
+  }
+  if (a + b + c >= 1.0) {
+    throw std::invalid_argument("rmat probabilities must sum below 1");
+  }
+  const VertexId n = static_cast<VertexId>(1u << scale);
+  const EdgeCount m = static_cast<EdgeCount>(edge_factor) * n;
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (EdgeCount i = 0; i < m; ++i) {
+    VertexId u = 0;
+    VertexId v = 0;
+    for (std::uint32_t bit = 0; bit < scale; ++bit) {
+      const double r = rng.uniform();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u != v) edges.push_back({u, v});
+  }
+  return CsrGraph::from_edges(n, edges, random_labels(n, num_labels, rng));
+}
+
+CsrGraph generate_community_ba(VertexId num_vertices,
+                               std::uint32_t edges_per_vertex,
+                               std::uint32_t num_communities,
+                               double intra_prob, std::uint32_t num_labels,
+                               Rng& rng) {
+  if (num_vertices < 2 || edges_per_vertex == 0 || num_communities == 0) {
+    throw std::invalid_argument("community BA needs n >= 2, m >= 1, k >= 1");
+  }
+  // Vertices are assigned to communities round-robin so every prefix of the
+  // construction contains members of each community.
+  const auto community_of = [num_communities](VertexId v) {
+    return static_cast<std::uint32_t>(v) % num_communities;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(num_vertices) * edges_per_vertex);
+  // Per-community degree-proportional target pools, plus one global pool.
+  std::vector<std::vector<VertexId>> intra(num_communities);
+  std::vector<VertexId> global;
+  for (std::uint32_t c = 0; c < num_communities && c < static_cast<std::uint32_t>(num_vertices); ++c) {
+    intra[c].push_back(static_cast<VertexId>(c));
+    global.push_back(static_cast<VertexId>(c));
+  }
+
+  const VertexId start =
+      static_cast<VertexId>(std::min<std::uint32_t>(num_communities,
+                                                    static_cast<std::uint32_t>(num_vertices)));
+  for (VertexId v = start; v < num_vertices; ++v) {
+    const std::uint32_t c = community_of(v);
+    std::unordered_set<VertexId> picked;
+    const std::uint32_t m = std::min<std::uint32_t>(
+        edges_per_vertex, static_cast<std::uint32_t>(v));
+    std::uint32_t guard = 0;
+    while (picked.size() < m && guard++ < 64 * m) {
+      VertexId t;
+      if (!intra[c].empty() && rng.bernoulli(intra_prob)) {
+        t = intra[c][rng.bounded(intra[c].size())];
+      } else {
+        t = global[rng.bounded(global.size())];
+      }
+      if (t != v) picked.insert(t);
+    }
+    for (const VertexId t : picked) {
+      edges.push_back({v, t});
+      intra[c].push_back(v);
+      intra[community_of(t)].push_back(t);
+      global.push_back(v);
+      global.push_back(t);
+    }
+    if (picked.empty()) {
+      // Degenerate guard exit: attach to the previous vertex.
+      edges.push_back({v, v - 1});
+      intra[c].push_back(v);
+      global.push_back(v);
+    }
+  }
+  return CsrGraph::from_edges(num_vertices, edges,
+                              random_labels(num_vertices, num_labels, rng));
+}
+
+CsrGraph generate_erdos_renyi(VertexId num_vertices, EdgeCount num_edges,
+                              std::uint32_t num_labels, Rng& rng) {
+  if (num_vertices < 2) {
+    throw std::invalid_argument("ER generator needs n >= 2");
+  }
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  const auto max_possible = static_cast<EdgeCount>(num_vertices) *
+                            (num_vertices - 1) / 2;
+  num_edges = std::min(num_edges, max_possible);
+  while (edges.size() < num_edges) {
+    auto u = static_cast<VertexId>(rng.bounded(num_vertices));
+    auto v = static_cast<VertexId>(rng.bounded(num_vertices));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint32_t>(v);
+    if (seen.insert(key).second) {
+      edges.push_back({u, v});
+    }
+  }
+  return CsrGraph::from_edges(num_vertices, edges,
+                              random_labels(num_vertices, num_labels, rng));
+}
+
+CsrGraph generate_road_network(std::uint32_t rows, std::uint32_t cols,
+                               double keep_prob, double diag_prob,
+                               std::uint32_t num_labels, Rng& rng) {
+  if (rows < 2 || cols < 2) {
+    throw std::invalid_argument("road network needs at least a 2x2 grid");
+  }
+  const auto n = static_cast<VertexId>(rows * cols);
+  auto id = [cols](std::uint32_t r, std::uint32_t c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * 3);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols && rng.bernoulli(keep_prob)) {
+        edges.push_back({id(r, c), id(r, c + 1)});
+      }
+      if (r + 1 < rows && rng.bernoulli(keep_prob)) {
+        edges.push_back({id(r, c), id(r + 1, c)});
+      }
+      if (r + 1 < rows && c + 1 < cols && rng.bernoulli(diag_prob)) {
+        edges.push_back({id(r, c), id(r + 1, c + 1)});
+      }
+      if (r + 1 < rows && c > 0 && rng.bernoulli(diag_prob)) {
+        edges.push_back({id(r, c), id(r + 1, c - 1)});
+      }
+    }
+  }
+  return CsrGraph::from_edges(n, edges, random_labels(n, num_labels, rng));
+}
+
+}  // namespace gcsm

@@ -1,0 +1,65 @@
+// Synthetic graph generators standing in for the paper's datasets (Table I).
+//
+// The real datasets (SNAP Friendster at 3.6 G edges, LDBC SF3K/SF10K at
+// 5.8/18.8 G edges) exceed this environment; these generators reproduce the
+// *structural properties* the paper's results depend on: power-law degree
+// skew with max-degree >> mean for the social/web analogs, and uniformly
+// tiny degrees for the road-network analogs.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+#include "util/rng.hpp"
+
+namespace gcsm {
+
+// Barabási–Albert preferential attachment: each new vertex attaches
+// `edges_per_vertex` edges to existing vertices chosen proportionally to
+// degree. Produces the heavy-tailed degree distribution of the SNAP social
+// graphs (AZ, LJ, FR analogs).
+CsrGraph generate_barabasi_albert(VertexId num_vertices,
+                                  std::uint32_t edges_per_vertex,
+                                  std::uint32_t num_labels, Rng& rng);
+
+// R-MAT / Kronecker-style generator (Chakrabarti et al.): 2^scale vertices,
+// edge_factor * 2^scale edges recursively placed with quadrant probabilities
+// (a, b, c, implied d). LDBC Graphalytics' datagen produces graphs with this
+// kind of skew, so SF3K/SF10K analogs use it.
+CsrGraph generate_rmat(std::uint32_t scale, std::uint32_t edge_factor,
+                       double a, double b, double c, std::uint32_t num_labels,
+                       Rng& rng);
+
+// Community-structured preferential attachment: vertices are split into
+// `num_communities` equal groups; each new vertex attaches preferentially
+// *within its community* with probability intra_prob, globally otherwise.
+// Real social graphs (Friendster, LiveJournal) have this structure, and it
+// is what makes node degree a poor proxy for access frequency (paper
+// Sec. VI-B, the Naive baseline): the vertices a batch accesses are the
+// locally-shared neighbors in the touched communities, not the global
+// degree leaders.
+CsrGraph generate_community_ba(VertexId num_vertices,
+                               std::uint32_t edges_per_vertex,
+                               std::uint32_t num_communities,
+                               double intra_prob, std::uint32_t num_labels,
+                               Rng& rng);
+
+// Erdős–Rényi G(n, m): uniform random edges (used by property tests where a
+// structureless graph is the adversarial case).
+CsrGraph generate_erdos_renyi(VertexId num_vertices, EdgeCount num_edges,
+                              std::uint32_t num_labels, Rng& rng);
+
+// Road-network analog (RoadNetPA/CA): a rows x cols grid where each cell
+// keeps its 4-neighborhood with probability keep_prob and gains a diagonal
+// shortcut with probability diag_prob. Max degree stays <= 8, matching the
+// "max deg 9..12" regime of Table I.
+CsrGraph generate_road_network(std::uint32_t rows, std::uint32_t cols,
+                               double keep_prob, double diag_prob,
+                               std::uint32_t num_labels, Rng& rng);
+
+// Assigns uniform random labels in [0, num_labels) to an unlabeled edge set;
+// helper shared by the generators.
+std::vector<Label> random_labels(VertexId num_vertices,
+                                 std::uint32_t num_labels, Rng& rng);
+
+}  // namespace gcsm

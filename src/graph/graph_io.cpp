@@ -1,0 +1,97 @@
+#include "graph/graph_io.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gcsm {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4743534d'47524148ULL;  // "GCSMGRAH"
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + ": " + path);
+}
+
+}  // namespace
+
+CsrGraph load_edge_list_text(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open graph file", path);
+  std::vector<Edge> edges;
+  std::vector<Label> labels;
+  VertexId max_vertex = -1;
+  std::string line;
+  auto note_label = [&](VertexId v, Label l) {
+    if (static_cast<std::size_t>(v) >= labels.size()) {
+      labels.resize(static_cast<std::size_t>(v) + 1, 0);
+    }
+    labels[v] = l;
+  };
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    VertexId u, v;
+    if (!(ls >> u >> v)) fail("malformed edge line", path);
+    Label lu = 0, lv = 0;
+    if (ls >> lu) {
+      if (!(ls >> lv)) fail("edge line has one label but not two", path);
+    }
+    edges.push_back({u, v});
+    max_vertex = std::max({max_vertex, u, v});
+    note_label(u, lu);
+    note_label(v, lv);
+  }
+  labels.resize(static_cast<std::size_t>(max_vertex) + 1, 0);
+  return CsrGraph::from_edges(max_vertex + 1, edges, std::move(labels));
+}
+
+void save_edge_list_text(const CsrGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) fail("cannot write graph file", path);
+  out << "# gcsm edge list: u v label_u label_v\n";
+  for (const Edge& e : graph.edge_list()) {
+    out << e.u << ' ' << e.v << ' ' << graph.label(e.u) << ' '
+        << graph.label(e.v) << '\n';
+  }
+}
+
+void save_binary(const CsrGraph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail("cannot write graph file", path);
+  const std::uint64_t n = static_cast<std::uint64_t>(graph.num_vertices());
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const Label l = graph.label(v);
+    out.write(reinterpret_cast<const char*>(&l), sizeof(l));
+  }
+  const auto edges = graph.edge_list();
+  const std::uint64_t m = edges.size();
+  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  out.write(reinterpret_cast<const char*>(edges.data()),
+            static_cast<std::streamsize>(m * sizeof(Edge)));
+}
+
+CsrGraph load_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open graph file", path);
+  std::uint64_t magic = 0, n = 0, m = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (magic != kMagic) fail("bad magic in binary graph", path);
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  std::vector<Label> labels(n);
+  in.read(reinterpret_cast<char*>(labels.data()),
+          static_cast<std::streamsize>(n * sizeof(Label)));
+  in.read(reinterpret_cast<char*>(&m), sizeof(m));
+  std::vector<Edge> edges(m);
+  in.read(reinterpret_cast<char*>(edges.data()),
+          static_cast<std::streamsize>(m * sizeof(Edge)));
+  if (!in) fail("truncated binary graph", path);
+  return CsrGraph::from_edges(static_cast<VertexId>(n), edges,
+                              std::move(labels));
+}
+
+}  // namespace gcsm

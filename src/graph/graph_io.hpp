@@ -1,0 +1,20 @@
+// Text edge-list IO (SNAP-style) plus a compact binary snapshot format, so
+// generated analogs can be persisted and reused across benchmark runs.
+#pragma once
+
+#include <string>
+
+#include "graph/csr_graph.hpp"
+
+namespace gcsm {
+
+// Text format: optional comment lines starting with '#'; then one
+// "u v [label_u label_v]" pair per line. Labels default to 0.
+CsrGraph load_edge_list_text(const std::string& path);
+void save_edge_list_text(const CsrGraph& graph, const std::string& path);
+
+// Binary format: magic, counts, labels, CSR arrays. Round-trips exactly.
+CsrGraph load_binary(const std::string& path);
+void save_binary(const CsrGraph& graph, const std::string& path);
+
+}  // namespace gcsm

@@ -1,0 +1,56 @@
+// Fundamental graph types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gcsm {
+
+// Vertex ids are signed 32-bit: the dynamic graph marks deleted neighbors by
+// bitwise complement (~v < 0), mirroring the paper's "set the neighbor index
+// v to -v" tombstone (Sec. V-A), so ids must stay below 2^31.
+using VertexId = std::int32_t;
+using Label = std::int32_t;
+using EdgeCount = std::uint64_t;
+
+constexpr VertexId kInvalidVertex = -1;
+
+// Tombstone encoding helpers. A stored adjacency entry is either a live id
+// (>= 0) or the complement of a deleted id (< 0). Complement (rather than
+// negation) keeps vertex 0 representable.
+inline VertexId decode_neighbor(VertexId stored) {
+  return stored < 0 ? ~stored : stored;
+}
+inline bool is_deleted_neighbor(VertexId stored) { return stored < 0; }
+inline VertexId tombstone(VertexId v) { return ~v; }
+
+struct Edge {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+// A single signed update in a batch: +1 insertion, -1 deletion.
+struct EdgeUpdate {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+  std::int8_t sign = +1;
+
+  friend bool operator==(const EdgeUpdate&, const EdgeUpdate&) = default;
+};
+
+// One batch of edge updates (ΔE in the paper). Updates are undirected; both
+// adjacency directions are maintained by the dynamic graph. Newly inserted
+// edges may reference vertices not yet in the graph; their labels are
+// carried alongside.
+struct EdgeBatch {
+  std::vector<EdgeUpdate> updates;
+  std::vector<std::pair<VertexId, Label>> new_vertex_labels;
+
+  std::size_t size() const { return updates.size(); }
+  bool empty() const { return updates.empty(); }
+};
+
+}  // namespace gcsm

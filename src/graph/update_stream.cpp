@@ -1,0 +1,76 @@
+#include "graph/update_stream.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace gcsm {
+
+UpdateStream make_update_stream(const CsrGraph& graph,
+                                const UpdateStreamOptions& options) {
+  Rng rng(options.seed);
+  std::vector<Edge> all = graph.edge_list();
+
+  EdgeCount pool = options.pool_edge_count;
+  if (pool == 0) {
+    pool = static_cast<EdgeCount>(options.pool_edge_fraction *
+                                  static_cast<double>(all.size()));
+  }
+  pool = std::min<EdgeCount>(pool, all.size());
+  if (pool == 0) {
+    throw std::invalid_argument("update stream pool is empty");
+  }
+
+  // Partial Fisher-Yates: the first `pool` entries become the pool.
+  for (EdgeCount i = 0; i < pool; ++i) {
+    const EdgeCount j = i + rng.bounded(all.size() - i);
+    std::swap(all[i], all[j]);
+  }
+
+  std::vector<EdgeUpdate> pooled;
+  pooled.reserve(pool);
+  std::vector<Edge> removed_from_initial;
+  for (EdgeCount i = 0; i < pool; ++i) {
+    const bool insert = rng.bernoulli(options.insert_probability);
+    pooled.push_back({all[i].u, all[i].v,
+                      static_cast<std::int8_t>(insert ? +1 : -1)});
+    if (insert) removed_from_initial.push_back(all[i]);
+  }
+
+  // Initial snapshot: original edges minus the insertion-marked pool edges.
+  std::unordered_set<std::uint64_t> removed;
+  removed.reserve(removed_from_initial.size() * 2);
+  auto key = [](const Edge& e) {
+    const VertexId a = std::min(e.u, e.v);
+    const VertexId b = std::max(e.u, e.v);
+    return (static_cast<std::uint64_t>(a) << 32) |
+           static_cast<std::uint32_t>(b);
+  };
+  for (const Edge& e : removed_from_initial) removed.insert(key(e));
+
+  std::vector<Edge> initial_edges;
+  initial_edges.reserve(graph.num_edges() - removed_from_initial.size());
+  for (const Edge& e : graph.edge_list()) {
+    if (!removed.count(key(e))) initial_edges.push_back(e);
+  }
+
+  UpdateStream stream;
+  stream.initial = CsrGraph::from_edges(
+      graph.num_vertices(), initial_edges,
+      std::vector<Label>(graph.labels()));
+
+  // Chop the pool into batches. All endpoints already exist in the initial
+  // snapshot's vertex set (they come from the static graph), so batches
+  // carry no new_vertex_labels; tests exercise that path separately.
+  const std::size_t bs = std::max<std::size_t>(1, options.batch_size);
+  for (std::size_t begin = 0; begin < pooled.size(); begin += bs) {
+    const std::size_t end = std::min(pooled.size(), begin + bs);
+    EdgeBatch batch;
+    batch.updates.assign(pooled.begin() + static_cast<long>(begin),
+                         pooled.begin() + static_cast<long>(end));
+    stream.batches.push_back(std::move(batch));
+  }
+  return stream;
+}
+
+}  // namespace gcsm

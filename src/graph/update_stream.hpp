@@ -1,0 +1,46 @@
+// Dynamic-graph construction protocol from the paper (Sec. VI-A).
+//
+// Following the CSM literature, a dynamic graph is derived from a static
+// one: a pool of edges is drawn at random, each marked insertion or deletion
+// with equal probability; insertion-marked edges are removed from the
+// initial snapshot (so inserting them later is valid), deletion-marked edges
+// stay (so deleting them later is valid). The pool is then chopped into
+// batches ΔE_1, ΔE_2, ...
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+#include "util/rng.hpp"
+
+namespace gcsm {
+
+struct UpdateStreamOptions {
+  // Number of edges in the update pool: either an absolute count, or (when
+  // count == 0) a fraction of |E|. The paper uses 12*8192 edges for the
+  // large graphs and 10% of edges for the small ones.
+  EdgeCount pool_edge_count = 0;
+  double pool_edge_fraction = 0.10;
+  std::size_t batch_size = 4096;
+  double insert_probability = 0.5;
+  std::uint64_t seed = 1;
+};
+
+struct UpdateStream {
+  // Initial snapshot G_0: the input graph minus the insertion-marked edges.
+  CsrGraph initial;
+  // Batches in application order.
+  std::vector<EdgeBatch> batches;
+
+  std::size_t num_batches() const { return batches.size(); }
+};
+
+// Builds an update stream from a static graph. Every pooled edge appears in
+// exactly one batch, so batches are mutually consistent: a deletion always
+// targets a live edge and an insertion never duplicates one.
+UpdateStream make_update_stream(const CsrGraph& graph,
+                                const UpdateStreamOptions& options);
+
+}  // namespace gcsm

@@ -1,0 +1,51 @@
+#include "query/automorphism.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+namespace gcsm {
+namespace {
+
+bool is_automorphism(const QueryGraph& q,
+                     const std::array<std::uint32_t, kMaxQueryVertices>& perm) {
+  const std::uint32_t n = q.num_vertices();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (q.label(perm[i]) != q.label(i)) return false;
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = i + 1; j < n; ++j) {
+      if (q.adjacent(i, j) != q.adjacent(perm[i], perm[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t count_automorphisms(const QueryGraph& q) {
+  std::array<std::uint32_t, kMaxQueryVertices> perm{};
+  const std::uint32_t n = q.num_vertices();
+  std::iota(perm.begin(), perm.begin() + n, 0);
+  std::uint64_t count = 0;
+  do {
+    if (is_automorphism(q, perm)) ++count;
+  } while (std::next_permutation(perm.begin(), perm.begin() + n));
+  return count;
+}
+
+std::vector<std::vector<std::uint32_t>> list_automorphisms(
+    const QueryGraph& q) {
+  std::array<std::uint32_t, kMaxQueryVertices> perm{};
+  const std::uint32_t n = q.num_vertices();
+  std::iota(perm.begin(), perm.begin() + n, 0);
+  std::vector<std::vector<std::uint32_t>> out;
+  do {
+    if (is_automorphism(q, perm)) {
+      out.emplace_back(perm.begin(), perm.begin() + n);
+    }
+  } while (std::next_permutation(perm.begin(), perm.begin() + n));
+  return out;
+}
+
+}  // namespace gcsm

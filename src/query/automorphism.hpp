@@ -1,0 +1,24 @@
+// Automorphism counting for query patterns.
+//
+// Engines enumerate *embeddings* (injective label- and adjacency-preserving
+// mappings). The number of distinct matched subgraphs is embeddings/|Aut(Q)|
+// — exact for full enumeration, and also for signed incremental counts,
+// because each subgraph appears exactly |Aut(Q)| times with a uniform sign.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query_graph.hpp"
+
+namespace gcsm {
+
+// Number of automorphisms of Q (label-preserving). Brute force over
+// permutations; Q has at most 8 vertices so this is at most 40320 checks.
+std::uint64_t count_automorphisms(const QueryGraph& q);
+
+// All automorphisms as permutation vectors (perm[i] = image of vertex i).
+std::vector<std::vector<std::uint32_t>> list_automorphisms(
+    const QueryGraph& q);
+
+}  // namespace gcsm

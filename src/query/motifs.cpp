@@ -1,0 +1,40 @@
+#include "query/motifs.hpp"
+
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace gcsm {
+
+std::vector<QueryGraph> all_motifs(std::uint32_t size) {
+  if (size < 2 || size > 6) {
+    throw std::invalid_argument("motif size must be in [2, 6]");
+  }
+  const std::uint32_t num_pairs = size * (size - 1) / 2;
+  std::vector<QueryGraph> out;
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t mask = 0; mask < (1u << num_pairs); ++mask) {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    std::uint32_t bit = 0;
+    for (std::uint32_t i = 0; i < size; ++i) {
+      for (std::uint32_t j = i + 1; j < size; ++j, ++bit) {
+        if (mask & (1u << bit)) edges.emplace_back(i, j);
+      }
+    }
+    if (edges.size() + 1 < size) continue;  // too few edges to connect
+    QueryGraph q = QueryGraph::from_edges(size, edges);
+    if (!q.connected()) continue;
+    const std::uint64_t code = q.canonical_code();
+    if (seen.insert(code).second) {
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> e2;
+      for (const QueryEdge& e : q.edges()) e2.emplace_back(e.a, e.b);
+      out.push_back(QueryGraph::from_edges(
+          size, e2, {},
+          "motif" + std::to_string(size) + "_" +
+              std::to_string(out.size())));
+    }
+  }
+  return out;
+}
+
+}  // namespace gcsm

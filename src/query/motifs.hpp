@@ -1,0 +1,17 @@
+// Enumeration of all connected unlabeled motifs of a given size, used by the
+// road-network experiment (paper Fig. 11: "all size-3, 4, and 5 motifs
+// instead of specific patterns").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query_graph.hpp"
+
+namespace gcsm {
+
+// All connected non-isomorphic unlabeled graphs with `size` vertices
+// (size in [2, 6]; there are 1, 2, 6, 21, 112 of them for sizes 2..6).
+std::vector<QueryGraph> all_motifs(std::uint32_t size);
+
+}  // namespace gcsm

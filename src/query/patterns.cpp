@@ -1,0 +1,135 @@
+#include "query/patterns.hpp"
+
+#include <stdexcept>
+
+namespace gcsm {
+
+QueryGraph make_pattern(int index) {
+  using E = std::pair<std::uint32_t, std::uint32_t>;
+  switch (index) {
+    case 1:  // house: 4-cycle 0-1-2-3 with roof vertex 4 over edge (0,1)
+      return QueryGraph::from_edges(
+          5, std::vector<E>{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 4}, {1, 4}},
+          {}, "Q1");
+    case 2:  // K4 {0,1,2,3} plus pendant 4 attached to 0
+      return QueryGraph::from_edges(5,
+                                    std::vector<E>{{0, 1},
+                                                   {0, 2},
+                                                   {0, 3},
+                                                   {1, 2},
+                                                   {1, 3},
+                                                   {2, 3},
+                                                   {0, 4}},
+                                    {}, "Q2");
+    case 3:  // triangular prism: triangles {0,1,2}, {3,4,5} + matching
+      return QueryGraph::from_edges(6,
+                                    std::vector<E>{{0, 1},
+                                                   {1, 2},
+                                                   {0, 2},
+                                                   {3, 4},
+                                                   {4, 5},
+                                                   {3, 5},
+                                                   {0, 3},
+                                                   {1, 4},
+                                                   {2, 5}},
+                                    {}, "Q3");
+    case 4:  // hexagon 0..5 with chords (0,3) and (1,4)
+      return QueryGraph::from_edges(6,
+                                    std::vector<E>{{0, 1},
+                                                   {1, 2},
+                                                   {2, 3},
+                                                   {3, 4},
+                                                   {4, 5},
+                                                   {5, 0},
+                                                   {0, 3},
+                                                   {1, 4}},
+                                    {}, "Q4");
+    case 5:  // two 4-cycles sharing edge (1,2), roof 6 over (0,1)
+      return QueryGraph::from_edges(7,
+                                    std::vector<E>{{0, 1},
+                                                   {1, 2},
+                                                   {2, 3},
+                                                   {3, 0},
+                                                   {1, 4},
+                                                   {4, 5},
+                                                   {5, 2},
+                                                   {0, 6},
+                                                   {1, 6}},
+                                    {}, "Q5");
+    case 6:  // hub 6 adjacent to path 0-1-2-3-4-5's vertices 0..4
+      return QueryGraph::from_edges(7,
+                                    std::vector<E>{{0, 1},
+                                                   {1, 2},
+                                                   {2, 3},
+                                                   {3, 4},
+                                                   {4, 5},
+                                                   {6, 0},
+                                                   {6, 1},
+                                                   {6, 2},
+                                                   {6, 3},
+                                                   {6, 4}},
+                                    {}, "Q6");
+    default:
+      throw std::invalid_argument("pattern index must be in [1, 6]");
+  }
+}
+
+std::vector<QueryGraph> all_patterns() {
+  std::vector<QueryGraph> out;
+  for (int i = 1; i <= 6; ++i) out.push_back(make_pattern(i));
+  return out;
+}
+
+QueryGraph with_round_robin_labels(const QueryGraph& q, int num_labels) {
+  std::vector<Label> labels(q.num_vertices());
+  for (std::uint32_t i = 0; i < q.num_vertices(); ++i) {
+    labels[i] = static_cast<Label>(i % num_labels);
+  }
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (const QueryEdge& e : q.edges()) edges.emplace_back(e.a, e.b);
+  return QueryGraph::from_edges(q.num_vertices(), edges, std::move(labels),
+                                q.name() + "-labeled");
+}
+
+QueryGraph make_triangle() {
+  return QueryGraph::from_edges(3, {{0, 1}, {1, 2}, {0, 2}}, {}, "triangle");
+}
+
+QueryGraph make_path(std::uint32_t length) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t i = 0; i < length; ++i) edges.emplace_back(i, i + 1);
+  return QueryGraph::from_edges(length + 1, edges, {}, "path");
+}
+
+QueryGraph make_cycle(std::uint32_t length) {
+  if (length < 3) throw std::invalid_argument("cycle length must be >= 3");
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t i = 0; i < length; ++i) {
+    edges.emplace_back(i, (i + 1) % length);
+  }
+  return QueryGraph::from_edges(length, edges, {}, "cycle");
+}
+
+QueryGraph make_clique(std::uint32_t size) {
+  if (size < 2 || size > kMaxQueryVertices) {
+    throw std::invalid_argument("clique size must be in [2, 8]");
+  }
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t i = 0; i < size; ++i) {
+    for (std::uint32_t j = i + 1; j < size; ++j) edges.emplace_back(i, j);
+  }
+  return QueryGraph::from_edges(size, edges, {}, "clique");
+}
+
+QueryGraph make_star(std::uint32_t leaves) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t i = 1; i <= leaves; ++i) edges.emplace_back(0, i);
+  return QueryGraph::from_edges(leaves + 1, edges, {}, "star");
+}
+
+QueryGraph make_fig1_diamond() {
+  return QueryGraph::from_edges(
+      4, {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}}, {}, "fig1");
+}
+
+}  // namespace gcsm

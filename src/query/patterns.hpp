@@ -1,0 +1,42 @@
+// The query patterns of the paper's evaluation (Fig. 7): six connected
+// patterns of sizes 5 to 7. Fig. 7 is an image in the original; the exact
+// shapes are reconstructed as representative patterns of the stated sizes —
+// the mix of sparse (cycle-like) and dense (clique-like) shapes that CSM
+// evaluations conventionally use. All are unlabeled (wildcard) by default; a
+// labeled variant assigns labels round-robin for use with labeled data.
+#pragma once
+
+#include <vector>
+
+#include "query/query_graph.hpp"
+
+namespace gcsm {
+
+// Q1: size-5 "house" — a 4-cycle with a triangle roof (6 edges).
+// Q2: size-5 near-clique — K4 plus a pendant vertex (7 edges).
+// Q3: size-6 triangular prism — two triangles joined by a matching (9 edges).
+// Q4: size-6 chorded hexagon — 6-cycle plus two long chords (8 edges).
+// Q5: size-7 "double house" — two 4-cycles sharing an edge, plus a roof
+//     (9 edges).
+// Q6: size-7 wheel fragment — a hub adjacent to a 6-path's vertices
+//     (10 edges).
+QueryGraph make_pattern(int index);  // index in [1, 6]
+
+// All six, in order Q1..Q6.
+std::vector<QueryGraph> all_patterns();
+
+// Assigns labels 0..num_labels-1 round-robin to a wildcard pattern (for
+// experiments on labeled data graphs).
+QueryGraph with_round_robin_labels(const QueryGraph& q, int num_labels);
+
+// Common small shapes used by tests and examples.
+QueryGraph make_triangle();
+QueryGraph make_path(std::uint32_t length);   // length edges, length+1 verts
+QueryGraph make_cycle(std::uint32_t length);  // length >= 3
+QueryGraph make_clique(std::uint32_t size);   // size in [2, 8]
+QueryGraph make_star(std::uint32_t leaves);   // hub + leaves
+// The 4-vertex pattern of the paper's running example (Fig. 1): a diamond
+// (4-cycle with one chord): edges (0,1),(0,2),(1,2),(1,3),(2,3).
+QueryGraph make_fig1_diamond();
+
+}  // namespace gcsm

@@ -1,0 +1,168 @@
+#include "query/plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace gcsm {
+namespace {
+
+// Greedy connected matching order: start from the seed edge's endpoints,
+// then repeatedly pick the unmatched query vertex with the most edges into
+// the matched set (ties: larger degree, then smaller id). More edges into
+// the matched set means more intersections constraining the candidate set —
+// the standard WCOJ ordering heuristic.
+std::vector<std::uint32_t> make_order(const QueryGraph& q, std::uint32_t a,
+                                      std::uint32_t b,
+                                      const std::vector<std::uint64_t>*
+                                          weights = nullptr) {
+  const std::uint32_t n = q.num_vertices();
+  std::vector<std::uint32_t> order{a, b};
+  std::vector<bool> matched(n, false);
+  matched[a] = matched[b] = true;
+  while (order.size() < n) {
+    std::int32_t best = -1;
+    std::uint32_t best_links = 0;
+    for (std::uint32_t u = 0; u < n; ++u) {
+      if (matched[u]) continue;
+      std::uint32_t links = 0;
+      for (const std::uint32_t w : order) {
+        if (q.adjacent(u, w)) ++links;
+      }
+      if (links == 0) continue;
+      bool better;
+      if (best < 0) {
+        better = true;
+      } else if (weights != nullptr) {
+        // Weighted mode: smallest weight first; break ties with more
+        // backward edges (stronger pruning).
+        const std::uint64_t wu = (*weights)[u];
+        const std::uint64_t wb = (*weights)[static_cast<std::uint32_t>(best)];
+        better = wu < wb || (wu == wb && links > best_links);
+      } else {
+        better = links > best_links ||
+                 (links == best_links &&
+                  q.degree(u) > q.degree(static_cast<std::uint32_t>(best)));
+      }
+      if (better) {
+        best = static_cast<std::int32_t>(u);
+        best_links = links;
+      }
+    }
+    if (best < 0) {
+      throw std::invalid_argument("query graph is not connected");
+    }
+    order.push_back(static_cast<std::uint32_t>(best));
+    matched[static_cast<std::uint32_t>(best)] = true;
+  }
+  return order;
+}
+
+std::uint32_t edge_id_between(const QueryGraph& q, std::uint32_t u,
+                              std::uint32_t v) {
+  const std::uint32_t a = std::min(u, v);
+  const std::uint32_t b = std::max(u, v);
+  for (const QueryEdge& e : q.edges()) {
+    if (e.a == a && e.b == b) return e.id;
+  }
+  throw std::logic_error("no such query edge");
+}
+
+// Shared construction: the view of a constraint through query edge j in
+// plan ΔM_i is OLD if j < i and NEW if j > i; for the static plan
+// (delta = false) every view is NEW.
+MatchPlan build_plan(const QueryGraph& q, std::uint32_t seed_edge_id,
+                     bool delta,
+                     const std::vector<std::uint64_t>* weights = nullptr) {
+  if (q.num_edges() == 0) {
+    throw std::invalid_argument("query has no edges");
+  }
+  const QueryEdge seed = q.edges()[seed_edge_id];
+
+  MatchPlan plan;
+  plan.seed_edge_id = seed_edge_id;
+  plan.seed_a = seed.a;
+  plan.seed_b = seed.b;
+  plan.seed_label_a = q.label(seed.a);
+  plan.seed_label_b = q.label(seed.b);
+  plan.vertex_order = make_order(q, seed.a, seed.b, weights);
+
+  for (std::uint32_t pos = 2; pos < plan.vertex_order.size(); ++pos) {
+    const std::uint32_t u = plan.vertex_order[pos];
+    PlanLevel level;
+    level.query_vertex = u;
+    level.label = q.label(u);
+    for (std::uint32_t prev = 0; prev < pos; ++prev) {
+      const std::uint32_t w = plan.vertex_order[prev];
+      if (!q.adjacent(u, w)) continue;
+      const std::uint32_t j = edge_id_between(q, u, w);
+      BackwardConstraint c;
+      c.order_pos = prev;
+      c.query_edge_id = j;
+      c.view = (delta && j < seed_edge_id) ? ViewMode::kOld : ViewMode::kNew;
+      level.constraints.push_back(c);
+    }
+    if (level.constraints.empty()) {
+      throw std::logic_error("disconnected level in matching order");
+    }
+    plan.levels.push_back(std::move(level));
+  }
+
+  std::ostringstream name;
+  name << (delta ? "dM" : "static") << seed_edge_id << "(" << q.name() << ")";
+  plan.debug_name = name.str();
+  return plan;
+}
+
+}  // namespace
+
+MatchPlan make_static_plan(const QueryGraph& q) {
+  return build_plan(q, 0, /*delta=*/false);
+}
+
+MatchPlan make_delta_plan(const QueryGraph& q, std::uint32_t edge_id) {
+  if (edge_id >= q.num_edges()) {
+    throw std::out_of_range("delta plan edge id out of range");
+  }
+  return build_plan(q, edge_id, /*delta=*/true);
+}
+
+MatchPlan make_delta_plan_weighted(
+    const QueryGraph& q, std::uint32_t edge_id,
+    const std::vector<std::uint64_t>& vertex_weights) {
+  if (edge_id >= q.num_edges()) {
+    throw std::out_of_range("delta plan edge id out of range");
+  }
+  if (vertex_weights.size() != q.num_vertices()) {
+    throw std::invalid_argument("vertex_weights size mismatch");
+  }
+  return build_plan(q, edge_id, /*delta=*/true, &vertex_weights);
+}
+
+std::vector<MatchPlan> make_delta_plans(const QueryGraph& q) {
+  std::vector<MatchPlan> plans;
+  plans.reserve(q.num_edges());
+  for (std::uint32_t i = 0; i < q.num_edges(); ++i) {
+    plans.push_back(make_delta_plan(q, i));
+  }
+  return plans;
+}
+
+std::string describe_plan(const QueryGraph& q, const MatchPlan& plan) {
+  std::ostringstream os;
+  os << plan.debug_name << ": seed (u" << plan.seed_a << ",u" << plan.seed_b
+     << ")";
+  for (const PlanLevel& level : plan.levels) {
+    os << " | u" << level.query_vertex << " in";
+    for (std::size_t i = 0; i < level.constraints.size(); ++i) {
+      const auto& c = level.constraints[i];
+      os << (i == 0 ? " " : " & ")
+         << (c.view == ViewMode::kOld ? "N(" : "N'(") << "x"
+         << plan.vertex_order[c.order_pos] << ")";
+    }
+  }
+  (void)q;
+  return os.str();
+}
+
+}  // namespace gcsm

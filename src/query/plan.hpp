@@ -1,0 +1,75 @@
+// Matching-plan generation: compiles a query pattern into the nested-loop
+// programs of the paper's Fig. 2.
+//
+// A MatchPlan describes one nested loop: iterate candidate data edges for a
+// chosen "seed" query edge, then extend one pattern vertex per level by
+// intersecting neighbor lists of already-matched vertices.
+//
+// * The static plan (Fig. 2a) seeds on query edge 0 and reads only NEW
+//   (= current) neighbor lists.
+// * The delta plans ΔM_1..ΔM_m (Fig. 2b-f) seed query edge i on the update
+//   batch ΔE; a backward constraint through query edge j reads the OLD list
+//   N if j < i and the updated list N' if j > i. This implements the IVM
+//   decomposition ΔM_i = R_1 ⋈ … ⋈ R_{i-1} ⋈ ΔR_i ⋈ R'_{i+1} ⋈ … ⋈ R'_m,
+//   whose signed union telescopes to M(G_{k+1}) − M(G_k).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/dynamic_graph.hpp"
+#include "query/query_graph.hpp"
+
+namespace gcsm {
+
+// One backward constraint of a plan level: intersect with the neighbor list
+// of the data vertex bound at `order_pos`, in the given view.
+struct BackwardConstraint {
+  std::uint32_t order_pos = 0;  // position in MatchPlan::vertex_order
+  ViewMode view = ViewMode::kNew;
+  std::uint32_t query_edge_id = 0;  // which query edge this enforces
+};
+
+// Extension step for the pattern vertex at order position `level + 2`.
+struct PlanLevel {
+  std::uint32_t query_vertex = 0;
+  Label label = kWildcardLabel;
+  std::vector<BackwardConstraint> constraints;  // never empty
+};
+
+struct MatchPlan {
+  std::uint32_t seed_edge_id = 0;  // query edge bound by the seed loop
+  std::uint32_t seed_a = 0;        // pattern vertex bound to the seed source
+  std::uint32_t seed_b = 0;        // pattern vertex bound to the seed target
+  Label seed_label_a = kWildcardLabel;
+  Label seed_label_b = kWildcardLabel;
+  std::vector<std::uint32_t> vertex_order;  // [0]=seed_a, [1]=seed_b, ...
+  std::vector<PlanLevel> levels;            // size n-2
+  std::string debug_name;
+
+  std::uint32_t num_levels() const {
+    return static_cast<std::uint32_t>(levels.size());
+  }
+};
+
+// Builds the static full-matching plan (all views NEW, seed edge 0).
+MatchPlan make_static_plan(const QueryGraph& q);
+
+// Builds ΔM_i's plan for seed query edge `edge_id` (0-based).
+MatchPlan make_delta_plan(const QueryGraph& q, std::uint32_t edge_id);
+
+// As make_delta_plan, but the greedy extension order picks the connected
+// query vertex with the smallest weight first (ties by more backward edges).
+// Used by the RapidFlow-like baseline, which orders by candidate-set size.
+MatchPlan make_delta_plan_weighted(
+    const QueryGraph& q, std::uint32_t edge_id,
+    const std::vector<std::uint64_t>& vertex_weights);
+
+// All m delta plans, in edge order.
+std::vector<MatchPlan> make_delta_plans(const QueryGraph& q);
+
+// Pretty-printer (used by tests and the quickstart example).
+std::string describe_plan(const QueryGraph& q, const MatchPlan& plan);
+
+}  // namespace gcsm

@@ -1,0 +1,118 @@
+#include "query/query_graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace gcsm {
+
+QueryGraph QueryGraph::from_edges(
+    std::uint32_t num_vertices,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges,
+    std::vector<Label> labels, std::string name) {
+  if (num_vertices == 0 || num_vertices > kMaxQueryVertices) {
+    throw std::invalid_argument("query size must be in [1, 8]");
+  }
+  if (!labels.empty() && labels.size() != num_vertices) {
+    throw std::invalid_argument("query labels size mismatch");
+  }
+  QueryGraph q;
+  q.n_ = num_vertices;
+  q.labels_ = labels.empty()
+                  ? std::vector<Label>(num_vertices, kWildcardLabel)
+                  : std::move(labels);
+  q.name_ = std::move(name);
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> canon;
+  canon.reserve(edges.size());
+  for (auto [a, b] : edges) {
+    if (a == b || a >= num_vertices || b >= num_vertices) {
+      throw std::invalid_argument("bad query edge");
+    }
+    if (a > b) std::swap(a, b);
+    canon.emplace_back(a, b);
+  }
+  std::sort(canon.begin(), canon.end());
+  if (std::adjacent_find(canon.begin(), canon.end()) != canon.end()) {
+    throw std::invalid_argument("duplicate query edge");
+  }
+  for (std::uint32_t i = 0; i < canon.size(); ++i) {
+    const auto [a, b] = canon[i];
+    q.edges_.push_back({a, b, i});
+    q.adj_[a * kMaxQueryVertices + b] = 1;
+    q.adj_[b * kMaxQueryVertices + a] = 1;
+    ++q.degree_[a];
+    ++q.degree_[b];
+  }
+  return q;
+}
+
+bool QueryGraph::connected() const {
+  if (n_ == 0) return false;
+  std::uint32_t seen = 1;  // bitmask, vertex 0 visited
+  std::vector<std::uint32_t> stack{0};
+  while (!stack.empty()) {
+    const std::uint32_t u = stack.back();
+    stack.pop_back();
+    for (std::uint32_t v = 0; v < n_; ++v) {
+      if (adjacent(u, v) && !(seen & (1u << v))) {
+        seen |= 1u << v;
+        stack.push_back(v);
+      }
+    }
+  }
+  return seen == (n_ >= 32 ? ~0u : (1u << n_) - 1);
+}
+
+std::uint32_t QueryGraph::diameter() const {
+  std::uint32_t diameter = 0;
+  for (std::uint32_t s = 0; s < n_; ++s) {
+    std::array<std::int32_t, kMaxQueryVertices> dist;
+    dist.fill(-1);
+    dist[s] = 0;
+    std::vector<std::uint32_t> frontier{s};
+    while (!frontier.empty()) {
+      std::vector<std::uint32_t> next;
+      for (const std::uint32_t u : frontier) {
+        for (std::uint32_t v = 0; v < n_; ++v) {
+          if (adjacent(u, v) && dist[v] < 0) {
+            dist[v] = dist[u] + 1;
+            next.push_back(v);
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+    for (std::uint32_t v = 0; v < n_; ++v) {
+      if (dist[v] > static_cast<std::int32_t>(diameter)) {
+        diameter = static_cast<std::uint32_t>(dist[v]);
+      }
+    }
+  }
+  return diameter;
+}
+
+std::uint64_t QueryGraph::canonical_code() const {
+  std::array<std::uint32_t, kMaxQueryVertices> perm{};
+  std::iota(perm.begin(), perm.begin() + n_, 0);
+  std::uint64_t best = ~0ull;
+  do {
+    // Only consider label-preserving permutations.
+    bool label_ok = true;
+    for (std::uint32_t i = 0; i < n_ && label_ok; ++i) {
+      label_ok = labels_[perm[i]] == labels_[i];
+    }
+    if (!label_ok) continue;
+    std::uint64_t code = 0;
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      for (std::uint32_t j = i + 1; j < n_; ++j) {
+        code = (code << 1) |
+               static_cast<std::uint64_t>(adjacent(perm[i], perm[j]));
+      }
+    }
+    best = std::min(best, code);
+  } while (std::next_permutation(perm.begin(), perm.begin() + n_));
+  return best;
+}
+
+}  // namespace gcsm

@@ -1,0 +1,78 @@
+// Query pattern representation.
+//
+// Patterns are tiny (the paper uses sizes 5-7; we support up to 8 vertices),
+// so an adjacency matrix plus a canonical edge list is the whole story. The
+// canonical edge numbering (sorted (min,max) pairs) is what the delta-join
+// decomposition ΔM_1..ΔM_m indexes into.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace gcsm {
+
+constexpr std::uint32_t kMaxQueryVertices = 8;
+
+// -1 as a query-vertex label means "match any data label".
+constexpr Label kWildcardLabel = -1;
+
+struct QueryEdge {
+  std::uint32_t a = 0;  // a < b
+  std::uint32_t b = 0;
+  std::uint32_t id = 0;  // index in the canonical numbering
+
+  friend bool operator==(const QueryEdge&, const QueryEdge&) = default;
+};
+
+class QueryGraph {
+ public:
+  QueryGraph() = default;
+
+  // Edges are unordered pairs; duplicates and self-loops are rejected.
+  // labels may be empty (all wildcard) or have num_vertices entries.
+  static QueryGraph from_edges(
+      std::uint32_t num_vertices,
+      const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges,
+      std::vector<Label> labels = {}, std::string name = {});
+
+  std::uint32_t num_vertices() const { return n_; }
+  std::uint32_t num_edges() const {
+    return static_cast<std::uint32_t>(edges_.size());
+  }
+  bool adjacent(std::uint32_t u, std::uint32_t v) const {
+    return adj_[u * kMaxQueryVertices + v] != 0;
+  }
+  std::uint32_t degree(std::uint32_t u) const { return degree_[u]; }
+  Label label(std::uint32_t u) const { return labels_[u]; }
+  const std::vector<QueryEdge>& edges() const { return edges_; }
+  const std::string& name() const { return name_; }
+
+  bool connected() const;
+  // Longest shortest path between any two query vertices; the k in VSGM's
+  // k-hop copy (Sec. I / baseline description).
+  std::uint32_t diameter() const;
+
+  // True if label_matches(query vertex u, data label l).
+  bool label_matches(std::uint32_t u, Label l) const {
+    return labels_[u] == kWildcardLabel || labels_[u] == l;
+  }
+
+  // Canonical code: the lexicographically smallest adjacency bitstring over
+  // all label-preserving vertex permutations. Two queries are isomorphic iff
+  // codes are equal. Used to dedup the motif enumeration.
+  std::uint64_t canonical_code() const;
+
+ private:
+  std::uint32_t n_ = 0;
+  std::array<std::uint8_t, kMaxQueryVertices * kMaxQueryVertices> adj_{};
+  std::array<std::uint32_t, kMaxQueryVertices> degree_{};
+  std::vector<Label> labels_;
+  std::vector<QueryEdge> edges_;
+  std::string name_;
+};
+
+}  // namespace gcsm

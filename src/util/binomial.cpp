@@ -1,0 +1,91 @@
+#include "util/binomial.hpp"
+
+#include <cmath>
+
+namespace gcsm {
+namespace detail {
+namespace {
+
+// Tail of Stirling's approximation: log(k!) = stirling(k) + tail(k) where
+// stirling(k) = 0.5*log(2*pi) + (k+0.5)*log(k) - k. Values for k < 10 are
+// precomputed; larger k use the asymptotic series.
+double stirling_tail(double k) {
+  static const double kTail[10] = {
+      0.08106146679532726, 0.04134069595540929, 0.02767792568499834,
+      0.02079067210376509, 0.01664469118982119, 0.01387612882307075,
+      0.01189670994589177, 0.01041126526197209, 0.00925546218271273,
+      0.00833056343336287};
+  if (k < 10.0) return kTail[static_cast<int>(k)];
+  const double kp = k + 1.0;
+  return 1.0 / (12.0 * kp) - 1.0 / (360.0 * kp * kp * kp);
+}
+
+}  // namespace
+
+std::uint64_t binomial_inversion(Rng& rng, std::uint64_t n, double p) {
+  // Sequential search on the CDF starting from k = 0.
+  const double q = 1.0 - p;
+  const double s = p / q;
+  double f = std::pow(q, static_cast<double>(n));  // P[X = 0]
+  const double u = rng.uniform();
+  std::uint64_t k = 0;
+  double cdf = f;
+  while (u > cdf && k < n) {
+    ++k;
+    f *= s * (static_cast<double>(n - k + 1) / static_cast<double>(k));
+    cdf += f;
+    if (f <= 0.0) break;  // numeric underflow: the remaining tail is ~0
+  }
+  return k;
+}
+
+std::uint64_t binomial_btrs(Rng& rng, std::uint64_t n, double p) {
+  // BTRS transformed-rejection sampler (Hormann 1993), as formulated in the
+  // TensorFlow random-binomial kernel. Requires n*p >= 10 and p <= 0.5.
+  const double nd = static_cast<double>(n);
+  const double q = 1.0 - p;
+  const double r = p / q;
+  const double spq = std::sqrt(nd * p * q);
+  const double b = 1.15 + 2.53 * spq;
+  const double a = -0.0873 + 0.0248 * b + 0.01 * p;
+  const double c = nd * p + 0.5;
+  const double v_r = 0.92 - 4.2 / b;
+  const double alpha = (2.83 + 5.1 / b) * spq;
+  const double m = std::floor((nd + 1) * p);
+
+  for (;;) {
+    const double u = rng.uniform() - 0.5;
+    double v = rng.uniform();
+    const double us = 0.5 - std::fabs(u);
+    const double kd = std::floor((2.0 * a / us + b) * u + c);
+    if (kd < 0.0 || kd > nd) continue;
+    if (us >= 0.07 && v <= v_r) return static_cast<std::uint64_t>(kd);
+    v = std::log(v * alpha / (a / (us * us) + b));
+    const double upper =
+        (m + 0.5) * std::log((m + 1.0) / (r * (nd - m + 1.0))) +
+        (nd + 1.0) * std::log((nd - m + 1.0) / (nd - kd + 1.0)) +
+        (kd + 0.5) * std::log(r * (nd - kd + 1.0) / (kd + 1.0)) +
+        stirling_tail(m) + stirling_tail(nd - m) - stirling_tail(kd) -
+        stirling_tail(nd - kd);
+    if (v <= upper) return static_cast<std::uint64_t>(kd);
+  }
+}
+
+}  // namespace detail
+
+std::uint64_t binomial(Rng& rng, std::uint64_t n, double p) {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  const bool flip = p > 0.5;
+  const double pe = flip ? 1.0 - p : p;
+  const double np = static_cast<double>(n) * pe;
+  std::uint64_t k;
+  if (np < 10.0) {
+    k = detail::binomial_inversion(rng, n, pe);
+  } else {
+    k = detail::binomial_btrs(rng, n, pe);
+  }
+  return flip ? n - k : k;
+}
+
+}  // namespace gcsm

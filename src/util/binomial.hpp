@@ -1,0 +1,33 @@
+// Binomial sampling for the merged random-walk estimator (paper Sec. IV-B).
+//
+// The estimator draws B_child ~ Binomial(B_parent, p) at *every* loop
+// iteration of the simulated nested-loop execution, typically with very small
+// n*p, so the sampler must be fast in the "usually returns 0" regime and
+// still exact for large n.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace gcsm {
+
+// Draws an exact Binomial(n, p) variate.
+//
+// Strategy:
+//  * p == 0 or n == 0       -> 0
+//  * n * p small (< 10)     -> inversion by sequential search on the CDF,
+//                              with an O(1) early-out when the uniform draw
+//                              falls below (1-p)^n (the most common case for
+//                              the estimator: the iteration is not sampled).
+//  * otherwise              -> BTRS transformed-rejection (Hormann 1993),
+//                              exact and O(1) expected time.
+std::uint64_t binomial(Rng& rng, std::uint64_t n, double p);
+
+namespace detail {
+// Exposed for unit testing of the two regimes independently.
+std::uint64_t binomial_inversion(Rng& rng, std::uint64_t n, double p);
+std::uint64_t binomial_btrs(Rng& rng, std::uint64_t n, double p);
+}  // namespace detail
+
+}  // namespace gcsm

@@ -1,0 +1,58 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace gcsm {
+
+CliArgs::CliArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) {
+      positional_.push_back(a);
+      continue;
+    }
+    a = a.substr(2);
+    const auto eq = a.find('=');
+    if (eq != std::string::npos) {
+      flags_[a.substr(0, eq)] = a.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[a] = argv[++i];
+    } else {
+      flags_[a] = "";  // boolean flag
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return flags_.count(name) != 0;
+}
+
+std::string CliArgs::get(const std::string& name,
+                         const std::string& def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name,
+                              std::int64_t def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& name, double def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CliArgs::get_bool(const std::string& name, bool def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  if (it->second.empty() || it->second == "1" || it->second == "true") {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace gcsm

@@ -1,0 +1,30 @@
+// Minimal command-line flag parsing shared by the benchmark binaries and
+// examples: `--name=value` / `--name value` / boolean `--name`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gcsm {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def = false) const;
+
+  // Non-flag positional arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gcsm

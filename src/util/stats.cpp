@@ -1,0 +1,89 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gcsm {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(values.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  std::nth_element(values.begin(), values.begin() + static_cast<long>(idx),
+                   values.end());
+  return values[idx];
+}
+
+double top_fraction_share(std::vector<std::uint64_t> weights,
+                          double top_fraction) {
+  if (weights.empty()) return 0.0;
+  const auto total = std::accumulate(weights.begin(), weights.end(),
+                                     static_cast<std::uint64_t>(0));
+  if (total == 0) return 0.0;
+  auto k = static_cast<std::size_t>(
+      std::ceil(top_fraction * static_cast<double>(weights.size())));
+  k = std::clamp<std::size_t>(k, 1, weights.size());
+  std::nth_element(weights.begin(), weights.begin() + static_cast<long>(k - 1),
+                   weights.end(), std::greater<>());
+  const auto top = std::accumulate(weights.begin(),
+                                   weights.begin() + static_cast<long>(k),
+                                   static_cast<std::uint64_t>(0));
+  return static_cast<double>(top) / static_cast<double>(total);
+}
+
+double topk_coverage(const std::vector<std::uint64_t>& truth,
+                     const std::vector<double>& estimate, std::size_t k) {
+  if (truth.empty() || k == 0) return 0.0;
+  k = std::min(k, truth.size());
+
+  std::vector<std::uint32_t> order_truth(truth.size());
+  std::iota(order_truth.begin(), order_truth.end(), 0);
+  std::nth_element(order_truth.begin(),
+                   order_truth.begin() + static_cast<long>(k - 1),
+                   order_truth.end(), [&](std::uint32_t a, std::uint32_t b) {
+                     return truth[a] > truth[b];
+                   });
+
+  std::vector<std::uint32_t> order_est(estimate.size());
+  std::iota(order_est.begin(), order_est.end(), 0);
+  const std::size_t ke = std::min(k, order_est.size());
+  std::nth_element(order_est.begin(),
+                   order_est.begin() + static_cast<long>(ke - 1),
+                   order_est.end(), [&](std::uint32_t a, std::uint32_t b) {
+                     return estimate[a] > estimate[b];
+                   });
+
+  std::vector<char> in_est(truth.size(), 0);
+  for (std::size_t i = 0; i < ke; ++i) {
+    if (order_est[i] < in_est.size()) in_est[order_est[i]] = 1;
+  }
+  std::size_t hit = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (in_est[order_truth[i]]) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(k);
+}
+
+}  // namespace gcsm

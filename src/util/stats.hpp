@@ -1,0 +1,46 @@
+// Small statistics helpers: running moments, percentiles, and the cumulative
+// access-share curve used for Fig. 15a.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gcsm {
+
+// Welford running mean/variance.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  // sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile of a copy of the data (nearest-rank). p in [0, 100].
+double percentile(std::vector<double> values, double p);
+
+// Given per-item weights (e.g. per-vertex access counts), returns the share
+// of total weight covered by the top `top_fraction` heaviest items.
+// Used to reproduce Fig. 15a ("top 5% of vertices account for >80% of
+// accesses").
+double top_fraction_share(std::vector<std::uint64_t> weights,
+                          double top_fraction);
+
+// Spearman-style overlap metric for Fig. 15b: |S ∩ T| / |S| where S is the
+// set of indices of the top `k` entries of `truth` and T the top `k` of
+// `estimate`.
+double topk_coverage(const std::vector<std::uint64_t>& truth,
+                     const std::vector<double>& estimate, std::size_t k);
+
+}  // namespace gcsm

@@ -1,0 +1,76 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+
+namespace gcsm {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 1; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  std::size_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(lk, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    (*job)(id);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_on_all(const std::function<void(std::size_t)>& body) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &body;
+    remaining_ = workers_.size();
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  body(0);  // the caller participates as worker 0
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  std::atomic<std::size_t> next{0};
+  run_on_all([&](std::size_t worker) {
+    for (;;) {
+      const std::size_t begin = next.fetch_add(grain);
+      if (begin >= n) break;
+      const std::size_t end = begin + grain < n ? begin + grain : n;
+      body(begin, end, worker);
+    }
+  });
+}
+
+}  // namespace gcsm

@@ -1,0 +1,54 @@
+// A small work-sharing thread pool.
+//
+// Used by the CPU matching engine (parallel-for over the update batch, like
+// the paper's 32-thread OpenMP loop) and by the SIMT executor in gpusim/ to
+// back simulated thread blocks with host threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gcsm {
+
+class ThreadPool {
+ public:
+  // threads == 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size() + 1; }
+
+  // Runs body(worker_id) on every worker (including the caller, as worker 0)
+  // and blocks until all return. worker_id is in [0, size()).
+  void run_on_all(const std::function<void(std::size_t)>& body);
+
+  // Dynamic parallel-for over [0, n) with grain-sized chunks claimed from a
+  // shared atomic counter (work stealing in the trivial sense). Blocks until
+  // complete. body(begin, end, worker_id).
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t,
+                                             std::size_t)>& body);
+
+ private:
+  struct Task;
+
+  void worker_loop(std::size_t id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t epoch_ = 0;
+  std::size_t remaining_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace gcsm

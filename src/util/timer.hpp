@@ -1,0 +1,48 @@
+// Wall-clock timing helpers used by the pipeline phase breakdown
+// (paper Table II / Fig. 13) and the benchmark harness.
+#pragma once
+
+#include <chrono>
+
+namespace gcsm {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+// Accumulates wall time across multiple scopes; `ScopedAdd` RAII helper.
+class Stopwatch {
+ public:
+  class ScopedAdd {
+   public:
+    explicit ScopedAdd(Stopwatch& sw) : sw_(sw) {}
+    ~ScopedAdd() { sw_.total_seconds_ += t_.seconds(); }
+
+   private:
+    Stopwatch& sw_;
+    Timer t_;
+  };
+
+  double seconds() const { return total_seconds_; }
+  double millis() const { return total_seconds_ * 1e3; }
+  void reset() { total_seconds_ = 0.0; }
+  void add_seconds(double s) { total_seconds_ += s; }
+
+ private:
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace gcsm

@@ -1,0 +1,497 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <vector>
+
+#include "core/list_ref.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_io.hpp"
+#include "graph/update_stream.hpp"
+#include "util/rng.hpp"
+
+namespace gcsm {
+namespace {
+
+CsrGraph make_small() {
+  // Triangle 0-1-2 plus pendant 3 attached to 1.
+  return CsrGraph::from_edges(4, {{0, 1}, {1, 2}, {0, 2}, {1, 3}},
+                              {0, 1, 0, 1});
+}
+
+std::vector<VertexId> live_neighbors(const DynamicGraph& g, VertexId v,
+                                     ViewMode mode) {
+  std::vector<VertexId> out;
+  materialize_view(g.view(v, mode), out);
+  return out;
+}
+
+// ----------------------------------------------------------- CsrGraph -----
+
+TEST(CsrGraph, BasicProperties) {
+  const CsrGraph g = make_small();
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(1), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_EQ(g.label(1), 1);
+}
+
+TEST(CsrGraph, AdjacencySorted) {
+  const CsrGraph g = make_small();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nb = g.neighbors(v);
+    EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  }
+}
+
+TEST(CsrGraph, DropsSelfLoopsAndDuplicates) {
+  const CsrGraph g =
+      CsrGraph::from_edges(3, {{0, 1}, {1, 0}, {0, 0}, {1, 2}, {1, 2}});
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(CsrGraph, RejectsOutOfRangeEdge) {
+  EXPECT_THROW(CsrGraph::from_edges(2, {{0, 5}}), std::out_of_range);
+}
+
+TEST(CsrGraph, RejectsBadLabelSize) {
+  EXPECT_THROW(CsrGraph::from_edges(3, {{0, 1}}, {0, 1}),
+               std::invalid_argument);
+}
+
+TEST(CsrGraph, EdgeListRoundTrip) {
+  const CsrGraph g = make_small();
+  const auto edges = g.edge_list();
+  EXPECT_EQ(edges.size(), g.num_edges());
+  const CsrGraph g2 = CsrGraph::from_edges(g.num_vertices(), edges,
+                                           std::vector<Label>(g.labels()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto a = g.neighbors(v);
+    const auto b = g2.neighbors(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+TEST(CsrGraph, EmptyGraph) {
+  const CsrGraph g = CsrGraph::from_edges(0, {});
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_DOUBLE_EQ(g.avg_degree(), 0.0);
+}
+
+// ------------------------------------------------------- DynamicGraph -----
+
+TEST(DynamicGraph, InitialStateMatchesCsr) {
+  const CsrGraph g0 = make_small();
+  const DynamicGraph g(g0);
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_live_edges(), 4u);
+  EXPECT_EQ(g.max_degree_bound(), 3u);
+  for (VertexId v = 0; v < 4; ++v) {
+    const auto nb = g0.neighbors(v);
+    EXPECT_EQ(live_neighbors(g, v, ViewMode::kNew),
+              std::vector<VertexId>(nb.begin(), nb.end()));
+    EXPECT_EQ(live_neighbors(g, v, ViewMode::kOld),
+              std::vector<VertexId>(nb.begin(), nb.end()));
+  }
+}
+
+TEST(DynamicGraph, InsertionVisibleOnlyInNewView) {
+  DynamicGraph g(make_small());
+  EdgeBatch batch;
+  batch.updates.push_back({0, 3, +1});
+  g.apply_batch(batch);
+
+  EXPECT_EQ(live_neighbors(g, 0, ViewMode::kOld),
+            (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(live_neighbors(g, 0, ViewMode::kNew),
+            (std::vector<VertexId>{1, 2, 3}));
+  EXPECT_TRUE(g.has_live_edge(0, 3));
+  EXPECT_TRUE(g.has_live_edge(3, 0));
+  EXPECT_EQ(g.num_live_edges(), 5u);
+}
+
+TEST(DynamicGraph, DeletionVisibleOnlyInNewView) {
+  DynamicGraph g(make_small());
+  EdgeBatch batch;
+  batch.updates.push_back({0, 1, -1});
+  g.apply_batch(batch);
+
+  // OLD view still contains the deleted edge (it existed pre-batch).
+  EXPECT_EQ(live_neighbors(g, 0, ViewMode::kOld),
+            (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(live_neighbors(g, 0, ViewMode::kNew),
+            (std::vector<VertexId>{2}));
+  EXPECT_FALSE(g.has_live_edge(0, 1));
+  EXPECT_EQ(g.num_live_edges(), 3u);
+}
+
+TEST(DynamicGraph, DeleteVertexZeroEdge) {
+  // Vertex 0 tombstones must survive the ~0 == -1 encoding.
+  DynamicGraph g(make_small());
+  EdgeBatch batch;
+  batch.updates.push_back({1, 0, -1});
+  g.apply_batch(batch);
+  EXPECT_FALSE(g.has_live_edge(1, 0));
+  EXPECT_EQ(live_neighbors(g, 1, ViewMode::kNew),
+            (std::vector<VertexId>{2, 3}));
+  EXPECT_EQ(live_neighbors(g, 1, ViewMode::kOld),
+            (std::vector<VertexId>{0, 2, 3}));
+}
+
+TEST(DynamicGraph, MixedBatchAndReorganize) {
+  DynamicGraph g(make_small());
+  EdgeBatch batch;
+  batch.updates.push_back({0, 3, +1});
+  batch.updates.push_back({2, 3, +1});
+  batch.updates.push_back({0, 2, -1});
+  g.apply_batch(batch);
+  EXPECT_TRUE(g.has_pending_batch());
+
+  const auto stats = g.reorganize();
+  EXPECT_FALSE(g.has_pending_batch());
+  EXPECT_GE(stats.lists, 3u);
+  EXPECT_GT(stats.entries, 0u);
+
+  // After reorganization, OLD == NEW and lists are sorted and compact.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto old_view = live_neighbors(g, v, ViewMode::kOld);
+    const auto new_view = live_neighbors(g, v, ViewMode::kNew);
+    EXPECT_EQ(old_view, new_view);
+    EXPECT_TRUE(std::is_sorted(new_view.begin(), new_view.end()));
+  }
+  EXPECT_EQ(live_neighbors(g, 3, ViewMode::kNew),
+            (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_FALSE(g.has_live_edge(0, 2));
+}
+
+TEST(DynamicGraph, NewVertexInsertion) {
+  DynamicGraph g(make_small());
+  EdgeBatch batch;
+  batch.new_vertex_labels.emplace_back(4, 7);
+  batch.updates.push_back({3, 4, +1});
+  g.apply_batch(batch);
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.label(4), 7);
+  EXPECT_TRUE(g.has_live_edge(3, 4));
+  EXPECT_EQ(live_neighbors(g, 4, ViewMode::kOld), std::vector<VertexId>{});
+  EXPECT_EQ(live_neighbors(g, 4, ViewMode::kNew),
+            std::vector<VertexId>{3});
+}
+
+TEST(DynamicGraph, AppendedSegmentIsSorted) {
+  DynamicGraph g(CsrGraph::from_edges(6, {{0, 1}}));
+  EdgeBatch batch;
+  batch.updates.push_back({0, 5, +1});
+  batch.updates.push_back({0, 3, +1});
+  batch.updates.push_back({0, 2, +1});
+  g.apply_batch(batch);
+  const NeighborView view = g.view(0, ViewMode::kNew);
+  ASSERT_EQ(view.appended.size, 3u);
+  EXPECT_TRUE(std::is_sorted(view.appended.data,
+                             view.appended.data + view.appended.size));
+  EXPECT_EQ(live_neighbors(g, 0, ViewMode::kNew),
+            (std::vector<VertexId>{1, 2, 3, 5}));
+}
+
+TEST(DynamicGraph, RejectsDeletingMissingEdge) {
+  DynamicGraph g(make_small());
+  EdgeBatch batch;
+  batch.updates.push_back({0, 3, -1});  // not an edge
+  EXPECT_THROW(g.apply_batch(batch), std::invalid_argument);
+}
+
+TEST(DynamicGraph, RejectsSecondBatchBeforeReorganize) {
+  DynamicGraph g(make_small());
+  EdgeBatch batch;
+  batch.updates.push_back({0, 3, +1});
+  g.apply_batch(batch);
+  EXPECT_THROW(g.apply_batch(batch), std::logic_error);
+}
+
+TEST(DynamicGraph, CapacityDoublingSurvivesManyInsertions) {
+  DynamicGraph g(CsrGraph::from_edges(200, {{0, 1}}));
+  for (int round = 0; round < 8; ++round) {
+    EdgeBatch batch;
+    for (int i = 0; i < 20; ++i) {
+      const VertexId v = static_cast<VertexId>(2 + round * 20 + i);
+      batch.updates.push_back({0, v, +1});
+    }
+    g.apply_batch(batch);
+    g.reorganize();
+  }
+  EXPECT_EQ(g.live_degree(0), 161u);
+  const auto nb = live_neighbors(g, 0, ViewMode::kNew);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  EXPECT_EQ(nb.size(), 161u);
+  EXPECT_EQ(g.max_degree_bound(), 161u);
+}
+
+TEST(DynamicGraph, DeleteThenReinsertAcrossBatches) {
+  DynamicGraph g(make_small());
+  EdgeBatch del;
+  del.updates.push_back({0, 1, -1});
+  g.apply_batch(del);
+  g.reorganize();
+  EXPECT_FALSE(g.has_live_edge(0, 1));
+
+  EdgeBatch ins;
+  ins.updates.push_back({0, 1, +1});
+  g.apply_batch(ins);
+  EXPECT_TRUE(g.has_live_edge(0, 1));
+  g.reorganize();
+  EXPECT_EQ(live_neighbors(g, 0, ViewMode::kNew),
+            (std::vector<VertexId>{1, 2}));
+}
+
+TEST(DynamicGraph, ToCsrMatchesLiveState) {
+  DynamicGraph g(make_small());
+  EdgeBatch batch;
+  batch.updates.push_back({0, 3, +1});
+  batch.updates.push_back({1, 2, -1});
+  g.apply_batch(batch);
+  const CsrGraph snap = g.to_csr();
+  EXPECT_EQ(snap.num_edges(), 4u);
+  EXPECT_TRUE(snap.has_edge(0, 3));
+  EXPECT_FALSE(snap.has_edge(1, 2));
+  EXPECT_EQ(snap.label(1), 1);
+}
+
+TEST(DynamicGraph, ViewBytesAccounting) {
+  DynamicGraph g(make_small());
+  EXPECT_EQ(g.list_bytes(1), 3 * sizeof(VertexId));
+  const NeighborView v = g.view(1, ViewMode::kNew);
+  EXPECT_EQ(v.bytes(), 3 * sizeof(VertexId));
+}
+
+// ----------------------------------------------------- view utilities -----
+
+TEST(NeighborView, ContainsRespectsTombstones) {
+  DynamicGraph g(make_small());
+  EdgeBatch batch;
+  batch.updates.push_back({0, 1, -1});
+  batch.updates.push_back({0, 3, +1});
+  g.apply_batch(batch);
+
+  const NeighborView old_view = g.view(0, ViewMode::kOld);
+  EXPECT_TRUE(view_contains(old_view, 1));
+  EXPECT_FALSE(view_contains(old_view, 3));
+
+  const NeighborView new_view = g.view(0, ViewMode::kNew);
+  EXPECT_FALSE(view_contains(new_view, 1));
+  EXPECT_TRUE(view_contains(new_view, 3));
+  EXPECT_TRUE(view_contains(new_view, 2));
+  EXPECT_FALSE(view_contains(new_view, 99));
+}
+
+TEST(NeighborView, LiveSizeCountsCorrectly) {
+  DynamicGraph g(make_small());
+  EdgeBatch batch;
+  batch.updates.push_back({0, 1, -1});
+  batch.updates.push_back({0, 3, +1});
+  g.apply_batch(batch);
+  EXPECT_EQ(view_live_size(g.view(0, ViewMode::kOld)), 2u);
+  EXPECT_EQ(view_live_size(g.view(0, ViewMode::kNew)), 2u);
+}
+
+// --------------------------------------------------------- generators -----
+
+TEST(Generators, BarabasiAlbertShape) {
+  Rng rng(3);
+  const CsrGraph g = generate_barabasi_albert(2000, 4, 5, rng);
+  EXPECT_EQ(g.num_vertices(), 2000);
+  EXPECT_GT(g.num_edges(), 7000u);
+  // Preferential attachment: max degree far above the mean.
+  EXPECT_GT(g.max_degree(), 4 * static_cast<std::uint32_t>(g.avg_degree()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_LT(g.label(v), 5);
+    ASSERT_GE(g.label(v), 0);
+  }
+}
+
+TEST(Generators, RmatSkewed) {
+  Rng rng(4);
+  const CsrGraph g = generate_rmat(12, 8, 0.57, 0.19, 0.19, 4, rng);
+  EXPECT_EQ(g.num_vertices(), 4096);
+  EXPECT_GT(g.num_edges(), 10000u);
+  EXPECT_GT(g.max_degree(), 3 * static_cast<std::uint32_t>(g.avg_degree()));
+}
+
+TEST(Generators, ErdosRenyiExactEdgeCount) {
+  Rng rng(5);
+  const CsrGraph g = generate_erdos_renyi(500, 2000, 3, rng);
+  EXPECT_EQ(g.num_vertices(), 500);
+  EXPECT_EQ(g.num_edges(), 2000u);
+}
+
+TEST(Generators, ErdosRenyiClampsToMaxPossible) {
+  Rng rng(6);
+  const CsrGraph g = generate_erdos_renyi(5, 100, 1, rng);
+  EXPECT_EQ(g.num_edges(), 10u);  // C(5,2)
+}
+
+TEST(Generators, RoadNetworkLowDegree) {
+  Rng rng(7);
+  const CsrGraph g = generate_road_network(50, 60, 0.92, 0.06, 2, rng);
+  EXPECT_EQ(g.num_vertices(), 3000);
+  EXPECT_LE(g.max_degree(), 8u);
+  EXPECT_GT(g.num_edges(), 3000u);
+}
+
+TEST(Generators, DeterministicForSeed) {
+  Rng r1(11);
+  Rng r2(11);
+  const CsrGraph a = generate_barabasi_albert(500, 3, 2, r1);
+  const CsrGraph b = generate_barabasi_albert(500, 3, 2, r2);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.edge_list().size(), b.edge_list().size());
+  const auto ea = a.edge_list();
+  const auto eb = b.edge_list();
+  EXPECT_TRUE(std::equal(ea.begin(), ea.end(), eb.begin(), eb.end()));
+}
+
+TEST(Generators, InvalidArgumentsThrow) {
+  Rng rng(1);
+  EXPECT_THROW(generate_barabasi_albert(1, 2, 1, rng), std::invalid_argument);
+  EXPECT_THROW(generate_rmat(0, 8, 0.5, 0.2, 0.2, 1, rng),
+               std::invalid_argument);
+  EXPECT_THROW(generate_rmat(10, 8, 0.5, 0.3, 0.3, 1, rng),
+               std::invalid_argument);
+  EXPECT_THROW(generate_road_network(1, 5, 0.9, 0.1, 1, rng),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------ update stream -----
+
+TEST(UpdateStream, PoolSplitsIntoBatches) {
+  Rng rng(8);
+  const CsrGraph g = generate_erdos_renyi(300, 3000, 2, rng);
+  UpdateStreamOptions opt;
+  opt.pool_edge_count = 1000;
+  opt.batch_size = 256;
+  opt.seed = 3;
+  const UpdateStream stream = make_update_stream(g, opt);
+  EXPECT_EQ(stream.num_batches(), 4u);  // 256+256+256+232
+  std::size_t total = 0;
+  for (const auto& b : stream.batches) total += b.size();
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(UpdateStream, InsertionsAbsentFromInitialDeletionsPresent) {
+  Rng rng(9);
+  const CsrGraph g = generate_erdos_renyi(200, 1500, 2, rng);
+  UpdateStreamOptions opt;
+  opt.pool_edge_count = 400;
+  opt.batch_size = 100;
+  opt.seed = 5;
+  const UpdateStream stream = make_update_stream(g, opt);
+  for (const auto& batch : stream.batches) {
+    for (const EdgeUpdate& e : batch.updates) {
+      if (e.sign > 0) {
+        EXPECT_FALSE(stream.initial.has_edge(e.u, e.v));
+      } else {
+        EXPECT_TRUE(stream.initial.has_edge(e.u, e.v));
+      }
+    }
+  }
+}
+
+TEST(UpdateStream, WholeStreamIsConsistentlyApplicable) {
+  Rng rng(10);
+  const CsrGraph g = generate_barabasi_albert(400, 4, 2, rng);
+  UpdateStreamOptions opt;
+  opt.pool_edge_fraction = 0.2;
+  opt.batch_size = 64;
+  opt.seed = 6;
+  const UpdateStream stream = make_update_stream(g, opt);
+  DynamicGraph dyn(stream.initial);
+  for (const auto& batch : stream.batches) {
+    ASSERT_NO_THROW(dyn.apply_batch(batch));
+    dyn.reorganize();
+  }
+  // All insertion-marked edges ended up live; all deletions gone.
+  for (const auto& batch : stream.batches) {
+    for (const EdgeUpdate& e : batch.updates) {
+      EXPECT_EQ(dyn.has_live_edge(e.u, e.v), e.sign > 0);
+    }
+  }
+}
+
+TEST(UpdateStream, InsertDeleteRatioNearHalf) {
+  Rng rng(12);
+  const CsrGraph g = generate_erdos_renyi(500, 6000, 2, rng);
+  UpdateStreamOptions opt;
+  opt.pool_edge_count = 4000;
+  opt.batch_size = 4000;
+  opt.seed = 13;
+  const UpdateStream stream = make_update_stream(g, opt);
+  std::size_t inserts = 0;
+  for (const EdgeUpdate& e : stream.batches[0].updates) {
+    if (e.sign > 0) ++inserts;
+  }
+  EXPECT_NEAR(static_cast<double>(inserts), 2000.0, 150.0);
+}
+
+TEST(UpdateStream, EmptyPoolThrows) {
+  Rng rng(1);
+  const CsrGraph g = generate_erdos_renyi(50, 100, 1, rng);
+  UpdateStreamOptions opt;
+  opt.pool_edge_count = 0;
+  opt.pool_edge_fraction = 0.0;
+  EXPECT_THROW(make_update_stream(g, opt), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- IO ---------
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  std::string path_ = std::string(::testing::TempDir()) + "gcsm_io_test.bin";
+};
+
+TEST_F(GraphIoTest, BinaryRoundTrip) {
+  Rng rng(14);
+  const CsrGraph g = generate_barabasi_albert(300, 3, 4, rng);
+  save_binary(g, path_);
+  const CsrGraph h = load_binary(path_);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(h.label(v), g.label(v));
+    const auto a = g.neighbors(v);
+    const auto b = h.neighbors(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+TEST_F(GraphIoTest, TextRoundTrip) {
+  const CsrGraph g = make_small();
+  save_edge_list_text(g, path_);
+  const CsrGraph h = load_edge_list_text(path_);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_EQ(h.label(1), 1);
+  EXPECT_TRUE(h.has_edge(1, 3));
+}
+
+TEST_F(GraphIoTest, MissingFileThrows) {
+  EXPECT_THROW(load_binary("/nonexistent/path/graph.bin"),
+               std::runtime_error);
+  EXPECT_THROW(load_edge_list_text("/nonexistent/path/graph.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gcsm

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/match_store.hpp"
+#include "core/pipeline.hpp"
+#include "core/reference_matcher.hpp"
+#include "graph/generators.hpp"
+#include "graph/update_stream.hpp"
+#include "query/patterns.hpp"
+
+namespace gcsm {
+namespace {
+
+TEST(MatchStore, CanonicalizationCollapsesAutomorphicEmbeddings) {
+  MatchStore store(make_triangle());
+  EXPECT_EQ(store.automorphisms(), 6u);
+  // All 6 embeddings of triangle {3, 7, 9}.
+  const VertexId verts[3] = {3, 7, 9};
+  VertexId perm[3] = {0, 1, 2};
+  std::vector<VertexId> e(3);
+  std::sort(perm, perm + 3);
+  do {
+    for (int i = 0; i < 3; ++i) e[i] = verts[perm[i]];
+    store.apply(std::span<const VertexId>(e.data(), 3), +1);
+  } while (std::next_permutation(perm, perm + 3));
+
+  EXPECT_EQ(store.embedding_count(), 6);
+  EXPECT_EQ(store.subgraph_count(), 1u);
+  const std::vector<VertexId> probe{9, 3, 7};
+  EXPECT_TRUE(store.contains(std::span<const VertexId>(probe.data(), 3)));
+  const auto subs = store.subgraphs();
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0], (std::vector<VertexId>{3, 7, 9}));
+}
+
+TEST(MatchStore, RemovalClearsSubgraph) {
+  MatchStore store(make_path(1));  // single edge, |Aut| = 2
+  const std::vector<VertexId> a{1, 2};
+  const std::vector<VertexId> b{2, 1};
+  store.apply(std::span<const VertexId>(a.data(), 2), +1);
+  store.apply(std::span<const VertexId>(b.data(), 2), +1);
+  EXPECT_EQ(store.subgraph_count(), 1u);
+  store.apply(std::span<const VertexId>(a.data(), 2), -1);
+  store.apply(std::span<const VertexId>(b.data(), 2), -1);
+  EXPECT_EQ(store.subgraph_count(), 0u);
+  EXPECT_EQ(store.embedding_count(), 0);
+  EXPECT_FALSE(store.contains(std::span<const VertexId>(a.data(), 2)));
+}
+
+TEST(MatchStore, OutOfOrderCancellationIsHarmless) {
+  // Within a batch the engine may emit - before + for a transient pair.
+  MatchStore store(make_path(1));
+  const std::vector<VertexId> a{5, 6};
+  store.apply(std::span<const VertexId>(a.data(), 2), -1);
+  EXPECT_EQ(store.embedding_count(), -1);
+  store.apply(std::span<const VertexId>(a.data(), 2), +1);
+  EXPECT_EQ(store.embedding_count(), 0);
+  EXPECT_EQ(store.subgraph_count(), 0u);
+}
+
+TEST(MatchStore, RejectsWrongArity) {
+  MatchStore store(make_triangle());
+  const std::vector<VertexId> bad{1, 2};
+  EXPECT_THROW(store.apply(std::span<const VertexId>(bad.data(), 2), +1),
+               std::invalid_argument);
+}
+
+TEST(MatchStore, TracksStreamAgainstReferenceEnumeration) {
+  // Seed the store with the initial matches, stream several batches through
+  // a pipeline, and check the maintained subgraph set equals a from-scratch
+  // enumeration after every batch.
+  Rng rng(321);
+  const CsrGraph base = generate_erdos_renyi(40, 170, 1, rng);
+  UpdateStreamOptions opt;
+  opt.pool_edge_count = 90;
+  opt.batch_size = 30;
+  opt.seed = 322;
+  const UpdateStream stream = make_update_stream(base, opt);
+  const QueryGraph q = make_triangle();
+
+  MatchStore store(q);
+  // Seed with initial matches.
+  for (const auto& arr : reference_list_embeddings(stream.initial, q)) {
+    std::vector<VertexId> e(arr.begin(), arr.begin() + q.num_vertices());
+    store.apply(std::span<const VertexId>(e.data(), e.size()), +1);
+  }
+
+  PipelineOptions popt;
+  popt.kind = EngineKind::kCpu;
+  popt.workers = 2;
+  Pipeline pipe(stream.initial, q, popt);
+  const MatchSink sink = store.sink();
+
+  for (const EdgeBatch& batch : stream.batches) {
+    pipe.process_batch(batch, &sink);
+    // Reference: all current subgraphs, canonicalized as sorted sets.
+    std::set<std::vector<VertexId>> expected;
+    for (const auto& arr :
+         reference_list_embeddings(pipe.graph().to_csr(), q)) {
+      std::vector<VertexId> e(arr.begin(), arr.begin() + q.num_vertices());
+      std::sort(e.begin(), e.end());
+      expected.insert(e);
+    }
+    ASSERT_EQ(store.subgraph_count(), expected.size());
+    ASSERT_EQ(store.embedding_count(),
+              static_cast<std::int64_t>(expected.size() *
+                                        store.automorphisms()));
+    for (auto sub : store.subgraphs()) {
+      std::sort(sub.begin(), sub.end());
+      ASSERT_TRUE(expected.count(sub));
+    }
+  }
+}
+
+TEST(MatchStore, ClearResetsEverything) {
+  MatchStore store(make_triangle());
+  const std::vector<VertexId> e{1, 2, 3};
+  store.apply(std::span<const VertexId>(e.data(), 3), +1);
+  store.clear();
+  EXPECT_EQ(store.embedding_count(), 0);
+  EXPECT_EQ(store.subgraph_count(), 0u);
+  EXPECT_FALSE(store.contains(std::span<const VertexId>(e.data(), 3)));
+}
+
+TEST(EmbeddingFromBinding, ReordersByPlanOrder) {
+  const QueryGraph q = make_fig1_diamond();
+  const MatchPlan plan = make_delta_plan(q, 2);
+  std::vector<VertexId> binding(q.num_vertices());
+  for (std::size_t i = 0; i < binding.size(); ++i) {
+    binding[i] = static_cast<VertexId>(100 + i);
+  }
+  const auto embedding = embedding_from_binding(
+      plan, std::span<const VertexId>(binding.data(), binding.size()));
+  for (std::size_t pos = 0; pos < binding.size(); ++pos) {
+    EXPECT_EQ(embedding[plan.vertex_order[pos]], binding[pos]);
+  }
+}
+
+}  // namespace
+}  // namespace gcsm

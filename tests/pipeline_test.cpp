@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/pipeline.hpp"
+#include "core/reference_matcher.hpp"
+#include "graph/generators.hpp"
+#include "graph/update_stream.hpp"
+#include "query/patterns.hpp"
+
+namespace gcsm {
+namespace {
+
+struct StreamFixture {
+  StreamFixture(int seed, VertexId n = 400, std::size_t batch = 64,
+                std::size_t pool = 256) {
+    Rng rng(seed);
+    base = generate_barabasi_albert(n, 4, 2, rng);
+    UpdateStreamOptions opt;
+    opt.pool_edge_count = pool;
+    opt.batch_size = batch;
+    opt.seed = seed + 1;
+    stream = make_update_stream(base, opt);
+  }
+  CsrGraph base;
+  UpdateStream stream;
+};
+
+PipelineOptions small_options(EngineKind kind) {
+  PipelineOptions opt;
+  opt.kind = kind;
+  opt.workers = 2;
+  opt.cache_budget_bytes = 16 << 20;
+  opt.estimator.num_walks = 4096;
+  opt.sim.device_memory_bytes = 64ull << 20;
+  return opt;
+}
+
+class PipelineKinds : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(PipelineKinds, SignedCountsMatchReference) {
+  StreamFixture f(31);
+  const QueryGraph q = make_pattern(1);
+  Pipeline pipe(f.stream.initial, q, small_options(GetParam()));
+
+  std::int64_t expected = static_cast<std::int64_t>(
+      reference_count_embeddings(f.stream.initial, q));
+  for (const EdgeBatch& batch : f.stream.batches) {
+    const BatchReport report = pipe.process_batch(batch);
+    expected += report.stats.signed_embeddings;
+  }
+  const std::int64_t actual = static_cast<std::int64_t>(
+      reference_count_embeddings(pipe.graph().to_csr(), q));
+  EXPECT_EQ(actual, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, PipelineKinds,
+    ::testing::Values(EngineKind::kGcsm, EngineKind::kZeroCopy,
+                      EngineKind::kUnifiedMemory, EngineKind::kNaiveDegree,
+                      EngineKind::kVsgm, EngineKind::kCpu),
+    [](const ::testing::TestParamInfo<EngineKind>& info) {
+      return engine_kind_name(info.param);
+    });
+
+TEST(Pipeline, AllEnginesAgreeOnEveryBatch) {
+  StreamFixture f(57, 300, 48, 192);
+  const QueryGraph q = make_pattern(3);
+
+  std::vector<std::unique_ptr<Pipeline>> pipes;
+  for (const EngineKind kind :
+       {EngineKind::kGcsm, EngineKind::kZeroCopy, EngineKind::kUnifiedMemory,
+        EngineKind::kNaiveDegree, EngineKind::kVsgm, EngineKind::kCpu}) {
+    pipes.push_back(
+        std::make_unique<Pipeline>(f.stream.initial, q, small_options(kind)));
+  }
+  for (const EdgeBatch& batch : f.stream.batches) {
+    std::int64_t first = 0;
+    for (std::size_t i = 0; i < pipes.size(); ++i) {
+      const BatchReport r = pipes[i]->process_batch(batch);
+      if (i == 0) {
+        first = r.stats.signed_embeddings;
+      } else {
+        EXPECT_EQ(r.stats.signed_embeddings, first)
+            << engine_kind_name(pipes[i]->options().kind);
+      }
+    }
+  }
+}
+
+TEST(Pipeline, GcsmPopulatesCacheAndHits) {
+  StreamFixture f(71, 500, 128, 128);
+  Pipeline pipe(f.stream.initial, make_pattern(1),
+                small_options(EngineKind::kGcsm));
+  const BatchReport r = pipe.process_batch(f.stream.batches[0]);
+  EXPECT_GT(r.walks, 0u);
+  EXPECT_GT(r.cached_vertices, 0u);
+  EXPECT_GT(r.cache_bytes, 0u);
+  EXPECT_GT(r.traffic.cache_hits, 0u);
+  EXPECT_GT(r.traffic.dma_calls, 0u);  // the DCSR blob transfer
+  EXPECT_GT(r.wall_estimate_ms, 0.0);
+}
+
+TEST(Pipeline, ZeroCopyNeverTouchesDeviceMemory) {
+  StreamFixture f(72);
+  Pipeline pipe(f.stream.initial, make_pattern(1),
+                small_options(EngineKind::kZeroCopy));
+  const BatchReport r = pipe.process_batch(f.stream.batches[0]);
+  EXPECT_EQ(r.traffic.device_bytes, 0u);
+  EXPECT_EQ(r.traffic.dma_calls, 0u);
+  EXPECT_GT(r.traffic.zero_copy_lines, 0u);
+  EXPECT_EQ(r.cached_vertices, 0u);
+}
+
+TEST(Pipeline, CpuChargesOnlyHostTraffic) {
+  StreamFixture f(73);
+  Pipeline pipe(f.stream.initial, make_pattern(1),
+                small_options(EngineKind::kCpu));
+  const BatchReport r = pipe.process_batch(f.stream.batches[0]);
+  EXPECT_EQ(r.traffic.zero_copy_lines, 0u);
+  EXPECT_EQ(r.traffic.um_faults, 0u);
+  EXPECT_EQ(r.traffic.device_bytes, 0u);
+  EXPECT_GT(r.traffic.host_bytes, 0u);
+}
+
+TEST(Pipeline, UnifiedMemoryFaultsPages) {
+  StreamFixture f(74);
+  Pipeline pipe(f.stream.initial, make_pattern(1),
+                small_options(EngineKind::kUnifiedMemory));
+  const BatchReport r = pipe.process_batch(f.stream.batches[0]);
+  EXPECT_GT(r.traffic.um_faults, 0u);
+  EXPECT_EQ(r.traffic.zero_copy_lines, 0u);
+}
+
+TEST(Pipeline, GcsmReducesCpuTrafficVsZeroCopy) {
+  // The headline mechanism: on a skewed graph, GCSM's cache must cut the
+  // bytes fetched from the CPU relative to pure zero-copy.
+  StreamFixture f(75, 1500, 256, 256);
+  const QueryGraph q = make_pattern(1);
+
+  Pipeline zp(f.stream.initial, q, small_options(EngineKind::kZeroCopy));
+  Pipeline gcsm(f.stream.initial, q, small_options(EngineKind::kGcsm));
+  std::uint64_t zp_bytes = 0;
+  std::uint64_t gcsm_bytes = 0;
+  const gpusim::SimParams params;
+  const BatchReport rz = zp.process_batch(f.stream.batches[0]);
+  const BatchReport rg = gcsm.process_batch(f.stream.batches[0]);
+  zp_bytes = rz.traffic.zero_copy_lines * params.zero_copy_line_bytes;
+  gcsm_bytes = rg.traffic.zero_copy_lines * params.zero_copy_line_bytes;
+  EXPECT_LT(gcsm_bytes, zp_bytes);
+  EXPECT_GT(rg.cache_hit_rate(), 0.5);
+}
+
+TEST(Pipeline, VsgmNeverMissesCache) {
+  StreamFixture f(76, 300, 32, 64);
+  Pipeline pipe(f.stream.initial, make_pattern(1),
+                small_options(EngineKind::kVsgm));
+  const BatchReport r = pipe.process_batch(f.stream.batches[0]);
+  EXPECT_EQ(r.traffic.cache_misses, 0u);
+  EXPECT_EQ(r.traffic.zero_copy_lines, 0u);
+  EXPECT_GT(r.traffic.dma_bytes, 0u);
+}
+
+TEST(Pipeline, VsgmThrowsWhenKhopExceedsBudget) {
+  StreamFixture f(77, 800, 128, 128);
+  PipelineOptions opt = small_options(EngineKind::kVsgm);
+  opt.cache_budget_bytes = 256;  // absurdly small
+  Pipeline pipe(f.stream.initial, make_pattern(1), opt);
+  EXPECT_THROW(pipe.process_batch(f.stream.batches[0]),
+               gpusim::DeviceOomError);
+}
+
+TEST(Pipeline, ReportsPhaseTimes) {
+  StreamFixture f(78);
+  Pipeline pipe(f.stream.initial, make_pattern(1),
+                small_options(EngineKind::kGcsm));
+  const BatchReport r = pipe.process_batch(f.stream.batches[0]);
+  EXPECT_GE(r.wall_update_ms, 0.0);
+  EXPECT_GT(r.wall_match_ms, 0.0);
+  EXPECT_GE(r.wall_reorg_ms, 0.0);
+  EXPECT_GT(r.wall_total_ms(), 0.0);
+  EXPECT_GT(r.sim_total_s(), 0.0);
+  EXPECT_GT(r.sim_match_s, 0.0);
+}
+
+TEST(Pipeline, CountCurrentEmbeddingsMatchesReference) {
+  StreamFixture f(79, 150, 32, 64);
+  const QueryGraph q = make_triangle();
+  Pipeline pipe(f.stream.initial, q, small_options(EngineKind::kCpu));
+  EXPECT_EQ(pipe.count_current_embeddings(),
+            reference_count_embeddings(f.stream.initial, q));
+  pipe.process_batch(f.stream.batches[0]);
+  EXPECT_EQ(pipe.count_current_embeddings(),
+            reference_count_embeddings(pipe.graph().to_csr(), q));
+}
+
+TEST(Pipeline, EngineKindNamesAreStable) {
+  EXPECT_STREQ(engine_kind_name(EngineKind::kGcsm), "GCSM");
+  EXPECT_STREQ(engine_kind_name(EngineKind::kZeroCopy), "ZP");
+  EXPECT_STREQ(engine_kind_name(EngineKind::kUnifiedMemory), "UM");
+  EXPECT_STREQ(engine_kind_name(EngineKind::kNaiveDegree), "Naive");
+  EXPECT_STREQ(engine_kind_name(EngineKind::kVsgm), "VSGM");
+  EXPECT_STREQ(engine_kind_name(EngineKind::kCpu), "CPU");
+}
+
+}  // namespace
+}  // namespace gcsm

@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "query/automorphism.hpp"
+#include "query/motifs.hpp"
+#include "query/patterns.hpp"
+#include "query/plan.hpp"
+#include "query/query_graph.hpp"
+
+namespace gcsm {
+namespace {
+
+// --------------------------------------------------------- QueryGraph -----
+
+TEST(QueryGraph, EdgesCanonicallyNumbered) {
+  const QueryGraph q =
+      QueryGraph::from_edges(4, {{3, 1}, {0, 2}, {1, 0}, {2, 3}});
+  const auto& edges = q.edges();
+  ASSERT_EQ(edges.size(), 4u);
+  for (std::uint32_t i = 0; i < edges.size(); ++i) {
+    EXPECT_EQ(edges[i].id, i);
+    EXPECT_LT(edges[i].a, edges[i].b);
+    if (i > 0) {
+      EXPECT_TRUE(edges[i - 1].a < edges[i].a ||
+                  (edges[i - 1].a == edges[i].a &&
+                   edges[i - 1].b < edges[i].b));
+    }
+  }
+}
+
+TEST(QueryGraph, AdjacencyAndDegree) {
+  const QueryGraph q = make_pattern(1);  // house
+  EXPECT_EQ(q.num_vertices(), 5u);
+  EXPECT_EQ(q.num_edges(), 6u);
+  EXPECT_TRUE(q.adjacent(0, 1));
+  EXPECT_TRUE(q.adjacent(1, 0));
+  EXPECT_FALSE(q.adjacent(2, 4));
+  EXPECT_EQ(q.degree(0), 3u);
+  EXPECT_EQ(q.degree(4), 2u);
+}
+
+TEST(QueryGraph, RejectsBadInput) {
+  EXPECT_THROW(QueryGraph::from_edges(9, {{0, 1}}), std::invalid_argument);
+  EXPECT_THROW(QueryGraph::from_edges(3, {{0, 0}}), std::invalid_argument);
+  EXPECT_THROW(QueryGraph::from_edges(3, {{0, 1}, {1, 0}}),
+               std::invalid_argument);
+  EXPECT_THROW(QueryGraph::from_edges(3, {{0, 5}}), std::invalid_argument);
+}
+
+TEST(QueryGraph, LabelsAndWildcard) {
+  const QueryGraph q = QueryGraph::from_edges(2, {{0, 1}}, {3, -1});
+  EXPECT_TRUE(q.label_matches(0, 3));
+  EXPECT_FALSE(q.label_matches(0, 4));
+  EXPECT_TRUE(q.label_matches(1, 0));
+  EXPECT_TRUE(q.label_matches(1, 42));
+}
+
+TEST(QueryGraph, Connectivity) {
+  EXPECT_TRUE(make_triangle().connected());
+  const QueryGraph disconnected =
+      QueryGraph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(disconnected.connected());
+}
+
+TEST(QueryGraph, Diameter) {
+  EXPECT_EQ(make_triangle().diameter(), 1u);
+  EXPECT_EQ(make_path(4).diameter(), 4u);
+  EXPECT_EQ(make_cycle(6).diameter(), 3u);
+  EXPECT_EQ(make_clique(5).diameter(), 1u);
+  EXPECT_EQ(make_star(5).diameter(), 2u);
+}
+
+TEST(QueryGraph, CanonicalCodeDetectsIsomorphism) {
+  const QueryGraph p1 = QueryGraph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  const QueryGraph p2 = QueryGraph::from_edges(4, {{2, 0}, {0, 3}, {3, 1}});
+  EXPECT_EQ(p1.canonical_code(), p2.canonical_code());
+  const QueryGraph star = QueryGraph::from_edges(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_NE(p1.canonical_code(), star.canonical_code());
+}
+
+// ------------------------------------------------------- automorphism -----
+
+TEST(Automorphism, KnownCounts) {
+  EXPECT_EQ(count_automorphisms(make_triangle()), 6u);    // S3
+  EXPECT_EQ(count_automorphisms(make_clique(4)), 24u);    // S4
+  EXPECT_EQ(count_automorphisms(make_path(2)), 2u);       // flip
+  EXPECT_EQ(count_automorphisms(make_cycle(4)), 8u);      // dihedral D4
+  EXPECT_EQ(count_automorphisms(make_cycle(5)), 10u);     // D5
+  EXPECT_EQ(count_automorphisms(make_star(4)), 24u);      // leaf perms
+  EXPECT_EQ(count_automorphisms(make_fig1_diamond()), 4u);
+}
+
+TEST(Automorphism, LabelsBreakSymmetry) {
+  const QueryGraph plain = make_triangle();
+  const QueryGraph labeled =
+      QueryGraph::from_edges(3, {{0, 1}, {1, 2}, {0, 2}}, {0, 0, 1});
+  EXPECT_EQ(count_automorphisms(plain), 6u);
+  EXPECT_EQ(count_automorphisms(labeled), 2u);  // only swap of the two 0s
+}
+
+TEST(Automorphism, ListMatchesCount) {
+  const QueryGraph q = make_cycle(4);
+  const auto autos = list_automorphisms(q);
+  EXPECT_EQ(autos.size(), count_automorphisms(q));
+  // Every listed permutation preserves adjacency.
+  for (const auto& perm : autos) {
+    for (std::uint32_t i = 0; i < q.num_vertices(); ++i) {
+      for (std::uint32_t j = i + 1; j < q.num_vertices(); ++j) {
+        EXPECT_EQ(q.adjacent(i, j), q.adjacent(perm[i], perm[j]));
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ patterns ----
+
+TEST(Patterns, AllSixWellFormed) {
+  const auto patterns = all_patterns();
+  ASSERT_EQ(patterns.size(), 6u);
+  const std::uint32_t expected_sizes[6] = {5, 5, 6, 6, 7, 7};
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(patterns[i].num_vertices(), expected_sizes[i])
+        << patterns[i].name();
+    EXPECT_TRUE(patterns[i].connected()) << patterns[i].name();
+    EXPECT_GE(patterns[i].num_edges(), patterns[i].num_vertices() - 1)
+        << patterns[i].name();
+  }
+}
+
+TEST(Patterns, RoundRobinLabels) {
+  const QueryGraph q = with_round_robin_labels(make_pattern(3), 2);
+  for (std::uint32_t u = 0; u < q.num_vertices(); ++u) {
+    EXPECT_EQ(q.label(u), static_cast<Label>(u % 2));
+  }
+  EXPECT_EQ(q.num_edges(), make_pattern(3).num_edges());
+}
+
+TEST(Patterns, InvalidIndexThrows) {
+  EXPECT_THROW(make_pattern(0), std::invalid_argument);
+  EXPECT_THROW(make_pattern(7), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- motifs ----
+
+TEST(Motifs, KnownMotifCounts) {
+  // Connected non-isomorphic graphs: 1 (n=2), 2 (n=3), 6 (n=4), 21 (n=5).
+  EXPECT_EQ(all_motifs(2).size(), 1u);
+  EXPECT_EQ(all_motifs(3).size(), 2u);
+  EXPECT_EQ(all_motifs(4).size(), 6u);
+  EXPECT_EQ(all_motifs(5).size(), 21u);
+}
+
+TEST(Motifs, AllConnectedAndDistinct) {
+  for (std::uint32_t size = 3; size <= 5; ++size) {
+    const auto motifs = all_motifs(size);
+    std::set<std::uint64_t> codes;
+    for (const QueryGraph& m : motifs) {
+      EXPECT_TRUE(m.connected());
+      EXPECT_EQ(m.num_vertices(), size);
+      EXPECT_TRUE(codes.insert(m.canonical_code()).second)
+          << "duplicate motif";
+    }
+  }
+}
+
+TEST(Motifs, SizeBoundsEnforced) {
+  EXPECT_THROW(all_motifs(1), std::invalid_argument);
+  EXPECT_THROW(all_motifs(7), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- plans ---
+
+TEST(Plan, StaticPlanShape) {
+  const QueryGraph q = make_fig1_diamond();
+  const MatchPlan plan = make_static_plan(q);
+  EXPECT_EQ(plan.seed_edge_id, 0u);
+  EXPECT_EQ(plan.vertex_order.size(), q.num_vertices());
+  EXPECT_EQ(plan.levels.size(), q.num_vertices() - 2);
+  // Static plans read only NEW views.
+  for (const PlanLevel& level : plan.levels) {
+    for (const BackwardConstraint& c : level.constraints) {
+      EXPECT_EQ(c.view, ViewMode::kNew);
+    }
+  }
+}
+
+TEST(Plan, VertexOrderIsPermutationAndConnected) {
+  for (int i = 1; i <= 6; ++i) {
+    const QueryGraph q = make_pattern(i);
+    for (std::uint32_t e = 0; e < q.num_edges(); ++e) {
+      const MatchPlan plan = make_delta_plan(q, e);
+      std::set<std::uint32_t> seen(plan.vertex_order.begin(),
+                                   plan.vertex_order.end());
+      EXPECT_EQ(seen.size(), q.num_vertices());
+      // Every ordered vertex beyond the seed connects backward.
+      for (std::size_t pos = 2; pos < plan.vertex_order.size(); ++pos) {
+        bool connected = false;
+        for (std::size_t prev = 0; prev < pos; ++prev) {
+          connected |= q.adjacent(plan.vertex_order[pos],
+                                  plan.vertex_order[prev]);
+        }
+        EXPECT_TRUE(connected);
+      }
+    }
+  }
+}
+
+TEST(Plan, DeltaViewRule) {
+  // Constraint through query edge j must read OLD if j < i, NEW if j > i.
+  for (int p = 1; p <= 6; ++p) {
+    const QueryGraph q = make_pattern(p);
+    for (std::uint32_t i = 0; i < q.num_edges(); ++i) {
+      const MatchPlan plan = make_delta_plan(q, i);
+      for (const PlanLevel& level : plan.levels) {
+        for (const BackwardConstraint& c : level.constraints) {
+          EXPECT_NE(c.query_edge_id, i);  // the seed edge is never re-read
+          if (c.query_edge_id < i) {
+            EXPECT_EQ(c.view, ViewMode::kOld);
+          } else {
+            EXPECT_EQ(c.view, ViewMode::kNew);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Plan, EveryQueryEdgeCoveredExactlyOnce) {
+  for (int p = 1; p <= 6; ++p) {
+    const QueryGraph q = make_pattern(p);
+    for (std::uint32_t i = 0; i < q.num_edges(); ++i) {
+      const MatchPlan plan = make_delta_plan(q, i);
+      std::set<std::uint32_t> covered{plan.seed_edge_id};
+      for (const PlanLevel& level : plan.levels) {
+        for (const BackwardConstraint& c : level.constraints) {
+          EXPECT_TRUE(covered.insert(c.query_edge_id).second)
+              << "edge " << c.query_edge_id << " covered twice";
+        }
+      }
+      EXPECT_EQ(covered.size(), q.num_edges());
+    }
+  }
+}
+
+TEST(Plan, SeedEndpointsLeadTheOrder) {
+  const QueryGraph q = make_pattern(4);
+  for (std::uint32_t i = 0; i < q.num_edges(); ++i) {
+    const MatchPlan plan = make_delta_plan(q, i);
+    EXPECT_EQ(plan.vertex_order[0], plan.seed_a);
+    EXPECT_EQ(plan.vertex_order[1], plan.seed_b);
+    EXPECT_EQ(q.edges()[i].a, plan.seed_a);
+    EXPECT_EQ(q.edges()[i].b, plan.seed_b);
+  }
+}
+
+TEST(Plan, DeltaPlansOnePerEdge) {
+  const QueryGraph q = make_pattern(2);
+  const auto plans = make_delta_plans(q);
+  EXPECT_EQ(plans.size(), q.num_edges());
+  for (std::uint32_t i = 0; i < plans.size(); ++i) {
+    EXPECT_EQ(plans[i].seed_edge_id, i);
+  }
+}
+
+TEST(Plan, WeightedOrderPrefersLowWeight) {
+  // Path 0-1-2-3: seeding edge (1,2); weights force 3 before 0 or the
+  // reverse.
+  const QueryGraph q = make_path(3);
+  const std::uint32_t seed_edge = 1;  // edge (1,2)
+  {
+    const MatchPlan plan = make_delta_plan_weighted(
+        q, seed_edge, {1000, 0, 0, 1});
+    EXPECT_EQ(plan.vertex_order[2], 3u);
+    EXPECT_EQ(plan.vertex_order[3], 0u);
+  }
+  {
+    const MatchPlan plan = make_delta_plan_weighted(
+        q, seed_edge, {1, 0, 0, 1000});
+    EXPECT_EQ(plan.vertex_order[2], 0u);
+    EXPECT_EQ(plan.vertex_order[3], 3u);
+  }
+}
+
+TEST(Plan, DisconnectedQueryThrows) {
+  const QueryGraph q = QueryGraph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW(make_static_plan(q), std::invalid_argument);
+}
+
+TEST(Plan, DescribeMentionsViews) {
+  const QueryGraph q = make_fig1_diamond();
+  const MatchPlan plan = make_delta_plan(q, 2);
+  const std::string desc = describe_plan(q, plan);
+  EXPECT_NE(desc.find("N("), std::string::npos);   // some OLD view
+  EXPECT_NE(desc.find("N'("), std::string::npos);  // some NEW view
+}
+
+}  // namespace
+}  // namespace gcsm

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/workloads.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace gcsm {
+namespace {
+
+TEST(Workloads, AllSevenSpecsBuild) {
+  const auto& specs = workload_specs();
+  ASSERT_EQ(specs.size(), 7u);
+  for (const WorkloadSpec& spec : specs) {
+    const CsrGraph g = make_workload_graph(spec.name, 0.05, 4, 11);
+    EXPECT_GT(g.num_vertices(), 0) << spec.name;
+    EXPECT_GT(g.num_edges(), 0u) << spec.name;
+  }
+}
+
+TEST(Workloads, UnknownNameThrows) {
+  EXPECT_THROW(make_workload_graph("NOPE", 1.0, 4, 1),
+               std::invalid_argument);
+}
+
+TEST(Workloads, RoadNetsHaveTinyMaxDegree) {
+  for (const char* name : {"PA", "CA"}) {
+    const CsrGraph g = make_workload_graph(name, 0.2, 1, 3);
+    EXPECT_LE(g.max_degree(), 12u) << name;  // paper Table I: 9-12
+  }
+}
+
+TEST(Workloads, SocialAnalogsAreSkewed) {
+  for (const char* name : {"AZ", "LJ", "FR", "SF3K", "SF10K"}) {
+    const CsrGraph g = make_workload_graph(name, 0.2, 1, 5);
+    EXPECT_GT(g.max_degree(),
+              5 * static_cast<std::uint32_t>(g.avg_degree()))
+        << name;
+  }
+}
+
+TEST(Workloads, ScaleGrowsTheGraph) {
+  const CsrGraph small = make_workload_graph("FR", 0.1, 1, 7);
+  const CsrGraph large = make_workload_graph("FR", 0.4, 1, 7);
+  EXPECT_GT(large.num_vertices(), 2 * small.num_vertices());
+  EXPECT_GT(large.num_edges(), 2 * small.num_edges());
+}
+
+TEST(Workloads, StreamOptionsFollowPaperProtocol) {
+  // Large graphs: fixed 12*8192-edge pool; small graphs: 10% of edges.
+  for (const char* name : {"FR", "SF3K", "SF10K"}) {
+    const UpdateStreamOptions opt = default_stream_options(name, 4096, 1);
+    EXPECT_EQ(opt.pool_edge_count, 12ull * 8192) << name;
+  }
+  for (const char* name : {"AZ", "PA", "CA", "LJ"}) {
+    const UpdateStreamOptions opt = default_stream_options(name, 4096, 1);
+    EXPECT_EQ(opt.pool_edge_count, 0u) << name;
+    EXPECT_DOUBLE_EQ(opt.pool_edge_fraction, 0.10) << name;
+  }
+}
+
+TEST(Workloads, DeterministicForSeed) {
+  const CsrGraph a = make_workload_graph("SF3K", 0.1, 4, 99);
+  const CsrGraph b = make_workload_graph("SF3K", 0.1, 4, 99);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.max_degree(), b.max_degree());
+}
+
+TEST(CommunityBa, HasCommunitiesAndSkew) {
+  Rng rng(17);
+  const CsrGraph g = generate_community_ba(4000, 6, 20, 0.95, 2, rng);
+  EXPECT_EQ(g.num_vertices(), 4000);
+  EXPECT_GT(g.max_degree(), 3 * static_cast<std::uint32_t>(g.avg_degree()));
+  // Community structure: most edges connect vertices in the same community
+  // (round-robin assignment: community = id % 20).
+  std::size_t intra = 0;
+  const auto edges = g.edge_list();
+  for (const Edge& e : edges) {
+    if (e.u % 20 == e.v % 20) ++intra;
+  }
+  EXPECT_GT(static_cast<double>(intra) / static_cast<double>(edges.size()),
+            0.6);
+}
+
+TEST(CommunityBa, RejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_THROW(generate_community_ba(1, 2, 4, 0.9, 1, rng),
+               std::invalid_argument);
+  EXPECT_THROW(generate_community_ba(100, 0, 4, 0.9, 1, rng),
+               std::invalid_argument);
+  EXPECT_THROW(generate_community_ba(100, 2, 0, 0.9, 1, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gcsm
