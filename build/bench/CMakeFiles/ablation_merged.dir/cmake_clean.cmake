@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_merged.dir/ablation_merged.cpp.o"
+  "CMakeFiles/ablation_merged.dir/ablation_merged.cpp.o.d"
+  "ablation_merged"
+  "ablation_merged.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_merged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_walks.dir/ablation_walks.cpp.o"
+  "CMakeFiles/ablation_walks.dir/ablation_walks.cpp.o.d"
+  "ablation_walks"
+  "ablation_walks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_walks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_fr.dir/fig08_fr.cpp.o"
+  "CMakeFiles/fig08_fr.dir/fig08_fr.cpp.o.d"
+  "fig08_fr"
+  "fig08_fr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_fr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

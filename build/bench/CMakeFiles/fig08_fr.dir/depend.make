@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_fr.
+# This may be replaced when dependencies are built.

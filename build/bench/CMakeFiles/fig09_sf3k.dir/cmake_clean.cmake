@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_sf3k.dir/fig09_sf3k.cpp.o"
+  "CMakeFiles/fig09_sf3k.dir/fig09_sf3k.cpp.o.d"
+  "fig09_sf3k"
+  "fig09_sf3k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_sf3k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_sf10k.dir/fig10_sf10k.cpp.o"
+  "CMakeFiles/fig10_sf10k.dir/fig10_sf10k.cpp.o.d"
+  "fig10_sf10k"
+  "fig10_sf10k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sf10k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_roadnets.dir/fig11_roadnets.cpp.o"
+  "CMakeFiles/fig11_roadnets.dir/fig11_roadnets.cpp.o.d"
+  "fig11_roadnets"
+  "fig11_roadnets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_roadnets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

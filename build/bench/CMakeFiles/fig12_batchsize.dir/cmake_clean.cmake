@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_batchsize.dir/fig12_batchsize.cpp.o"
+  "CMakeFiles/fig12_batchsize.dir/fig12_batchsize.cpp.o.d"
+  "fig12_batchsize"
+  "fig12_batchsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_batchsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

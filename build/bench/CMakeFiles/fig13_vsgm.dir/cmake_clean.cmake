@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_vsgm.dir/fig13_vsgm.cpp.o"
+  "CMakeFiles/fig13_vsgm.dir/fig13_vsgm.cpp.o.d"
+  "fig13_vsgm"
+  "fig13_vsgm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_vsgm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_rapidflow.dir/fig14_rapidflow.cpp.o"
+  "CMakeFiles/fig14_rapidflow.dir/fig14_rapidflow.cpp.o.d"
+  "fig14_rapidflow"
+  "fig14_rapidflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_rapidflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

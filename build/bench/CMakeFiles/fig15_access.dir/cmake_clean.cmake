@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_access.dir/fig15_access.cpp.o"
+  "CMakeFiles/fig15_access.dir/fig15_access.cpp.o.d"
+  "fig15_access"
+  "fig15_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcsm_bench_common.dir/harness.cpp.o"
+  "CMakeFiles/gcsm_bench_common.dir/harness.cpp.o.d"
+  "libgcsm_bench_common.a"
+  "libgcsm_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcsm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

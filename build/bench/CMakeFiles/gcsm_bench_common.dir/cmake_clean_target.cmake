@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgcsm_bench_common.a"
+)

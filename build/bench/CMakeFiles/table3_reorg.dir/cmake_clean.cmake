@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_reorg.dir/table3_reorg.cpp.o"
+  "CMakeFiles/table3_reorg.dir/table3_reorg.cpp.o.d"
+  "table3_reorg"
+  "table3_reorg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_reorg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/um_slowdown.dir/um_slowdown.cpp.o"
+  "CMakeFiles/um_slowdown.dir/um_slowdown.cpp.o.d"
+  "um_slowdown"
+  "um_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/um_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

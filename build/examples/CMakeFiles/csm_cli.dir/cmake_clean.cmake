@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_cli.dir/csm_cli.cpp.o"
+  "CMakeFiles/csm_cli.dir/csm_cli.cpp.o.d"
+  "csm_cli"
+  "csm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fraud_cycles.dir/fraud_cycles.cpp.o"
+  "CMakeFiles/fraud_cycles.dir/fraud_cycles.cpp.o.d"
+  "fraud_cycles"
+  "fraud_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fraud_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

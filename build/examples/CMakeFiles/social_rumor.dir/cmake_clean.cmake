@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_rumor.dir/social_rumor.cpp.o"
+  "CMakeFiles/social_rumor.dir/social_rumor.cpp.o.d"
+  "social_rumor"
+  "social_rumor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_rumor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

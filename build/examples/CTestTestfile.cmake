@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--batches=2")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fraud_cycles "/root/repo/build/examples/fraud_cycles" "--accounts=4000" "--batches=3" "--batch=128")
+set_tests_properties(example_fraud_cycles PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_social_rumor "/root/repo/build/examples/social_rumor" "--users=5000" "--batches=2" "--batch=128")
+set_tests_properties(example_social_rumor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_csm_cli "/root/repo/build/examples/csm_cli" "--dataset=AZ" "--scale=0.1" "--query=triangle" "--engine=gcsm" "--batch=256" "--batches=2")
+set_tests_properties(example_csm_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_csm_cli_rf "/root/repo/build/examples/csm_cli" "--dataset=AZ" "--scale=0.05" "--query=Q1" "--engine=rf" "--batch=128" "--batches=1")
+set_tests_properties(example_csm_cli_rf PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_csm_cli_list "/root/repo/build/examples/csm_cli" "--dataset=PA" "--scale=0.1" "--query=cycle4" "--engine=cpu" "--batch=256" "--batches=1" "--list=5" "--labels=1")
+set_tests_properties(example_csm_cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access_policy.cpp" "src/CMakeFiles/gcsm.dir/core/access_policy.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/core/access_policy.cpp.o.d"
+  "/root/repo/src/core/cpu_engine.cpp" "src/CMakeFiles/gcsm.dir/core/cpu_engine.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/core/cpu_engine.cpp.o.d"
+  "/root/repo/src/core/dcsr_cache.cpp" "src/CMakeFiles/gcsm.dir/core/dcsr_cache.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/core/dcsr_cache.cpp.o.d"
+  "/root/repo/src/core/frequency_estimator.cpp" "src/CMakeFiles/gcsm.dir/core/frequency_estimator.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/core/frequency_estimator.cpp.o.d"
+  "/root/repo/src/core/gpu_engine.cpp" "src/CMakeFiles/gcsm.dir/core/gpu_engine.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/core/gpu_engine.cpp.o.d"
+  "/root/repo/src/core/intersect.cpp" "src/CMakeFiles/gcsm.dir/core/intersect.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/core/intersect.cpp.o.d"
+  "/root/repo/src/core/list_ref.cpp" "src/CMakeFiles/gcsm.dir/core/list_ref.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/core/list_ref.cpp.o.d"
+  "/root/repo/src/core/match_store.cpp" "src/CMakeFiles/gcsm.dir/core/match_store.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/core/match_store.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/gcsm.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/rapidflow_like.cpp" "src/CMakeFiles/gcsm.dir/core/rapidflow_like.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/core/rapidflow_like.cpp.o.d"
+  "/root/repo/src/core/reference_matcher.cpp" "src/CMakeFiles/gcsm.dir/core/reference_matcher.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/core/reference_matcher.cpp.o.d"
+  "/root/repo/src/core/workloads.cpp" "src/CMakeFiles/gcsm.dir/core/workloads.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/core/workloads.cpp.o.d"
+  "/root/repo/src/gpusim/cost_model.cpp" "src/CMakeFiles/gcsm.dir/gpusim/cost_model.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/gpusim/cost_model.cpp.o.d"
+  "/root/repo/src/gpusim/device.cpp" "src/CMakeFiles/gcsm.dir/gpusim/device.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/gpusim/device.cpp.o.d"
+  "/root/repo/src/gpusim/page_cache.cpp" "src/CMakeFiles/gcsm.dir/gpusim/page_cache.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/gpusim/page_cache.cpp.o.d"
+  "/root/repo/src/gpusim/simt_executor.cpp" "src/CMakeFiles/gcsm.dir/gpusim/simt_executor.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/gpusim/simt_executor.cpp.o.d"
+  "/root/repo/src/graph/csr_graph.cpp" "src/CMakeFiles/gcsm.dir/graph/csr_graph.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/graph/csr_graph.cpp.o.d"
+  "/root/repo/src/graph/dynamic_graph.cpp" "src/CMakeFiles/gcsm.dir/graph/dynamic_graph.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/graph/dynamic_graph.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/gcsm.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph_io.cpp" "src/CMakeFiles/gcsm.dir/graph/graph_io.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/graph/graph_io.cpp.o.d"
+  "/root/repo/src/graph/update_stream.cpp" "src/CMakeFiles/gcsm.dir/graph/update_stream.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/graph/update_stream.cpp.o.d"
+  "/root/repo/src/query/automorphism.cpp" "src/CMakeFiles/gcsm.dir/query/automorphism.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/query/automorphism.cpp.o.d"
+  "/root/repo/src/query/motifs.cpp" "src/CMakeFiles/gcsm.dir/query/motifs.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/query/motifs.cpp.o.d"
+  "/root/repo/src/query/patterns.cpp" "src/CMakeFiles/gcsm.dir/query/patterns.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/query/patterns.cpp.o.d"
+  "/root/repo/src/query/plan.cpp" "src/CMakeFiles/gcsm.dir/query/plan.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/query/plan.cpp.o.d"
+  "/root/repo/src/query/query_graph.cpp" "src/CMakeFiles/gcsm.dir/query/query_graph.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/query/query_graph.cpp.o.d"
+  "/root/repo/src/util/binomial.cpp" "src/CMakeFiles/gcsm.dir/util/binomial.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/util/binomial.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/gcsm.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/gcsm.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/gcsm.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/gcsm.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/gcsm.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine_test.cpp" "tests/CMakeFiles/gcsm_tests.dir/engine_test.cpp.o" "gcc" "tests/CMakeFiles/gcsm_tests.dir/engine_test.cpp.o.d"
+  "/root/repo/tests/estimator_test.cpp" "tests/CMakeFiles/gcsm_tests.dir/estimator_test.cpp.o" "gcc" "tests/CMakeFiles/gcsm_tests.dir/estimator_test.cpp.o.d"
+  "/root/repo/tests/gpusim_test.cpp" "tests/CMakeFiles/gcsm_tests.dir/gpusim_test.cpp.o" "gcc" "tests/CMakeFiles/gcsm_tests.dir/gpusim_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/gcsm_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/gcsm_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/gcsm_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/gcsm_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/match_store_test.cpp" "tests/CMakeFiles/gcsm_tests.dir/match_store_test.cpp.o" "gcc" "tests/CMakeFiles/gcsm_tests.dir/match_store_test.cpp.o.d"
+  "/root/repo/tests/pipeline_test.cpp" "tests/CMakeFiles/gcsm_tests.dir/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/gcsm_tests.dir/pipeline_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/gcsm_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/gcsm_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/query_test.cpp" "tests/CMakeFiles/gcsm_tests.dir/query_test.cpp.o" "gcc" "tests/CMakeFiles/gcsm_tests.dir/query_test.cpp.o.d"
+  "/root/repo/tests/robustness_test.cpp" "tests/CMakeFiles/gcsm_tests.dir/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/gcsm_tests.dir/robustness_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/gcsm_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/gcsm_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/workload_test.cpp" "tests/CMakeFiles/gcsm_tests.dir/workload_test.cpp.o" "gcc" "tests/CMakeFiles/gcsm_tests.dir/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gcsm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

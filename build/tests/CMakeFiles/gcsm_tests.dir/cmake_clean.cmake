@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcsm_tests.dir/engine_test.cpp.o"
+  "CMakeFiles/gcsm_tests.dir/engine_test.cpp.o.d"
+  "CMakeFiles/gcsm_tests.dir/estimator_test.cpp.o"
+  "CMakeFiles/gcsm_tests.dir/estimator_test.cpp.o.d"
+  "CMakeFiles/gcsm_tests.dir/gpusim_test.cpp.o"
+  "CMakeFiles/gcsm_tests.dir/gpusim_test.cpp.o.d"
+  "CMakeFiles/gcsm_tests.dir/graph_test.cpp.o"
+  "CMakeFiles/gcsm_tests.dir/graph_test.cpp.o.d"
+  "CMakeFiles/gcsm_tests.dir/integration_test.cpp.o"
+  "CMakeFiles/gcsm_tests.dir/integration_test.cpp.o.d"
+  "CMakeFiles/gcsm_tests.dir/match_store_test.cpp.o"
+  "CMakeFiles/gcsm_tests.dir/match_store_test.cpp.o.d"
+  "CMakeFiles/gcsm_tests.dir/pipeline_test.cpp.o"
+  "CMakeFiles/gcsm_tests.dir/pipeline_test.cpp.o.d"
+  "CMakeFiles/gcsm_tests.dir/property_test.cpp.o"
+  "CMakeFiles/gcsm_tests.dir/property_test.cpp.o.d"
+  "CMakeFiles/gcsm_tests.dir/query_test.cpp.o"
+  "CMakeFiles/gcsm_tests.dir/query_test.cpp.o.d"
+  "CMakeFiles/gcsm_tests.dir/robustness_test.cpp.o"
+  "CMakeFiles/gcsm_tests.dir/robustness_test.cpp.o.d"
+  "CMakeFiles/gcsm_tests.dir/util_test.cpp.o"
+  "CMakeFiles/gcsm_tests.dir/util_test.cpp.o.d"
+  "CMakeFiles/gcsm_tests.dir/workload_test.cpp.o"
+  "CMakeFiles/gcsm_tests.dir/workload_test.cpp.o.d"
+  "gcsm_tests"
+  "gcsm_tests.pdb"
+  "gcsm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcsm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

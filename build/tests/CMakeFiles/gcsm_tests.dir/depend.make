@@ -1,0 +1,2 @@
+# Empty dependencies file for gcsm_tests.
+# This may be replaced when dependencies are built.
