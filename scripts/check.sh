@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Correctness gate for GCSM: builds every analysis preset and runs the test
+# suite under each. Intended as the local "tier-1.5" check before a PR:
+#
+#   scripts/check.sh            # all presets
+#   scripts/check.sh asan-ubsan # just one
+#
+# Presets (see CMakePresets.json; all build with GCSM_WERROR=ON):
+#   asan-ubsan — AddressSanitizer + UBSan, invariant checks on
+#   tsan       — ThreadSanitizer
+#   checks     — plain build with GCSM_ENABLE_CHECKS=ON (GCSM_ASSERT hot-path
+#                asserts + batch-boundary validate() in Pipeline)
+#   tidy       — clang-tidy over src/ (skipped when clang-tidy is not
+#                installed; the .clang-tidy config is still the gate in
+#                environments that have it)
+set -u
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+# Fail hard on the first sanitizer report; keep output readable.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0:halt_on_error=1:detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+
+failures=()
+
+run() {
+  echo "+ $*"
+  "$@"
+}
+
+run_preset() {
+  local preset="$1"
+  echo
+  echo "=== preset: ${preset} ==="
+  if ! run cmake --preset "${preset}"; then
+    failures+=("${preset}: configure")
+    return
+  fi
+  if ! run cmake --build --preset "${preset}" -j "${JOBS}"; then
+    failures+=("${preset}: build")
+    return
+  fi
+  # The tidy preset is a build-only gate: a clang-tidy diagnostic fails the
+  # compile (warnings-as-errors), so there is nothing extra to run.
+  if [ "${preset}" = "tidy" ]; then
+    return
+  fi
+  if ! run ctest --preset "${preset}" -j "${JOBS}"; then
+    failures+=("${preset}: tests")
+  fi
+}
+
+if [ "$#" -gt 0 ]; then
+  presets=("$@")
+else
+  presets=(asan-ubsan tsan checks tidy)
+fi
+
+for preset in "${presets[@]}"; do
+  if [ "${preset}" = "tidy" ] && ! command -v clang-tidy > /dev/null 2>&1; then
+    echo
+    echo "=== preset: tidy — SKIPPED (clang-tidy not installed) ==="
+    continue
+  fi
+  run_preset "${preset}"
+done
+
+echo
+if [ "${#failures[@]}" -gt 0 ]; then
+  echo "check.sh: FAILED presets:"
+  printf '  %s\n' "${failures[@]}"
+  exit 1
+fi
+echo "check.sh: all presets clean"

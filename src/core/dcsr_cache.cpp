@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
+
+#include "util/check.hpp"
 
 namespace gcsm {
 
 void DcsrCache::build(const DynamicGraph& graph,
-                      std::vector<VertexId> vertices,
+                      const std::vector<VertexId>& vertices,
                       std::uint64_t byte_budget, gpusim::Device& device,
                       gpusim::TrafficCounters& counters) {
   clear();
@@ -104,6 +107,8 @@ std::optional<NeighborView> DcsrCache::lookup(
   const std::int64_t new_begin = rowptr_[lo].new_begin;
   const std::int64_t end = rowptr_[lo + 1].begin;
   const std::int64_t prefix_end = new_begin < 0 ? end : new_begin;
+  GCSM_ASSERT(begin <= prefix_end && prefix_end <= end,
+              "DCSR row offsets out of order");
 
   NeighborView view;
   view.mode = mode;
@@ -114,6 +119,98 @@ std::optional<NeighborView> DcsrCache::lookup(
                      static_cast<std::uint32_t>(end - new_begin)};
   }
   return view;
+}
+
+void DcsrCache::validate(const DynamicGraph* graph) const {
+  if (row_count_ == 0) {
+    GCSM_CHECK(rowidx_ == nullptr && rowptr_ == nullptr && colidx_ == nullptr,
+               "empty cache holds dangling array pointers");
+    GCSM_CHECK(blob_bytes_ == 0, "empty cache reports a non-zero blob");
+    return;
+  }
+
+  GCSM_CHECK(blob_.valid(), "cache rows without a device blob");
+  const std::uint64_t rowptr_bytes =
+      (static_cast<std::uint64_t>(row_count_) + 1) * sizeof(RowPtr);
+  const std::uint64_t rowidx_bytes =
+      static_cast<std::uint64_t>(row_count_) * sizeof(VertexId);
+  GCSM_CHECK(blob_bytes_ == blob_.size(),
+             "blob byte counter disagrees with the device buffer");
+  GCSM_CHECK(blob_bytes_ >= rowptr_bytes + rowidx_bytes,
+             "blob smaller than its own header arrays");
+  const auto colidx_len = static_cast<std::int64_t>(
+      (blob_bytes_ - rowptr_bytes - rowidx_bytes) / sizeof(VertexId));
+
+  // The three arrays must tile the blob in rowptr / rowidx / colidx order.
+  const auto* base = blob_.data();
+  GCSM_CHECK(reinterpret_cast<const std::byte*>(rowptr_) == base,
+             "rowptr does not start the blob");
+  GCSM_CHECK(reinterpret_cast<const std::byte*>(rowidx_) ==
+                 base + rowptr_bytes,
+             "rowidx not contiguous after rowptr");
+  GCSM_CHECK(reinterpret_cast<const std::byte*>(colidx_) ==
+                 base + rowptr_bytes + rowidx_bytes,
+             "colidx not contiguous after rowidx");
+
+  GCSM_CHECK(rowptr_[0].begin == 0, "first row does not start at offset 0");
+  GCSM_CHECK(rowptr_[row_count_].begin == colidx_len,
+             "rowptr sentinel does not equal the colidx length");
+  GCSM_CHECK(rowptr_[row_count_].new_begin == -1,
+             "rowptr sentinel carries an appended offset");
+
+  for (std::uint32_t i = 0; i < row_count_; ++i) {
+    const std::string ctx = "cached row " + std::to_string(i);
+    if (i > 0) {
+      GCSM_CHECK(rowidx_[i - 1] < rowidx_[i],
+                 ctx + ": rowidx not strictly ascending");
+    }
+    const std::int64_t begin = rowptr_[i].begin;
+    const std::int64_t end = rowptr_[i + 1].begin;
+    const std::int64_t new_begin = rowptr_[i].new_begin;
+    GCSM_CHECK(begin <= end, ctx + ": row offsets not monotone");
+    GCSM_CHECK(begin >= 0 && end <= colidx_len,
+               ctx + ": row offsets outside the colidx extent");
+    const std::int64_t prefix_end = new_begin < 0 ? end : new_begin;
+    if (new_begin >= 0) {
+      GCSM_CHECK(begin <= new_begin && new_begin <= end,
+                 ctx + ": appended offset outside the row");
+      // A non-negative new_begin promises appended entries exist.
+      GCSM_CHECK(new_begin < end, ctx + ": appended offset marks an empty run");
+    }
+    // Prefix sorted by decoded id, appended run sorted and live — the same
+    // layout DynamicGraph::validate() enforces on the source lists.
+    for (std::int64_t j = begin + 1; j < prefix_end; ++j) {
+      GCSM_CHECK(decode_neighbor(colidx_[j - 1]) < decode_neighbor(colidx_[j]),
+                 ctx + ": prefix not strictly sorted by decoded id");
+    }
+    for (std::int64_t j = prefix_end; j < end; ++j) {
+      GCSM_CHECK(!is_deleted_neighbor(colidx_[j]),
+                 ctx + ": tombstone in appended run");
+      if (j > prefix_end) {
+        GCSM_CHECK(colidx_[j - 1] < colidx_[j],
+                   ctx + ": appended run not strictly sorted");
+      }
+    }
+
+    if (graph != nullptr) {
+      const VertexId v = rowidx_[i];
+      GCSM_CHECK(v >= 0 && v < graph->num_vertices(),
+                 ctx + ": cached vertex not in the graph");
+      const NeighborView src = graph->view(v, ViewMode::kNew);
+      GCSM_CHECK(static_cast<std::int64_t>(src.prefix.size) ==
+                     prefix_end - begin,
+                 ctx + ": cached prefix length differs from the graph");
+      GCSM_CHECK(static_cast<std::int64_t>(src.appended.size) ==
+                     end - prefix_end,
+                 ctx + ": cached appended length differs from the graph");
+      GCSM_CHECK(std::memcmp(colidx_ + begin, src.prefix.data,
+                             src.prefix.size * sizeof(VertexId)) == 0,
+                 ctx + ": cached prefix is not a verbatim copy");
+      GCSM_CHECK(std::memcmp(colidx_ + prefix_end, src.appended.data,
+                             src.appended.size * sizeof(VertexId)) == 0,
+                 ctx + ": cached appended run is not a verbatim copy");
+    }
+  }
 }
 
 }  // namespace gcsm

@@ -35,7 +35,8 @@ class DcsrCache {
   // `byte_budget` are dropped (least-priority last: callers pass vertices in
   // descending priority). Throws DeviceOomError only if even the empty blob
   // does not fit.
-  void build(const DynamicGraph& graph, std::vector<VertexId> vertices,
+  void build(const DynamicGraph& graph,
+             const std::vector<VertexId>& vertices,
              std::uint64_t byte_budget, gpusim::Device& device,
              gpusim::TrafficCounters& counters);
 
@@ -50,6 +51,15 @@ class DcsrCache {
   // receives the number of binary-search probes (device-memory accounting).
   std::optional<NeighborView> lookup(VertexId v, ViewMode mode,
                                      std::uint32_t& search_steps) const;
+
+  // Checks the DCSR invariants (docs/ANALYSIS.md): rowidx strictly
+  // ascending, rowptr offsets monotone and within the colidx extent, the
+  // sentinel equal to the colidx length, new_begin either -1 or inside its
+  // row, every row's segments sorted, and the blob byte accounting exact.
+  // When `graph` is non-null (valid until the graph reorganizes under the
+  // cache), additionally checks each cached list is a verbatim copy of the
+  // graph's stored list. Throws CheckFailure on the first violation.
+  void validate(const DynamicGraph* graph = nullptr) const;
 
  private:
   struct RowPtr {

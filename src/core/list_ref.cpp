@@ -2,18 +2,25 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
+
 namespace gcsm {
 
 void materialize_view(const NeighborView& view, std::vector<VertexId>& out) {
   const NeighborSeg& p = view.prefix;
   if (view.mode == ViewMode::kOld) {
+    GCSM_ASSERT(view.appended.size == 0, "OLD view carries an appended run");
     for (std::uint32_t i = 0; i < p.size; ++i) {
       out.push_back(decode_neighbor(p.data[i]));
     }
     return;
   }
-  // kNew: merge live prefix entries with the appended run.
+  // kNew: merge live prefix entries with the appended run. Tombstones must
+  // never reach the candidate buffers — only prefix entries can carry them,
+  // and the merge below skips those.
   const NeighborSeg& a = view.appended;
+  GCSM_ASSERT(a.size == 0 || !is_deleted_neighbor(a.data[0]),
+              "tombstone at the head of an appended run");
   std::uint32_t i = 0;
   std::uint32_t j = 0;
   while (i < p.size && j < a.size) {

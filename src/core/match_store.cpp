@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+#include "util/check.hpp"
 
 namespace gcsm {
 
@@ -64,6 +68,9 @@ void MatchStore::apply(std::span<const VertexId> embedding, int sign) {
   const std::int64_t before = count;
   count += sign > 0 ? 1 : -1;
   embeddings_ += sign > 0 ? 1 : -1;
+  GCSM_ASSERT(count <= static_cast<std::int64_t>(aut_count_) &&
+                  -count <= static_cast<std::int64_t>(aut_count_),
+              "duplicate embedding event for one subgraph");
   // A subgraph is "present" once its embedding multiplicity is positive;
   // full presence is |Aut| embeddings, but the first positive one already
   // identifies the subgraph (events within a batch arrive in any order).
@@ -90,6 +97,35 @@ void MatchStore::clear() {
   subgraphs_.clear();
   embeddings_ = 0;
   positive_subgraphs_ = 0;
+}
+
+void MatchStore::validate() const {
+  std::int64_t total = 0;
+  std::uint64_t positive = 0;
+  for (const auto& [key, count] : subgraphs_) {
+    GCSM_CHECK(key.size() == query_.num_vertices(),
+               "stored embedding has the wrong arity");
+    std::unordered_set<VertexId> distinct(key.begin(), key.end());
+    GCSM_CHECK(distinct.size() == key.size(),
+               "stored embedding binds a data vertex twice");
+    for (const VertexId v : key) {
+      GCSM_CHECK(v >= 0, "stored embedding binds a negative vertex id");
+    }
+    GCSM_CHECK(canonicalize(std::span<const VertexId>(key.data(),
+                                                      key.size())) == key,
+               "stored key is not the canonical automorphism image");
+    GCSM_CHECK(count != 0, "zero-count subgraph was not erased");
+    const std::int64_t aut = static_cast<std::int64_t>(aut_count_);
+    GCSM_CHECK(count <= aut && count >= -aut,
+               "subgraph holds more than |Aut(Q)| embeddings — duplicate "
+               "embedding events");
+    total += count;
+    if (count > 0) ++positive;
+  }
+  GCSM_CHECK(total == embeddings_,
+             "embedding counter disagrees with the stored multiplicities");
+  GCSM_CHECK(positive == positive_subgraphs_,
+             "positive-subgraph counter disagrees with the table");
 }
 
 }  // namespace gcsm

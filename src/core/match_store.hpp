@@ -54,6 +54,15 @@ class MatchStore {
 
   void clear();
 
+  // Checks the store's invariants (docs/ANALYSIS.md): every key is a
+  // canonical, injective embedding of the right arity; no entry holds a zero
+  // count (apply() erases them); no subgraph accumulates more than |Aut(Q)|
+  // embeddings in either direction (a duplicate embedding event would);
+  // and the embedding / positive-subgraph counters match the table. Counts
+  // may be negative when the store attached to a non-empty graph without
+  // seeding. Throws CheckFailure on the first violation.
+  void validate() const;
+
  private:
   std::vector<VertexId> canonicalize(std::span<const VertexId> embedding)
       const;

@@ -76,6 +76,7 @@ BatchReport Pipeline::process_batch(const EdgeBatch& batch,
   Timer t;
   graph_.apply_batch(batch);
   report.wall_update_ms = t.millis();
+  if (options_.check_invariants) graph_.validate();
 
   // Step 2: frequency estimation (GCSM only).
   std::vector<VertexId> cache_order;
@@ -122,6 +123,7 @@ BatchReport Pipeline::process_batch(const EdgeBatch& batch,
     }
     cache_.build(graph_, cache_order, options_.cache_budget_bytes, device_,
                  counters);
+    if (options_.check_invariants) cache_.validate(&graph_);
     report.cached_vertices = cache_.num_cached();
     report.cache_bytes = cache_.blob_bytes();
     report.wall_pack_ms = t.millis();
@@ -157,6 +159,7 @@ BatchReport Pipeline::process_batch(const EdgeBatch& batch,
   t.reset();
   const DynamicGraph::ReorgStats reorg = graph_.reorganize();
   report.wall_reorg_ms = t.millis();
+  if (options_.check_invariants) graph_.validate();
   report.sim_reorg_s =
       static_cast<double>(reorg.entries) * sizeof(VertexId) /
       (sim.host_mem_bandwidth_gbps * 1e9);

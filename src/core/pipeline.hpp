@@ -25,6 +25,7 @@
 #include "gpusim/device.hpp"
 #include "gpusim/simt_executor.hpp"
 #include "graph/dynamic_graph.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace gcsm {
@@ -50,6 +51,10 @@ struct PipelineOptions {
   std::size_t grain = 2;
   gpusim::Schedule schedule = gpusim::Schedule::kWorkStealing;
   std::uint64_t seed = 7;
+  // Validate DynamicGraph and DcsrCache at every batch boundary (throws
+  // CheckFailure on corruption). Defaults on in GCSM_ENABLE_CHECKS builds;
+  // can be toggled per pipeline regardless of the build flavor.
+  bool check_invariants = GCSM_CHECKS_ENABLED != 0;
 };
 
 struct BatchReport {

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
+#include <string>
+
+#include "util/check.hpp"
 
 namespace gcsm {
 
@@ -57,6 +60,7 @@ void DynamicGraph::ensure_capacity(VertexId v, std::uint32_t needed) {
 }
 
 void DynamicGraph::append_neighbor(VertexId v, VertexId neighbor) {
+  GCSM_ASSERT(neighbor >= 0, "appending a tombstoned neighbor id");
   auto& a = adj_[v];
   ensure_capacity(v, a.size + 1);
   a.data[a.size++] = neighbor;
@@ -171,6 +175,8 @@ DynamicGraph::ReorgStats DynamicGraph::reorganize() {
     }
     a.size = a.old_size = w + appended;
     a.old_tombstones = 0;
+    GCSM_ASSERT(std::is_sorted(a.data.get(), a.data.get() + a.size),
+                "list not sorted after reorganization");
     touched_flag_[v] = 0;
   }
   touched_.clear();
@@ -199,6 +205,98 @@ bool DynamicGraph::has_live_edge(VertexId u, VertexId v) const {
   // Appended run (sorted, all live).
   return std::binary_search(a.data.get() + a.old_size, a.data.get() + a.size,
                             v);
+}
+
+void DynamicGraph::validate() const {
+  const auto n = static_cast<std::size_t>(num_vertices());
+  GCSM_CHECK(labels_.size() == n, "label array size mismatch");
+  GCSM_CHECK(touched_flag_.size() == n, "touched-flag array size mismatch");
+
+  // The touched set and its flag array must agree exactly.
+  std::size_t flagged = 0;
+  for (const std::uint8_t f : touched_flag_) flagged += f != 0 ? 1 : 0;
+  GCSM_CHECK(flagged == touched_.size(),
+             "touched flags disagree with the touched list");
+  for (const VertexId v : touched_) {
+    GCSM_CHECK(v >= 0 && static_cast<std::size_t>(v) < n,
+               "touched vertex out of range");
+    GCSM_CHECK(touched_flag_[v] != 0, "touched vertex without flag");
+  }
+
+  EdgeCount live_entries = 0;
+  for (VertexId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+    const AdjList& a = adj_[v];
+    const std::string ctx = "vertex " + std::to_string(v);
+    GCSM_CHECK(a.size <= a.capacity, ctx + ": size exceeds capacity");
+    GCSM_CHECK(a.old_size <= a.size, ctx + ": prefix longer than list");
+    GCSM_CHECK(a.old_tombstones <= a.old_size,
+               ctx + ": more tombstones than prefix entries");
+
+    // Prefix: sorted strictly by decoded id (so binary search and merge
+    // intersection stay correct), tombstone count exact.
+    std::uint32_t tombstones = 0;
+    for (std::uint32_t i = 0; i < a.old_size; ++i) {
+      const VertexId decoded = decode_neighbor(a.data[i]);
+      GCSM_CHECK(decoded >= 0 && static_cast<std::size_t>(decoded) < n,
+                 ctx + ": prefix neighbor out of range");
+      if (i > 0) {
+        GCSM_CHECK(decode_neighbor(a.data[i - 1]) < decoded,
+                   ctx + ": prefix not strictly sorted by decoded id");
+      }
+      if (is_deleted_neighbor(a.data[i])) ++tombstones;
+    }
+    GCSM_CHECK(tombstones == a.old_tombstones,
+               ctx + ": tombstone counter does not match the prefix");
+
+    // Appended run: strictly sorted, all live, endpoints in range.
+    for (std::uint32_t i = a.old_size; i < a.size; ++i) {
+      const VertexId w = a.data[i];
+      GCSM_CHECK(!is_deleted_neighbor(w), ctx + ": tombstone in appended run");
+      GCSM_CHECK(static_cast<std::size_t>(w) < n,
+                 ctx + ": appended neighbor out of range");
+      if (i > a.old_size) {
+        GCSM_CHECK(a.data[i - 1] < w,
+                   ctx + ": appended run not strictly sorted");
+      }
+    }
+
+    // A list with pending work (appends or tombstones) must be touched.
+    if (a.size != a.old_size || a.old_tombstones != 0) {
+      GCSM_CHECK(touched_flag_[v] != 0, ctx + ": pending work but not touched");
+    }
+
+    const std::uint32_t live = live_degree(v);
+    GCSM_CHECK(live <= max_degree_bound_,
+               ctx + ": live degree exceeds max_degree_bound");
+    live_entries += live;
+
+    // NEW-view symmetry: every live neighbor must list v back. An appended
+    // entry must not duplicate a live prefix entry (insertions target absent
+    // edges), which has_live_edge's prefix-first probe would hide — so check
+    // the runs separately.
+    for (std::uint32_t i = 0; i < a.size; ++i) {
+      const VertexId stored = a.data[i];
+      if (i < a.old_size && is_deleted_neighbor(stored)) continue;
+      const VertexId w = decode_neighbor(stored);
+      if (i >= a.old_size) {
+        const NeighborView pre = view(v, ViewMode::kNew);
+        bool live_in_prefix = false;
+        for (std::uint32_t p = 0; p < pre.prefix.size; ++p) {
+          if (!is_deleted_neighbor(pre.prefix.data[p]) &&
+              pre.prefix.data[p] == w) {
+            live_in_prefix = true;
+            break;
+          }
+        }
+        GCSM_CHECK(!live_in_prefix,
+                   ctx + ": appended neighbor duplicates a live prefix entry");
+      }
+      GCSM_CHECK(has_live_edge(w, v),
+                 ctx + ": live edge not symmetric in the NEW view");
+    }
+  }
+  GCSM_CHECK(live_entries == 2 * live_edges_,
+             "live-edge counter does not match the adjacency lists");
 }
 
 CsrGraph DynamicGraph::to_csr() const {

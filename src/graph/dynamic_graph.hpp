@@ -117,6 +117,16 @@ class DynamicGraph {
     return static_cast<std::uint64_t>(adj_[v].size) * sizeof(VertexId);
   }
 
+  // Checks every structural invariant of the store (docs/ANALYSIS.md):
+  // array sizes consistent, every prefix sorted by decoded id and
+  // duplicate-free, appended runs sorted and tombstone-free, per-list
+  // tombstone counters exact, the touched set exactly the lists with pending
+  // work, adjacency symmetric in the NEW view, and the live-edge /
+  // max-degree accounting in agreement with the lists. Valid in both the
+  // pending-batch and reorganized states. Throws CheckFailure on the first
+  // violation. Cost is O(E log d) — call at batch boundaries, not per edge.
+  void validate() const;
+
  private:
   struct AdjList {
     std::unique_ptr<VertexId[]> data;

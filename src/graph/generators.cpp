@@ -118,7 +118,7 @@ CsrGraph generate_community_ba(VertexId num_vertices,
         edges_per_vertex, static_cast<std::uint32_t>(v));
     std::uint32_t guard = 0;
     while (picked.size() < m && guard++ < 64 * m) {
-      VertexId t;
+      VertexId t = kInvalidVertex;
       if (!intra[c].empty() && rng.bernoulli(intra_prob)) {
         t = intra[c][rng.bounded(intra[c].size())];
       } else {

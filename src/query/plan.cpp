@@ -30,7 +30,7 @@ std::vector<std::uint32_t> make_order(const QueryGraph& q, std::uint32_t a,
         if (q.adjacent(u, w)) ++links;
       }
       if (links == 0) continue;
-      bool better;
+      bool better = false;
       if (best < 0) {
         better = true;
       } else if (weights != nullptr) {

@@ -79,7 +79,7 @@ std::uint64_t binomial(Rng& rng, std::uint64_t n, double p) {
   const bool flip = p > 0.5;
   const double pe = flip ? 1.0 - p : p;
   const double np = static_cast<double>(n) * pe;
-  std::uint64_t k;
+  std::uint64_t k = 0;
   if (np < 10.0) {
     k = detail::binomial_inversion(rng, n, pe);
   } else {

@@ -1,0 +1,81 @@
+// Runtime invariant checking for the concurrent core.
+//
+// Two tiers of checks, matching how expensive they are to evaluate:
+//
+//   GCSM_CHECK(cond, msg)   — always compiled. Throws CheckFailure when the
+//       condition is false. Used inside the explicit validate() methods
+//       (DynamicGraph, DcsrCache, MatchStore), whose cost is only paid when
+//       a caller invokes them, so the macro itself need not be gated.
+//
+//   GCSM_ASSERT(cond, msg)  — hot-path assertion. Compiled to ((void)0)
+//       unless the build defines GCSM_ENABLE_CHECKS (the `checks` preset /
+//       -DGCSM_ENABLE_CHECKS=ON), so release binaries pay zero cost — the
+//       condition expression is not even evaluated.
+//
+// Failures throw (rather than abort) so tests can prove a deliberately
+// corrupted structure is caught, and so a long-running service can fail one
+// batch instead of the whole process. CheckFailure carries the failed
+// expression, source location, and the caller's message.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gcsm {
+
+class CheckFailure : public std::logic_error {
+ public:
+  CheckFailure(const char* expr, const char* file, int line,
+               const std::string& message)
+      : std::logic_error(format(expr, file, line, message)),
+        expression(expr),
+        file_name(file),
+        line_number(line) {}
+
+  const char* expression;
+  const char* file_name;
+  int line_number;
+
+ private:
+  static std::string format(const char* expr, const char* file, int line,
+                            const std::string& message) {
+    std::string out = "GCSM invariant violated: ";
+    out += expr;
+    out += " at ";
+    out += file;
+    out += ":";
+    out += std::to_string(line);
+    if (!message.empty()) {
+      out += " — ";
+      out += message;
+    }
+    return out;
+  }
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_fail(const char* expr, const char* file,
+                                    int line, const std::string& message) {
+  throw CheckFailure(expr, file, line, message);
+}
+
+}  // namespace detail
+}  // namespace gcsm
+
+// Always-on check; use in validate() methods and other cold paths.
+#define GCSM_CHECK(cond, msg)                                         \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::gcsm::detail::check_fail(#cond, __FILE__, __LINE__, (msg));   \
+    }                                                                 \
+  } while (0)
+
+// Hot-path assertion; zero-cost unless GCSM_ENABLE_CHECKS is defined.
+#if defined(GCSM_ENABLE_CHECKS)
+#define GCSM_ASSERT(cond, msg) GCSM_CHECK(cond, msg)
+#define GCSM_CHECKS_ENABLED 1
+#else
+#define GCSM_ASSERT(cond, msg) ((void)0)
+#define GCSM_CHECKS_ENABLED 0
+#endif

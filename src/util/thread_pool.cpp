@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "util/check.hpp"
+
 namespace gcsm {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -46,6 +48,8 @@ void ThreadPool::worker_loop(std::size_t id) {
 void ThreadPool::run_on_all(const std::function<void(std::size_t)>& body) {
   {
     std::lock_guard<std::mutex> lk(mu_);
+    GCSM_ASSERT(job_ == nullptr && remaining_ == 0,
+                "run_on_all entered while a job is in flight");
     job_ = &body;
     remaining_ = workers_.size();
     ++epoch_;

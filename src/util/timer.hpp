@@ -31,6 +31,9 @@ class Stopwatch {
     explicit ScopedAdd(Stopwatch& sw) : sw_(sw) {}
     ~ScopedAdd() { sw_.total_seconds_ += t_.seconds(); }
 
+    ScopedAdd(const ScopedAdd&) = delete;
+    ScopedAdd& operator=(const ScopedAdd&) = delete;
+
    private:
     Stopwatch& sw_;
     Timer t_;

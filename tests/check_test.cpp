@@ -1,0 +1,237 @@
+// Tests for the runtime invariant checker (util/check.hpp and the
+// validate() methods): every structure passes validation along a randomized
+// insert/delete stream, and deliberate corruption of each structure is
+// caught with a CheckFailure.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/dcsr_cache.hpp"
+#include "core/match_store.hpp"
+#include "core/pipeline.hpp"
+#include "graph/generators.hpp"
+#include "graph/update_stream.hpp"
+#include "gpusim/device.hpp"
+#include "query/patterns.hpp"
+#include "util/check.hpp"
+
+namespace gcsm {
+namespace {
+
+CsrGraph small_graph(std::uint64_t seed = 99) {
+  Rng rng(seed);
+  return generate_erdos_renyi(60, 240, 2, rng);
+}
+
+TEST(CheckMacros, GcsmCheckThrowsWithContext) {
+  try {
+    GCSM_CHECK(1 + 1 == 3, "arithmetic drifted");
+    FAIL() << "GCSM_CHECK did not throw";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("1 + 1 == 3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("arithmetic drifted"),
+              std::string::npos);
+    EXPECT_GT(e.line_number, 0);
+  }
+}
+
+TEST(CheckMacros, GcsmAssertMatchesBuildFlavor) {
+#if GCSM_CHECKS_ENABLED
+  EXPECT_THROW(GCSM_ASSERT(false, "enabled build"), CheckFailure);
+#else
+  GCSM_ASSERT(false, "disabled build: must not evaluate or throw");
+#endif
+}
+
+TEST(DynamicGraphValidate, PassesOnFreshAndUpdatedGraph) {
+  DynamicGraph g(small_graph());
+  EXPECT_NO_THROW(g.validate());
+
+  UpdateStreamOptions opt;
+  opt.pool_edge_count = 120;
+  opt.batch_size = 24;
+  opt.seed = 5;
+  const UpdateStream stream = make_update_stream(small_graph(), opt);
+  DynamicGraph dyn(stream.initial);
+  for (const EdgeBatch& batch : stream.batches) {
+    dyn.apply_batch(batch);
+    EXPECT_NO_THROW(dyn.validate());  // pending-batch state
+    dyn.reorganize();
+    EXPECT_NO_THROW(dyn.validate());  // reorganized state
+  }
+}
+
+TEST(DynamicGraphValidate, CatchesUnsortedPrefix) {
+  DynamicGraph g(small_graph());
+  // Find a vertex with at least two neighbors and swap them out of order.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.pre_batch_degree(v) >= 2) {
+      auto* list = const_cast<VertexId*>(g.host_ptr(v));
+      std::swap(list[0], list[1]);
+      EXPECT_THROW(g.validate(), CheckFailure);
+      return;
+    }
+  }
+  FAIL() << "graph has no vertex of degree >= 2";
+}
+
+TEST(DynamicGraphValidate, CatchesAsymmetricEdge) {
+  DynamicGraph g(small_graph());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.pre_batch_degree(v) >= 1) {
+      auto* list = const_cast<VertexId*>(g.host_ptr(v));
+      // Redirect the first neighbor to a vertex that does not list v back
+      // (keep sortedness: only bump within the gap before the next entry).
+      const VertexId old = list[0];
+      const VertexId next = g.pre_batch_degree(v) >= 2
+                                ? list[1]
+                                : g.num_vertices();
+      for (VertexId cand = old + 1; cand < next; ++cand) {
+        if (cand != v && !g.has_live_edge(v, cand)) {
+          list[0] = cand;
+          EXPECT_THROW(g.validate(), CheckFailure);
+          return;
+        }
+      }
+    }
+  }
+  GTEST_SKIP() << "no safe slot found to forge an asymmetric edge";
+}
+
+TEST(DynamicGraphValidate, CatchesForgedTombstone) {
+  DynamicGraph g(small_graph());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.pre_batch_degree(v) >= 1) {
+      // A tombstone the counters know nothing about.
+      auto* list = const_cast<VertexId*>(g.host_ptr(v));
+      list[0] = tombstone(decode_neighbor(list[0]));
+      EXPECT_THROW(g.validate(), CheckFailure);
+      return;
+    }
+  }
+  FAIL() << "graph has no vertex with a neighbor";
+}
+
+TEST(DcsrCacheValidate, PassesOnBuiltCacheAndCatchesCorruption) {
+  DynamicGraph g(small_graph());
+  gpusim::Device device;
+  DcsrCache cache;
+  EXPECT_NO_THROW(cache.validate());  // empty cache
+
+  std::vector<VertexId> all;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) all.push_back(v);
+  cache.build(g, all, 64ull << 20, device, device.counters());
+  ASSERT_GT(cache.num_cached(), 0u);
+  EXPECT_NO_THROW(cache.validate());
+  EXPECT_NO_THROW(cache.validate(&g));  // verbatim against the source lists
+
+  // Corrupt a cached list through the device-side view: break the sorted
+  // order of the first row with >= 2 entries.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::uint32_t steps = 0;
+    const auto view = cache.lookup(v, ViewMode::kNew, steps);
+    if (view && view->prefix.size >= 2) {
+      auto* colidx = const_cast<VertexId*>(view->prefix.data);
+      std::swap(colidx[0], colidx[1]);
+      EXPECT_THROW(cache.validate(), CheckFailure);
+      std::swap(colidx[0], colidx[1]);  // restore, then corrupt a value only
+      EXPECT_NO_THROW(cache.validate(&g));
+      colidx[1] = static_cast<VertexId>(g.num_vertices() + colidx[1]);
+      // Still sorted, but no longer a verbatim copy of the graph's list.
+      EXPECT_THROW(cache.validate(&g), CheckFailure);
+      return;
+    }
+  }
+  FAIL() << "no cached row with two entries";
+}
+
+TEST(DcsrCacheValidate, PendingBatchRowsRoundTrip) {
+  UpdateStreamOptions opt;
+  opt.pool_edge_count = 80;
+  opt.batch_size = 80;
+  opt.seed = 17;
+  const UpdateStream stream = make_update_stream(small_graph(3), opt);
+  DynamicGraph dyn(stream.initial);
+  dyn.apply_batch(stream.batches.at(0));  // tombstones + appended runs live
+
+  gpusim::Device device;
+  DcsrCache cache;
+  std::vector<VertexId> all;
+  for (VertexId v = 0; v < dyn.num_vertices(); ++v) all.push_back(v);
+  cache.build(dyn, all, 64ull << 20, device, device.counters());
+  EXPECT_NO_THROW(cache.validate(&dyn));
+}
+
+TEST(MatchStoreValidate, PassesAfterRandomizedStreamBatches) {
+  UpdateStreamOptions opt;
+  opt.pool_edge_count = 100;
+  opt.batch_size = 20;
+  opt.seed = 31;
+  const UpdateStream stream = make_update_stream(small_graph(7), opt);
+  const QueryGraph q = make_triangle();
+
+  PipelineOptions popt;
+  popt.kind = EngineKind::kCpu;
+  popt.workers = 2;
+  popt.check_invariants = true;  // batch-boundary graph/cache validation
+  Pipeline pipe(stream.initial, q, popt);
+  MatchStore store(q);
+  const MatchSink sink = store.sink();
+  for (const EdgeBatch& batch : stream.batches) {
+    pipe.process_batch(batch, &sink);
+    EXPECT_NO_THROW(store.validate());
+  }
+}
+
+TEST(MatchStoreValidate, CatchesDuplicateEmbeddingEvents) {
+  MatchStore store(make_path(1));  // single edge, |Aut| = 2
+  const std::vector<VertexId> e{4, 9};
+  const auto span = std::span<const VertexId>(e.data(), e.size());
+  store.apply(span, +1);
+  store.apply(span, +1);
+  EXPECT_NO_THROW(store.validate());  // at the |Aut| bound: still legal
+#if GCSM_CHECKS_ENABLED
+  // The hot-path GCSM_ASSERT in apply() catches the third event directly.
+  EXPECT_THROW(store.apply(span, +1), CheckFailure);
+#else
+  store.apply(span, +1);  // slips past the disabled assert...
+  EXPECT_THROW(store.validate(), CheckFailure);  // ...but not past validate()
+#endif
+}
+
+TEST(PipelineChecksMode, GcsmEngineStreamValidatesEveryBatch) {
+  UpdateStreamOptions opt;
+  opt.pool_edge_count = 100;
+  opt.batch_size = 25;
+  opt.seed = 43;
+  const UpdateStream stream = make_update_stream(small_graph(11), opt);
+
+  PipelineOptions popt;
+  popt.kind = EngineKind::kGcsm;
+  popt.workers = 2;
+  popt.check_invariants = true;
+  Pipeline pipe(stream.initial, make_triangle(), popt);
+  std::int64_t net = 0;
+  for (const EdgeBatch& batch : stream.batches) {
+    const BatchReport report = pipe.process_batch(batch);
+    net += report.stats.signed_embeddings;
+  }
+  // The invariant checks must not perturb the matching result: the net delta
+  // telescopes to the embedding count difference.
+  PipelineOptions ref_opt;
+  ref_opt.kind = EngineKind::kCpu;
+  ref_opt.check_invariants = false;
+  Pipeline ref(stream.initial, make_triangle(), ref_opt);
+  const auto before = static_cast<std::int64_t>(
+      ref.count_current_embeddings());
+  for (const EdgeBatch& batch : stream.batches) {
+    ref.mutable_graph().apply_batch(batch);
+    ref.mutable_graph().reorganize();
+  }
+  const auto after = static_cast<std::int64_t>(
+      ref.count_current_embeddings());
+  EXPECT_EQ(net, after - before);
+}
+
+}  // namespace
+}  // namespace gcsm

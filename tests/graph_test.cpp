@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <string>
 #include <set>
 #include <vector>
 
@@ -454,11 +457,20 @@ TEST(UpdateStream, EmptyPoolThrows) {
 
 class GraphIoTest : public ::testing::Test {
  protected:
+  // The path embeds the test name and pid: ctest runs each test as its own
+  // process, possibly in parallel, so a shared fixed name would let one
+  // test's TearDown unlink the file while another is between save and load.
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = std::string(::testing::TempDir()) + "gcsm_io_" + info->name() +
+            "_" + std::to_string(::getpid()) + ".bin";
+  }
   void TearDown() override {
     std::error_code ec;
     std::filesystem::remove(path_, ec);
   }
-  std::string path_ = std::string(::testing::TempDir()) + "gcsm_io_test.bin";
+  std::string path_;
 };
 
 TEST_F(GraphIoTest, BinaryRoundTrip) {
