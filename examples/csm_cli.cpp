@@ -8,6 +8,7 @@
 //   csm_cli --graph=my_graph.txt --query=clique4 --engine=cpu --list=10
 //   csm_cli --dataset=AZ --query=Q1 --engine=rf        # RapidFlow-like
 //   csm_cli --dataset=PA --save-graph=pa.bin           # just materialize
+//   csm_cli --dataset=AZ --query=Q2 --faults=0.05      # fault-injected run
 #include <cstdio>
 #include <string>
 
@@ -19,6 +20,8 @@
 #include "query/automorphism.hpp"
 #include "query/patterns.hpp"
 #include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
 
 using namespace gcsm;
 
@@ -64,7 +67,10 @@ int usage() {
       "               [--engine=gcsm|zp|um|naive|vsgm|cpu|rf]\n"
       "               [--batch=N] [--batches=N] [--scale=F] [--labels=N]\n"
       "               [--budget=MB] [--walks=N] [--seed=N] [--list=N]\n"
-      "               [--save-graph=FILE]\n");
+      "               [--save-graph=FILE]\n"
+      "               [--faults=P] [--fault-seed=N]   (arm fault injection\n"
+      "                with probability P at every site; see "
+      "docs/ROBUSTNESS.md)\n");
   return 2;
 }
 
@@ -158,6 +164,14 @@ int main(int argc, char** argv) try {
   }
   popt.estimator.num_walks =
       static_cast<std::uint64_t>(args.get_int("walks", 0));
+
+  FaultInjector faults(
+      static_cast<std::uint64_t>(args.get_int("fault-seed", 0x5eed)));
+  const double fault_p = args.get_double("faults", 0.0);
+  if (fault_p > 0.0) {
+    faults.arm_all(fault_p);
+    popt.fault_injector = &faults;
+  }
   Pipeline pipeline(stream.initial, query, popt);
 
   const gpusim::SimParams params = popt.sim;
@@ -175,9 +189,28 @@ int main(int argc, char** argv) try {
         static_cast<double>(r.traffic.cpu_access_bytes(params)) / 1e6,
         static_cast<unsigned long long>(r.cached_vertices),
         100.0 * r.cache_hit_rate());
+    if (r.retries > 0 || r.cpu_fallback || r.degradation_level > 0 ||
+        !r.quarantine.empty()) {
+      std::printf(
+          "  recovery: %u retries%s, degradation L%u (budget %llu B), "
+          "%llu faults observed, %llu records quarantined\n",
+          r.retries, r.cpu_fallback ? " (CPU fallback)" : "",
+          r.degradation_level,
+          static_cast<unsigned long long>(r.effective_cache_budget),
+          static_cast<unsigned long long>(r.faults_observed),
+          static_cast<unsigned long long>(r.quarantine.total()));
+    }
   }
   return 0;
+} catch (const gcsm::Error& e) {
+  // One line, machine-prefixed with the taxonomy code, nonzero exit.
+  std::fprintf(stderr, "csm_cli: error [%s]: %s\n",
+               error_code_name(e.code()), e.what());
+  return 1;
 } catch (const std::exception& e) {
-  std::fprintf(stderr, "error: %s\n", e.what());
-  return usage();
+  std::fprintf(stderr, "csm_cli: error: %s\n", e.what());
+  return 1;
+} catch (...) {
+  std::fprintf(stderr, "csm_cli: error: unknown exception\n");
+  return 1;
 }

@@ -50,6 +50,13 @@ run_preset() {
   if ! run ctest --preset "${preset}" -j "${JOBS}"; then
     failures+=("${preset}: tests")
   fi
+  # The fault-injection matrix must hold under the sanitizers: recovery paths
+  # (rollback, retry, CPU fallback) are exactly where leaks and UB hide.
+  if [ "${preset}" = "asan-ubsan" ]; then
+    if ! run ctest --preset faults-asan -j "${JOBS}"; then
+      failures+=("faults-asan: tests")
+    fi
+  fi
 }
 
 if [ "$#" -gt 0 ]; then

@@ -5,6 +5,8 @@
 #include <string>
 
 #include "util/check.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace gcsm {
 
@@ -13,6 +15,12 @@ void DcsrCache::build(const DynamicGraph& graph,
                       std::uint64_t byte_budget, gpusim::Device& device,
                       gpusim::TrafficCounters& counters) {
   clear();
+
+  if (FaultInjector* faults = device.fault_injector();
+      faults != nullptr && faults->fires(fault_site::kCacheBuild)) {
+    throw Error(ErrorCode::kCacheBuild,
+                "injected fault: DCSR cache build aborted (transient)");
+  }
 
   // Respect the byte budget in the caller's priority order, then sort the
   // survivors so rowidx is binary-searchable.
@@ -34,25 +42,28 @@ void DcsrCache::build(const DynamicGraph& graph,
   selected.erase(std::unique(selected.begin(), selected.end()),
                  selected.end());
 
-  row_count_ = static_cast<std::uint32_t>(selected.size());
+  // Everything below works on locals; members are assigned only once the
+  // allocation and the DMA have both succeeded, so a throw from either
+  // leaves the cache in its cleared (valid, empty) state.
+  const auto row_count = static_cast<std::uint32_t>(selected.size());
   const std::uint64_t rowptr_bytes =
-      (static_cast<std::uint64_t>(row_count_) + 1) * sizeof(RowPtr);
+      (static_cast<std::uint64_t>(row_count) + 1) * sizeof(RowPtr);
   const std::uint64_t rowidx_bytes =
-      static_cast<std::uint64_t>(row_count_) * sizeof(VertexId);
+      static_cast<std::uint64_t>(row_count) * sizeof(VertexId);
   // Recompute colidx_bytes over the deduplicated set.
   colidx_bytes = 0;
   for (const VertexId v : selected) colidx_bytes += graph.list_bytes(v);
-  blob_bytes_ = rowptr_bytes + rowidx_bytes + colidx_bytes;
+  const std::uint64_t blob_bytes = rowptr_bytes + rowidx_bytes + colidx_bytes;
 
   // Host staging buffer: one allocation, then one DMA (paper Sec. V-B).
-  std::vector<std::byte> staging(blob_bytes_);
+  std::vector<std::byte> staging(blob_bytes);
   auto* rowptr = reinterpret_cast<RowPtr*>(staging.data());
   auto* rowidx = reinterpret_cast<VertexId*>(staging.data() + rowptr_bytes);
   auto* colidx = reinterpret_cast<VertexId*>(staging.data() + rowptr_bytes +
                                              rowidx_bytes);
 
   std::int64_t cursor = 0;
-  for (std::uint32_t i = 0; i < row_count_; ++i) {
+  for (std::uint32_t i = 0; i < row_count; ++i) {
     const VertexId v = selected[i];
     rowidx[i] = v;
     const NeighborView view = graph.view(v, ViewMode::kNew);
@@ -66,12 +77,15 @@ void DcsrCache::build(const DynamicGraph& graph,
                 view.appended.size * sizeof(VertexId));
     cursor += view.appended.size;
   }
-  rowptr[row_count_].begin = cursor;  // sentinel: length of colidx
-  rowptr[row_count_].new_begin = -1;
+  rowptr[row_count].begin = cursor;  // sentinel: length of colidx
+  rowptr[row_count].new_begin = -1;
 
-  blob_ = device.alloc(blob_bytes_);
-  device.dma_to_device(blob_, staging.data(), blob_bytes_, counters);
+  gpusim::DeviceBuffer blob = device.alloc(blob_bytes);
+  device.dma_to_device(blob, staging.data(), blob_bytes, counters);
 
+  blob_ = std::move(blob);
+  row_count_ = row_count;
+  blob_bytes_ = blob_bytes;
   rowptr_ = reinterpret_cast<const RowPtr*>(blob_.data());
   rowidx_ = reinterpret_cast<const VertexId*>(blob_.data() + rowptr_bytes);
   colidx_ = reinterpret_cast<const VertexId*>(blob_.data() + rowptr_bytes +

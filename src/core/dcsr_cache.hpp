@@ -34,7 +34,9 @@ class DcsrCache {
   // memory, charging `counters`. Vertices whose lists would overflow
   // `byte_budget` are dropped (least-priority last: callers pass vertices in
   // descending priority). Throws DeviceOomError only if even the empty blob
-  // does not fit.
+  // does not fit. Exception-safe: if the allocation, the DMA, or the armed
+  // cache.build fault site throws, the cache is left cleared (empty and
+  // valid), never half-built.
   void build(const DynamicGraph& graph,
              const std::vector<VertexId>& vertices,
              std::uint64_t byte_budget, gpusim::Device& device,

@@ -1,8 +1,12 @@
 #include "core/pipeline.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
 #include "core/gpu_engine.hpp"
+#include "util/fault.hpp"
 #include "util/timer.hpp"
 
 namespace gcsm {
@@ -33,7 +37,12 @@ Pipeline::Pipeline(const CsrGraph& initial, QueryGraph query,
       executor_(options.workers, options.schedule),
       engine_(std::move(query), executor_, options.grain),
       estimator_(engine_.query(), options.estimator),
-      rng_(options.seed) {
+      rng_(options.seed),
+      faults_(options.fault_injector) {
+  device_.set_fault_injector(faults_);
+  executor_.set_fault_injector(faults_);
+  executor_.set_watchdog_timeout_ms(options_.recovery.watchdog_timeout_ms);
+  graph_.set_fault_injector(faults_);
   if (options_.kind == EngineKind::kUnifiedMemory) {
     // The unified-memory resident set gets the same device buffer the
     // cached engines use (the paper's setting: the graph far exceeds what
@@ -47,8 +56,14 @@ Pipeline::Pipeline(const CsrGraph& initial, QueryGraph query,
   }
 }
 
-std::unique_ptr<AccessPolicy> Pipeline::make_policy() {
-  switch (options_.kind) {
+std::uint64_t Pipeline::effective_cache_budget() const {
+  const std::uint64_t shrunk =
+      options_.cache_budget_bytes >> degradation_level_;
+  return std::max(shrunk, options_.recovery.min_cache_budget_bytes);
+}
+
+std::unique_ptr<AccessPolicy> Pipeline::make_policy(EngineKind kind) {
+  switch (kind) {
     case EngineKind::kCpu:
       return std::make_unique<HostPolicy>(graph_);
     case EngineKind::kZeroCopy:
@@ -65,9 +80,15 @@ std::unique_ptr<AccessPolicy> Pipeline::make_policy() {
   throw std::logic_error("unknown engine kind");
 }
 
-BatchReport Pipeline::process_batch(const EdgeBatch& batch,
-                                    const MatchSink* sink) {
-  BatchReport report;
+void Pipeline::run_attempt(const EdgeBatch& batch, const MatchSink* sink,
+                           bool use_cpu, BatchReport& report) {
+  const EngineKind kind = use_cpu ? EngineKind::kCpu : options_.kind;
+  // Kernel fault sites model device failures: they stay armed for device
+  // attempts and are disarmed on the CPU path (which shares the executor as
+  // a plain thread pool), so the fallback is genuinely more reliable. The
+  // graph.apply site stays armed either way.
+  executor_.set_fault_injector(use_cpu ? nullptr : faults_);
+
   gpusim::TrafficCounters& counters = device_.counters();
   counters.reset();
   const gpusim::SimParams& sim = options_.sim;
@@ -80,7 +101,7 @@ BatchReport Pipeline::process_batch(const EdgeBatch& batch,
 
   // Step 2: frequency estimation (GCSM only).
   std::vector<VertexId> cache_order;
-  if (options_.kind == EngineKind::kGcsm) {
+  if (kind == EngineKind::kGcsm) {
     t.reset();
     const EstimateResult est = estimator_.estimate(graph_, batch, rng_);
     cache_order = select_by_frequency(est.frequency);
@@ -89,14 +110,14 @@ BatchReport Pipeline::process_batch(const EdgeBatch& batch,
     report.sim_estimate_s =
         static_cast<double>(est.ops) /
         (sim.host_ops_per_sec_per_thread * sim.host_threads);
-  } else if (options_.kind == EngineKind::kNaiveDegree) {
+  } else if (kind == EngineKind::kNaiveDegree) {
     t.reset();
     cache_order = select_by_degree(graph_);
     report.wall_estimate_ms = t.millis();
     report.sim_estimate_s =
         static_cast<double>(graph_.num_vertices()) /
         (sim.host_ops_per_sec_per_thread * sim.host_threads);
-  } else if (options_.kind == EngineKind::kVsgm) {
+  } else if (kind == EngineKind::kVsgm) {
     t.reset();
     cache_order = khop_vertices(graph_, batch, engine_.query().diameter());
     report.wall_estimate_ms = t.millis();
@@ -106,22 +127,23 @@ BatchReport Pipeline::process_batch(const EdgeBatch& batch,
   }
 
   // Step 3: pack the selected lists as DCSR and DMA to the device.
-  const bool uses_cache = options_.kind == EngineKind::kGcsm ||
-                          options_.kind == EngineKind::kNaiveDegree ||
-                          options_.kind == EngineKind::kVsgm;
+  const bool uses_cache = kind == EngineKind::kGcsm ||
+                          kind == EngineKind::kNaiveDegree ||
+                          kind == EngineKind::kVsgm;
   if (uses_cache) {
     t.reset();
     cache_.clear();
     // VSGM semantically requires the full k-hop data on the device; a
     // budget overflow is a genuine device-OOM (the reason the paper shrinks
-    // VSGM's batches).
-    if (options_.kind == EngineKind::kVsgm) {
+    // VSGM's batches). Degradation cannot help, so the configured (not the
+    // effective) budget is the bound.
+    if (kind == EngineKind::kVsgm) {
       const std::uint64_t need = total_list_bytes(graph_, cache_order);
       if (need > options_.cache_budget_bytes) {
         throw gpusim::DeviceOomError(need, options_.cache_budget_bytes);
       }
     }
-    cache_.build(graph_, cache_order, options_.cache_budget_bytes, device_,
+    cache_.build(graph_, cache_order, effective_cache_budget(), device_,
                  counters);
     if (options_.check_invariants) cache_.validate(&graph_);
     report.cached_vertices = cache_.num_cached();
@@ -133,11 +155,11 @@ BatchReport Pipeline::process_batch(const EdgeBatch& batch,
   t.reset();
   {
     const gpusim::Traffic before = counters.snapshot();
-    if (options_.kind == EngineKind::kUnifiedMemory) {
+    if (kind == EngineKind::kUnifiedMemory) {
       report.stats =
           engine_.match_batch(graph_, batch, *um_policy_, counters, sink);
     } else {
-      auto policy = make_policy();
+      auto policy = make_policy(kind);
       report.stats =
           engine_.match_batch(graph_, batch, *policy, counters, sink);
     }
@@ -148,9 +170,8 @@ BatchReport Pipeline::process_batch(const EdgeBatch& batch,
     kernel.dma_calls -= before.dma_calls;
     kernel.dma_bytes -= before.dma_bytes;
     const gpusim::SimTime st = simulate_time(kernel, sim);
-    report.sim_match_s = options_.kind == EngineKind::kCpu
-                             ? st.host
-                             : st.kernel() + st.dma;
+    report.sim_match_s =
+        kind == EngineKind::kCpu ? st.host : st.kernel() + st.dma;
     const gpusim::SimTime pack = simulate_time(before, sim);
     report.sim_pack_s = pack.dma;
   }
@@ -165,10 +186,127 @@ BatchReport Pipeline::process_batch(const EdgeBatch& batch,
       (sim.host_mem_bandwidth_gbps * 1e9);
 
   report.traffic = counters.snapshot();
+}
+
+BatchReport Pipeline::process_batch(const EdgeBatch& batch,
+                                    const MatchSink* sink) {
+  BatchReport report;
+  const RecoveryOptions& rec = options_.recovery;
+  const std::uint64_t faults_before =
+      faults_ != nullptr ? faults_->fired_count() : 0;
+
+  // Ingestion: corrupt (fault site), then screen. `owned` keeps whichever
+  // modified copy is in play; the caller's batch is never mutated.
+  EdgeBatch owned;
+  const EdgeBatch* use = &batch;
+  if (faults_ != nullptr) {
+    owned = batch;
+    inject_batch_corruption(owned, faults_);
+    use = &owned;
+  }
+  if (rec.sanitize_batches) {
+    QuarantineReport quarantine;
+    EdgeBatch clean = sanitize_batch(graph_, *use, quarantine);
+    if (!quarantine.empty()) {
+      owned = std::move(clean);
+      use = &owned;
+    }
+    report.quarantine = std::move(quarantine);
+  }
+
+  // The transaction: everything the batch can touch, restorable even from a
+  // half-applied state.
+  const DynamicGraph::Snapshot snap = graph_.snapshot_for(*use);
+  auto rollback = [&] {
+    graph_.restore(snap);
+    cache_.clear();
+    if (options_.check_invariants) graph_.validate();
+  };
+
+  bool use_cpu = options_.kind == EngineKind::kCpu;
+  int attempts_left = std::max(1, rec.max_attempts);
+  double backoff_ms = rec.backoff_initial_ms;
+
+  // Consumes one attempt; when the current mode is out of attempts, either
+  // escalates to the CPU engine or gives up by rethrowing `error`.
+  auto retry_or_escalate = [&](const std::exception_ptr& error) {
+    ++report.retries;
+    --attempts_left;
+    if (attempts_left <= 0) {
+      if (!use_cpu && rec.cpu_fallback) {
+        use_cpu = true;
+        attempts_left = std::max(1, rec.max_cpu_attempts);
+        report.cpu_fallback = true;
+      } else {
+        std::rethrow_exception(error);
+      }
+    }
+    if (backoff_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+      report.backoff_ms += backoff_ms;
+      backoff_ms = std::min(backoff_ms * rec.backoff_multiplier,
+                            rec.backoff_max_ms);
+    }
+  };
+
+  for (;;) {
+    try {
+      run_attempt(*use, sink, use_cpu, report);
+      break;
+    } catch (const gpusim::DeviceOomError&) {
+      rollback();
+      if (options_.kind == EngineKind::kVsgm) {
+        // Semantic OOM: the k-hop neighborhood must be device-resident, so
+        // no amount of shrinking or retrying helps.
+        throw;
+      }
+      if (!use_cpu &&
+          effective_cache_budget() > rec.min_cache_budget_bytes) {
+        ++degradation_level_;
+        clean_device_batches_ = 0;
+        ++report.retries;
+      } else {
+        retry_or_escalate(std::current_exception());
+      }
+    } catch (const Error& e) {
+      rollback();
+      if (!e.transient()) throw;
+      retry_or_escalate(std::current_exception());
+    } catch (...) {
+      // Unclassified failures (CheckFailure, logic errors) still leave a
+      // consistent graph behind, but are not retried.
+      rollback();
+      throw;
+    }
+  }
+
+  // Degradation heals: enough consecutive clean device batches earn the
+  // budget one doubling back toward the configured value. A batch that
+  // needed any recovery is not clean (including the one that shrank) and
+  // restarts the streak.
+  if (!use_cpu && degradation_level_ > 0) {
+    if (report.retries != 0) {
+      clean_device_batches_ = 0;
+    } else if (++clean_device_batches_ >=
+               std::max(1, rec.heal_after_clean_batches)) {
+      --degradation_level_;
+      clean_device_batches_ = 0;
+    }
+  }
+
+  report.degradation_level = degradation_level_;
+  report.effective_cache_budget = effective_cache_budget();
+  if (faults_ != nullptr) {
+    report.faults_observed = faults_->fired_count() - faults_before;
+  }
   return report;
 }
 
 std::uint64_t Pipeline::count_current_embeddings() {
+  // A diagnostic pass, not a batch: fault injection pauses so it cannot fail
+  // or consume the injector's hit sequence.
+  FaultSuspendGuard suspend(faults_);
   gpusim::TrafficCounters scratch;
   HostPolicy policy(graph_);
   const MatchStats stats = engine_.match_full(graph_, policy, scratch);

@@ -11,6 +11,18 @@
 //   5. the touched neighbor lists are reorganized on the CPU.
 //
 // Engine kinds map one-to-one to the paper's comparison systems.
+//
+// process_batch is TRANSACTIONAL: before touching the graph it snapshots the
+// state the batch can modify, and any failure (device OOM, DMA error, kernel
+// launch refusal, watchdog timeout, a mid-apply crash) rolls the graph back
+// and re-runs the batch. Recovery escalates along a ladder:
+//   transient fault  -> rollback + exponential-backoff retry (bounded);
+//   device OOM       -> halve the effective cache budget and retry (the
+//                       budget heals back after enough clean batches);
+//   retries exhausted / budget at floor -> re-run the batch on the CPU
+//                       engine (kCpu), which needs no device at all.
+// Only when even the CPU attempts fail does the error escape to the caller.
+// See docs/ROBUSTNESS.md for the full taxonomy and recovery matrix.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +37,7 @@
 #include "gpusim/device.hpp"
 #include "gpusim/simt_executor.hpp"
 #include "graph/dynamic_graph.hpp"
+#include "graph/update_stream.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -41,6 +54,35 @@ enum class EngineKind {
 
 const char* engine_kind_name(EngineKind kind);
 
+// Knobs of the transactional retry / degradation ladder. The defaults favor
+// forward progress: a handful of device retries, then a CPU re-run.
+struct RecoveryOptions {
+  // Attempts on the configured engine before escalating (>= 1; the first
+  // run counts as one attempt).
+  int max_attempts = 3;
+  // Attempts granted to the CPU fallback once escalated.
+  int max_cpu_attempts = 4;
+  // Escalate to the CPU engine when device attempts are exhausted. With
+  // this off, the last error is rethrown instead.
+  bool cpu_fallback = true;
+  // Exponential backoff between attempts; 0 disables sleeping (tests).
+  double backoff_initial_ms = 1.0;
+  double backoff_multiplier = 2.0;
+  double backoff_max_ms = 50.0;
+  // Device-OOM degradation: each OOM halves the effective cache budget,
+  // never below this floor; once at the floor, OOM escalates like an
+  // exhausted retry.
+  std::uint64_t min_cache_budget_bytes = 64ull << 10;
+  // After this many consecutive clean device batches, the budget doubles
+  // back toward the configured value (one step at a time).
+  int heal_after_clean_batches = 8;
+  // Screen incoming batches and quarantine malformed records instead of
+  // letting apply_batch throw on them.
+  bool sanitize_batches = true;
+  // Watchdog deadline for hung kernels (forwarded to the executor).
+  double watchdog_timeout_ms = 25.0;
+};
+
 struct PipelineOptions {
   EngineKind kind = EngineKind::kGcsm;
   gpusim::SimParams sim;
@@ -55,6 +97,11 @@ struct PipelineOptions {
   // CheckFailure on corruption). Defaults on in GCSM_ENABLE_CHECKS builds;
   // can be toggled per pipeline regardless of the build flavor.
   bool check_invariants = GCSM_CHECKS_ENABLED != 0;
+  RecoveryOptions recovery;
+  // Arms every fault site in the pipeline's components (device allocation
+  // and DMA, kernel launch/hang, cache build, batch apply, batch
+  // corruption). Non-owning; must outlive the pipeline. nullptr = disarmed.
+  FaultInjector* fault_injector = nullptr;
 };
 
 struct BatchReport {
@@ -87,6 +134,16 @@ struct BatchReport {
   std::uint64_t cached_vertices = 0;
   std::uint64_t cache_bytes = 0;
   std::uint64_t walks = 0;
+
+  // Robustness diagnostics (phase times and traffic reflect the attempt
+  // that succeeded; these record what it took to get there).
+  std::uint32_t retries = 0;            // recovery attempts beyond the first
+  std::uint32_t degradation_level = 0;  // budget halvings in effect
+  std::uint64_t effective_cache_budget = 0;  // budget used by this batch
+  bool cpu_fallback = false;            // batch completed on the CPU engine
+  double backoff_ms = 0.0;              // total backoff slept for this batch
+  std::uint64_t faults_observed = 0;    // injector fires during this batch
+  QuarantineReport quarantine;          // malformed records screened out
   double cache_hit_rate() const {
     const auto total = traffic.cache_hits + traffic.cache_misses;
     return total == 0 ? 0.0
@@ -109,11 +166,23 @@ class Pipeline {
   gpusim::Device& device() { return device_; }
 
   // Embedding count of the current graph by full (static) matching through
-  // this pipeline's policy — used for initialization and validation.
+  // this pipeline's policy — used for initialization and validation. Fault
+  // injection is suspended for the duration (it is a diagnostic, not a
+  // batch).
   std::uint64_t count_current_embeddings();
 
+  // The cache budget after degradation: cache_budget_bytes halved
+  // degradation_level() times, floored at min_cache_budget_bytes.
+  std::uint64_t effective_cache_budget() const;
+  std::uint32_t degradation_level() const { return degradation_level_; }
+
  private:
-  std::unique_ptr<AccessPolicy> make_policy();
+  std::unique_ptr<AccessPolicy> make_policy(EngineKind kind);
+
+  // One transactional attempt at the five steps. `use_cpu` re-runs the
+  // batch on the CPU engine regardless of the configured kind.
+  void run_attempt(const EdgeBatch& batch, const MatchSink* sink,
+                   bool use_cpu, BatchReport& report);
 
   PipelineOptions options_;
   DynamicGraph graph_;
@@ -124,6 +193,9 @@ class Pipeline {
   DcsrCache cache_;
   std::unique_ptr<UnifiedMemoryPolicy> um_policy_;  // persistent page cache
   Rng rng_;
+  FaultInjector* faults_ = nullptr;
+  std::uint32_t degradation_level_ = 0;
+  int clean_device_batches_ = 0;  // streak feeding the budget-heal counter
 };
 
 }  // namespace gcsm

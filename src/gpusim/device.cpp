@@ -3,6 +3,8 @@
 #include <cstring>
 #include <string>
 
+#include "util/fault.hpp"
+
 namespace gcsm::gpusim {
 
 DeviceBuffer::DeviceBuffer(Device* dev, std::size_t bytes)
@@ -38,15 +40,23 @@ void DeviceBuffer::release() {
 }
 
 DeviceOomError::DeviceOomError(std::size_t req, std::size_t avail)
-    : std::runtime_error("simulated device out of memory: requested " +
-                         std::to_string(req) + " bytes, available " +
-                         std::to_string(avail)),
+    : gcsm::Error(gcsm::ErrorCode::kDeviceOom,
+                  "simulated device out of memory: requested " +
+                      std::to_string(req) + " bytes, available " +
+                      std::to_string(avail)),
       requested(req),
       available(avail) {}
+
+DeviceDmaError::DeviceDmaError()
+    : gcsm::Error(gcsm::ErrorCode::kDeviceDma,
+                  "host->device DMA transfer failed (transient)") {}
 
 Device::Device(SimParams params) : params_(params) {}
 
 DeviceBuffer Device::alloc(std::size_t bytes) {
+  if (faults_ != nullptr && faults_->fires(fault_site::kDeviceAlloc)) {
+    throw DeviceOomError(bytes, available());
+  }
   if (bytes > available()) {
     throw DeviceOomError(bytes, available());
   }
@@ -58,6 +68,9 @@ void Device::dma_to_device(DeviceBuffer& dst, const void* src,
                            std::size_t bytes, TrafficCounters& counters) {
   if (bytes > dst.size()) {
     throw std::invalid_argument("dma_to_device: copy larger than buffer");
+  }
+  if (faults_ != nullptr && faults_->fires(fault_site::kDeviceDma)) {
+    throw DeviceDmaError();
   }
   std::memcpy(dst.data(), src, bytes);
   counters.add_dma(1, bytes);

@@ -10,6 +10,11 @@
 #include <vector>
 
 #include "gpusim/cost_model.hpp"
+#include "util/error.hpp"
+
+namespace gcsm {
+class FaultInjector;
+}  // namespace gcsm
 
 namespace gcsm::gpusim {
 
@@ -52,11 +57,20 @@ class DeviceBuffer {
 
 // Thrown when an allocation would exceed device capacity — the condition
 // that forces VSGM-style k-hop copying to shrink its batch size (Sec. VI-B).
-class DeviceOomError : public std::runtime_error {
+// A capacity fault in the taxonomy (ErrorCode::kDeviceOom): not retryable
+// verbatim; the pipeline responds by shrinking its cache budget.
+class DeviceOomError : public gcsm::Error {
  public:
   DeviceOomError(std::size_t requested, std::size_t available);
   std::size_t requested;
   std::size_t available;
+};
+
+// A host->device copy failed mid-transfer (the cudaMemcpy-returned-error
+// analog). Transient: the pipeline rolls the batch back and retries.
+class DeviceDmaError : public gcsm::Error {
+ public:
+  DeviceDmaError();
 };
 
 class Device {
@@ -82,11 +96,17 @@ class Device {
   // Global traffic counters for kernels running on this device.
   TrafficCounters& counters() { return counters_; }
 
+  // Arms fault injection on this device's alloc / DMA sites (and, via the
+  // accessor, on consumers like the DCSR cache build). nullptr disarms.
+  void set_fault_injector(gcsm::FaultInjector* faults) { faults_ = faults; }
+  gcsm::FaultInjector* fault_injector() const { return faults_; }
+
  private:
   friend class DeviceBuffer;
   SimParams params_;
   std::size_t used_ = 0;
   TrafficCounters counters_;
+  gcsm::FaultInjector* faults_ = nullptr;
 };
 
 // Pinned host allocation (cudaHostAlloc analog). In the simulation this is

@@ -1,14 +1,55 @@
 #include "gpusim/simt_executor.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "util/fault.hpp"
+
 namespace gcsm::gpusim {
+
+KernelLaunchError::KernelLaunchError()
+    : gcsm::Error(gcsm::ErrorCode::kKernelLaunch,
+                  "kernel launch refused by the device (transient)") {}
+
+KernelTimeoutError::KernelTimeoutError(double ms)
+    : gcsm::Error(gcsm::ErrorCode::kKernelTimeout,
+                  "watchdog cancelled a hung kernel after " +
+                      std::to_string(ms) + " ms"),
+      timeout_ms(ms) {}
 
 SimtExecutor::SimtExecutor(std::size_t num_blocks, Schedule schedule)
     : pool_(std::make_unique<ThreadPool>(num_blocks)), schedule_(schedule) {}
+
+void SimtExecutor::simulate_hung_kernel() {
+  // The "kernel" spins without progress; a watchdog thread cancels it after
+  // the timeout, exactly the shape of a real GPU watchdog recovery.
+  std::atomic<bool> cancelled{false};
+  std::thread watchdog([this, &cancelled] {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(watchdog_timeout_ms_));
+    cancelled.store(true, std::memory_order_release);
+  });
+  while (!cancelled.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  watchdog.join();
+  throw KernelTimeoutError(watchdog_timeout_ms_);
+}
 
 void SimtExecutor::for_each_item(
     std::size_t n, std::size_t grain,
     const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
+  if (faults_ != nullptr) {
+    if (faults_->fires(fault_site::kKernelLaunch)) {
+      throw KernelLaunchError();
+    }
+    if (faults_->fires(fault_site::kKernelHang)) {
+      simulate_hung_kernel();
+    }
+  }
   if (schedule_ == Schedule::kWorkStealing) {
     pool_->parallel_for(n, grain,
                         [&](std::size_t begin, std::size_t end,

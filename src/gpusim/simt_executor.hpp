@@ -7,17 +7,44 @@
 // be ablated:
 //   * kWorkStealing — blocks grab chunks from a shared atomic counter
 //   * kStatic       — items are pre-partitioned round-robin across blocks
+//
+// Fault injection: when an injector is armed, a launch can be refused
+// (kernel.launch → KernelLaunchError) or the kernel can hang
+// (kernel.hang). A hung kernel spins until a watchdog thread cancels it
+// after `watchdog_timeout_ms`, then surfaces as KernelTimeoutError — the
+// cudaDeviceReset-after-timeout recovery path, in miniature. Both are
+// transient in the error taxonomy: the pipeline rolls the batch back and
+// retries.
 #pragma once
 
 #include <cstddef>
 #include <functional>
 #include <memory>
 
+#include "util/error.hpp"
 #include "util/thread_pool.hpp"
+
+namespace gcsm {
+class FaultInjector;
+}  // namespace gcsm
 
 namespace gcsm::gpusim {
 
 enum class Schedule { kWorkStealing, kStatic };
+
+// The device refused the kernel launch (transient, e.g. a momentary
+// resource shortage).
+class KernelLaunchError : public gcsm::Error {
+ public:
+  KernelLaunchError();
+};
+
+// The watchdog cancelled a kernel that stopped making progress.
+class KernelTimeoutError : public gcsm::Error {
+ public:
+  explicit KernelTimeoutError(double timeout_ms);
+  double timeout_ms;
+};
 
 class SimtExecutor {
  public:
@@ -29,16 +56,28 @@ class SimtExecutor {
   Schedule schedule() const { return schedule_; }
   void set_schedule(Schedule s) { schedule_ = s; }
 
+  // Arms the kernel fault sites. nullptr (the default) disarms.
+  void set_fault_injector(gcsm::FaultInjector* faults) { faults_ = faults; }
+  // How long the watchdog lets a hung kernel spin before cancelling it.
+  void set_watchdog_timeout_ms(double ms) { watchdog_timeout_ms_ = ms; }
+  double watchdog_timeout_ms() const { return watchdog_timeout_ms_; }
+
   // Executes body(item, block_id) for every item in [0, n); blocks claim
   // `grain` items at a time under kWorkStealing. Blocks until all items
-  // complete.
+  // complete. Throws KernelLaunchError / KernelTimeoutError when an armed
+  // injector fires (always before any item runs, so no partial kernel
+  // effects escape).
   void for_each_item(std::size_t n, std::size_t grain,
                      const std::function<void(std::size_t, std::size_t)>&
                          body);
 
  private:
+  void simulate_hung_kernel();
+
   std::unique_ptr<ThreadPool> pool_;
   Schedule schedule_;
+  gcsm::FaultInjector* faults_ = nullptr;
+  double watchdog_timeout_ms_ = 25.0;
 };
 
 }  // namespace gcsm::gpusim

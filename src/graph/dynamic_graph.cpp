@@ -5,8 +5,11 @@
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <unordered_set>
 
 #include "util/check.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace gcsm {
 
@@ -118,7 +121,21 @@ void DynamicGraph::apply_batch(const EdgeBatch& batch) {
     labels_[v] = label;
   }
 
-  for (const EdgeUpdate& e : batch.updates) {
+  // Fault site: fires at most once per batch, halfway through the record
+  // list and between the two directed writes of that record — the nastiest
+  // spot, since it leaves an asymmetric half-applied edge that only
+  // restore() can clean up.
+  const std::size_t fault_index = batch.updates.size() / 2;
+  auto inject_apply_fault = [&](std::size_t idx) {
+    if (idx == fault_index && faults_ != nullptr &&
+        faults_->fires(fault_site::kGraphApply)) {
+      throw Error(ErrorCode::kGraphApply,
+                  "injected fault: batch apply interrupted mid-append");
+    }
+  };
+
+  for (std::size_t idx = 0; idx < batch.updates.size(); ++idx) {
+    const EdgeUpdate& e = batch.updates[idx];
     if (e.u < 0 || e.v < 0 || e.u >= num_vertices() ||
         e.v >= num_vertices()) {
       throw std::out_of_range("update endpoint out of range");
@@ -126,11 +143,13 @@ void DynamicGraph::apply_batch(const EdgeBatch& batch) {
     if (e.sign > 0) {
       // Step 1: append to both directed lists.
       append_neighbor(e.u, e.v);
+      inject_apply_fault(idx);
       append_neighbor(e.v, e.u);
       ++live_edges_;
     } else {
       // Step 3: tombstone in both directed prefixes.
       const bool a = tombstone_in_prefix(e.u, e.v);
+      inject_apply_fault(idx);
       const bool b = tombstone_in_prefix(e.v, e.u);
       if (!a || !b) {
         throw std::invalid_argument("deletion of a non-live edge");
@@ -149,6 +168,65 @@ void DynamicGraph::apply_batch(const EdgeBatch& batch) {
     std::sort(a.data.get() + a.old_size, a.data.get() + a.size);
     max_degree_bound_ = std::max(max_degree_bound_, live_degree(v));
   }
+}
+
+DynamicGraph::Snapshot DynamicGraph::snapshot_for(
+    const EdgeBatch& batch) const {
+  if (has_pending_batch()) {
+    throw std::logic_error(
+        "snapshot_for requires a reorganized graph (no pending batch)");
+  }
+  Snapshot snap;
+  snap.num_vertices = num_vertices();
+  snap.live_edges = live_edges_;
+  snap.max_degree_bound = max_degree_bound_;
+  std::unordered_set<VertexId> seen;
+  seen.reserve(batch.updates.size() * 2);
+  auto save = [&](VertexId v) {
+    // Endpoints at or beyond the current vertex count need no copy: restore
+    // drops the vertices the batch created by truncating back to the
+    // snapshot count.
+    if (v < 0 || v >= snap.num_vertices || !seen.insert(v).second) return;
+    const AdjList& a = adj_[v];
+    Snapshot::ListCopy copy;
+    copy.v = v;
+    copy.capacity = a.capacity;
+    copy.size = a.size;
+    copy.old_size = a.old_size;
+    copy.old_tombstones = a.old_tombstones;
+    copy.entries.assign(a.data.get(), a.data.get() + a.size);
+    snap.lists.push_back(std::move(copy));
+  };
+  for (const EdgeUpdate& e : batch.updates) {
+    save(e.u);
+    save(e.v);
+  }
+  return snap;
+}
+
+void DynamicGraph::restore(const Snapshot& snap) {
+  // Clear the touched set first: its flags for dropped vertices vanish with
+  // the truncation below, the rest are snapshot vertices.
+  for (const VertexId v : touched_) {
+    if (v < snap.num_vertices) touched_flag_[v] = 0;
+  }
+  touched_.clear();
+  adj_.resize(static_cast<std::size_t>(snap.num_vertices));
+  labels_.resize(static_cast<std::size_t>(snap.num_vertices));
+  touched_flag_.resize(static_cast<std::size_t>(snap.num_vertices));
+  for (const Snapshot::ListCopy& copy : snap.lists) {
+    AdjList& a = adj_[copy.v];
+    if (a.capacity != copy.capacity) {
+      a.data = std::make_unique<VertexId[]>(copy.capacity);
+      a.capacity = copy.capacity;
+    }
+    std::copy(copy.entries.begin(), copy.entries.end(), a.data.get());
+    a.size = copy.size;
+    a.old_size = copy.old_size;
+    a.old_tombstones = copy.old_tombstones;
+  }
+  live_edges_ = snap.live_edges;
+  max_degree_bound_ = snap.max_degree_bound;
 }
 
 DynamicGraph::ReorgStats DynamicGraph::reorganize() {

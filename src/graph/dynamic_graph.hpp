@@ -27,6 +27,8 @@
 
 namespace gcsm {
 
+class FaultInjector;
+
 enum class ViewMode : std::uint8_t { kOld, kNew };
 
 // One sorted segment of stored adjacency entries (tombstones possible).
@@ -89,10 +91,44 @@ class DynamicGraph {
 
   // Steps 1-3: appends insertions (allocating new vertices as needed),
   // tombstones deletions, and sorts each appended segment. Preconditions
-  // (guaranteed by UpdateStream): inserted edges are absent from the current
-  // graph; deleted edges are live in the pre-batch graph; a batch never
-  // contains the same undirected edge twice.
+  // (guaranteed by UpdateStream, or by sanitize_batch for untrusted input):
+  // inserted edges are absent from the current graph; deleted edges are live
+  // in the pre-batch graph; a batch never contains the same undirected edge
+  // twice.
   void apply_batch(const EdgeBatch& batch);
+
+  // A transactional checkpoint of exactly the state a batch can touch: the
+  // adjacency lists of the batch's endpoints, the vertex count, and the
+  // edge/degree accounting. Taking one is O(sum of touched list sizes);
+  // restore() rolls the graph back even from a half-applied (or corrupted)
+  // mid-batch state, after which validate() holds again.
+  struct Snapshot {
+    VertexId num_vertices = 0;
+    EdgeCount live_edges = 0;
+    std::uint32_t max_degree_bound = 0;
+
+    struct ListCopy {
+      VertexId v = kInvalidVertex;
+      std::vector<VertexId> entries;  // stored entries [0, size)
+      std::uint32_t capacity = 0;
+      std::uint32_t size = 0;
+      std::uint32_t old_size = 0;
+      std::uint32_t old_tombstones = 0;
+    };
+    std::vector<ListCopy> lists;
+  };
+
+  // Captures the pre-batch state of every list `batch` can modify. Requires
+  // a reorganized graph (no pending batch).
+  Snapshot snapshot_for(const EdgeBatch& batch) const;
+
+  // Rolls back to `snap`: drops vertices created since, restores the saved
+  // lists verbatim, resets the counters, and clears the touched set.
+  void restore(const Snapshot& snap);
+
+  // Arms the graph.apply fault site inside apply_batch (mid-append, so the
+  // interrupted state is genuinely half-applied). nullptr disarms.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
 
   struct ReorgStats {
     std::size_t lists = 0;     // neighbor lists reorganized
@@ -148,6 +184,7 @@ class DynamicGraph {
   EdgeCount live_edges_ = 0;
   std::uint32_t max_degree_bound_ = 0;
   std::uint32_t initial_avg_degree_ = 4;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace gcsm

@@ -1,29 +1,71 @@
 #include "graph/graph_io.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdint>
 #include <fstream>
+#include <limits>
 #include <sstream>
-#include <stdexcept>
+#include <string>
+
+#include "util/error.hpp"
 
 namespace gcsm {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x4743534d'47524148ULL;  // "GCSMGRAH"
 
-[[noreturn]] void fail(const std::string& what, const std::string& path) {
-  throw std::runtime_error(what + ": " + path);
+[[noreturn]] void fail_open(const std::string& what, const std::string& path) {
+  throw Error(ErrorCode::kIoOpen, what + ": " + path);
+}
+
+// Parse diagnostics carry the position and the offending token, so a bad
+// line in a million-edge file is findable without bisection.
+[[noreturn]] void fail_parse(const std::string& path, std::size_t line_no,
+                             const std::string& token,
+                             const std::string& what) {
+  throw Error(ErrorCode::kIoParse, path + ":" + std::to_string(line_no) +
+                                       ": " + what + " (offending token '" +
+                                       token + "')");
+}
+
+[[noreturn]] void fail_truncated(const std::string& what,
+                                 const std::string& path) {
+  throw Error(ErrorCode::kIoTruncated, what + ": " + path);
+}
+
+std::int64_t parse_int(const std::string& path, std::size_t line_no,
+                       const std::string& token, const char* field) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    fail_parse(path, line_no, token,
+               std::string("expected an integer ") + field);
+  }
+  return value;
+}
+
+VertexId parse_vertex(const std::string& path, std::size_t line_no,
+                      const std::string& token, const char* field) {
+  const std::int64_t value = parse_int(path, line_no, token, field);
+  if (value < 0 || value > std::numeric_limits<VertexId>::max()) {
+    fail_parse(path, line_no, token,
+               std::string(field) + " outside the vertex-id range");
+  }
+  return static_cast<VertexId>(value);
 }
 
 }  // namespace
 
 CsrGraph load_edge_list_text(const std::string& path) {
   std::ifstream in(path);
-  if (!in) fail("cannot open graph file", path);
+  if (!in) fail_open("cannot open graph file", path);
   std::vector<Edge> edges;
   std::vector<Label> labels;
   VertexId max_vertex = -1;
   std::string line;
+  std::size_t line_no = 0;
   auto note_label = [&](VertexId v, Label l) {
     if (static_cast<std::size_t>(v) >= labels.size()) {
       labels.resize(static_cast<std::size_t>(v) + 1, 0);
@@ -31,18 +73,31 @@ CsrGraph load_edge_list_text(const std::string& path) {
     labels[v] = l;
   };
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
-    VertexId u, v;
-    if (!(ls >> u >> v)) fail("malformed edge line", path);
+    std::vector<std::string> tokens;
+    std::string tok;
+    while (ls >> tok) tokens.push_back(tok);
+    if (tokens.size() != 2 && tokens.size() != 4) {
+      fail_parse(path, line_no, tokens.empty() ? line : tokens.back(),
+                 "edge line needs 'u v' or 'u v label_u label_v', got " +
+                     std::to_string(tokens.size()) + " tokens");
+    }
+    const VertexId u = parse_vertex(path, line_no, tokens[0], "vertex u");
+    const VertexId v = parse_vertex(path, line_no, tokens[1], "vertex v");
     Label lu = 0, lv = 0;
-    if (ls >> lu) {
-      if (!(ls >> lv)) fail("edge line has one label but not two", path);
+    if (tokens.size() == 4) {
+      lu = static_cast<Label>(parse_int(path, line_no, tokens[2], "label_u"));
+      lv = static_cast<Label>(parse_int(path, line_no, tokens[3], "label_v"));
     }
     edges.push_back({u, v});
     max_vertex = std::max({max_vertex, u, v});
     note_label(u, lu);
     note_label(v, lv);
+  }
+  if (edges.empty()) {
+    fail_truncated("empty graph file (no edge lines)", path);
   }
   labels.resize(static_cast<std::size_t>(max_vertex) + 1, 0);
   return CsrGraph::from_edges(max_vertex + 1, edges, std::move(labels));
@@ -50,7 +105,7 @@ CsrGraph load_edge_list_text(const std::string& path) {
 
 void save_edge_list_text(const CsrGraph& graph, const std::string& path) {
   std::ofstream out(path);
-  if (!out) fail("cannot write graph file", path);
+  if (!out) fail_open("cannot write graph file", path);
   out << "# gcsm edge list: u v label_u label_v\n";
   for (const Edge& e : graph.edge_list()) {
     out << e.u << ' ' << e.v << ' ' << graph.label(e.u) << ' '
@@ -60,7 +115,7 @@ void save_edge_list_text(const CsrGraph& graph, const std::string& path) {
 
 void save_binary(const CsrGraph& graph, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) fail("cannot write graph file", path);
+  if (!out) fail_open("cannot write graph file", path);
   const std::uint64_t n = static_cast<std::uint64_t>(graph.num_vertices());
   out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
   out.write(reinterpret_cast<const char*>(&n), sizeof(n));
@@ -77,19 +132,44 @@ void save_binary(const CsrGraph& graph, const std::string& path) {
 
 CsrGraph load_binary(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) fail("cannot open graph file", path);
+  if (!in) fail_open("cannot open graph file", path);
+
+  // The payload sizes are validated against the real file size BEFORE the
+  // vectors are sized, so a corrupt count cannot trigger a huge allocation.
+  in.seekg(0, std::ios::end);
+  const auto file_bytes = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+
   std::uint64_t magic = 0, n = 0, m = 0;
+  if (file_bytes < sizeof(magic) + sizeof(n)) {
+    fail_truncated("binary graph shorter than its header", path);
+  }
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  if (magic != kMagic) fail("bad magic in binary graph", path);
+  if (magic != kMagic) {
+    std::ostringstream what;
+    what << "bad magic in binary graph (0x" << std::hex << magic << ")";
+    throw Error(ErrorCode::kIoParse, what.str() + ": " + path);
+  }
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
+
+  std::uint64_t need = sizeof(magic) + sizeof(n) + n * sizeof(Label) +
+                       sizeof(m);
+  if (file_bytes < need) {
+    fail_truncated("binary graph truncated inside the label array", path);
+  }
   std::vector<Label> labels(n);
   in.read(reinterpret_cast<char*>(labels.data()),
           static_cast<std::streamsize>(n * sizeof(Label)));
   in.read(reinterpret_cast<char*>(&m), sizeof(m));
+
+  need += m * sizeof(Edge);
+  if (file_bytes < need) {
+    fail_truncated("binary graph truncated inside the edge array", path);
+  }
   std::vector<Edge> edges(m);
   in.read(reinterpret_cast<char*>(edges.data()),
           static_cast<std::streamsize>(m * sizeof(Edge)));
-  if (!in) fail("truncated binary graph", path);
+  if (!in) fail_truncated("truncated binary graph", path);
   return CsrGraph::from_edges(static_cast<VertexId>(n), edges,
                               std::move(labels));
 }

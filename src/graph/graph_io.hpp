@@ -1,5 +1,10 @@
 // Text edge-list IO (SNAP-style) plus a compact binary snapshot format, so
 // generated analogs can be persisted and reused across benchmark runs.
+//
+// All loaders throw gcsm::Error (kIoOpen / kIoParse / kIoTruncated); parse
+// errors name the file, line, and offending token. Empty and truncated
+// inputs are rejected up front — a corrupt byte count can never trigger an
+// oversized allocation.
 #pragma once
 
 #include <string>

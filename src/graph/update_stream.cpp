@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "graph/dynamic_graph.hpp"
+#include "util/fault.hpp"
+
 namespace gcsm {
 
 UpdateStream make_update_stream(const CsrGraph& graph,
@@ -71,6 +74,81 @@ UpdateStream make_update_stream(const CsrGraph& graph,
     stream.batches.push_back(std::move(batch));
   }
   return stream;
+}
+
+namespace {
+
+std::uint64_t undirected_key(VertexId u, VertexId v) {
+  const VertexId a = std::min(u, v);
+  const VertexId b = std::max(u, v);
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint32_t>(b);
+}
+
+}  // namespace
+
+EdgeBatch sanitize_batch(const DynamicGraph& graph, const EdgeBatch& batch,
+                         QuarantineReport& report) {
+  const VertexId n = graph.num_vertices();
+
+  // Vertex ids declared by this batch extend the valid range.
+  VertexId effective_n = n;
+  for (const auto& [v, label] : batch.new_vertex_labels) {
+    if (v >= effective_n) effective_n = v + 1;
+  }
+
+  EdgeBatch clean;
+  clean.new_vertex_labels = batch.new_vertex_labels;
+  clean.updates.reserve(batch.updates.size());
+
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(batch.updates.size() * 2);
+
+  for (const EdgeUpdate& e : batch.updates) {
+    if (e.u < 0 || e.v < 0 || e.u >= effective_n || e.v >= effective_n) {
+      ++report.out_of_range;
+      report.quarantined.push_back(e);
+      continue;
+    }
+    if (e.u == e.v) {
+      ++report.self_loops;
+      report.quarantined.push_back(e);
+      continue;
+    }
+    if (!seen.insert(undirected_key(e.u, e.v)).second) {
+      ++report.duplicate_in_batch;
+      report.quarantined.push_back(e);
+      continue;
+    }
+    // Endpoints beyond the current vertex count are batch-declared new
+    // vertices: they have no edges yet, so the edge cannot be live.
+    const bool exists_now = e.u < n && e.v < n;
+    const bool live = exists_now && graph.has_live_edge(e.u, e.v);
+    if (e.sign > 0 && live) {
+      ++report.insert_of_present;
+      report.quarantined.push_back(e);
+      continue;
+    }
+    if (e.sign <= 0 && !live) {
+      ++report.delete_of_absent;
+      report.quarantined.push_back(e);
+      continue;
+    }
+    clean.updates.push_back(e);
+  }
+  return clean;
+}
+
+void inject_batch_corruption(EdgeBatch& batch, FaultInjector* faults) {
+  if (faults == nullptr || !faults->fires(fault_site::kBatchCorrupt)) {
+    return;
+  }
+  // Each appended record trips a different sanitizer rule; none touches the
+  // original records.
+  batch.updates.push_back({kInvalidVertex, 3, +1});  // out-of-range endpoint
+  batch.updates.push_back({0, 0, +1});               // self-loop
+  const EdgeUpdate dup = batch.updates.front();      // duplicate edge
+  batch.updates.push_back(dup);
 }
 
 }  // namespace gcsm

@@ -1,4 +1,5 @@
-// Dynamic-graph construction protocol from the paper (Sec. VI-A).
+// Dynamic-graph construction protocol from the paper (Sec. VI-A), plus the
+// untrusted-input side of batch ingestion.
 //
 // Following the CSM literature, a dynamic graph is derived from a static
 // one: a pool of edges is drawn at random, each marked insertion or deletion
@@ -6,6 +7,11 @@
 // initial snapshot (so inserting them later is valid), deletion-marked edges
 // stay (so deleting them later is valid). The pool is then chopped into
 // batches ΔE_1, ΔE_2, ...
+//
+// Streams built by make_update_stream satisfy apply_batch's preconditions by
+// construction. Batches from outside (files, sockets) do not — sanitize_batch
+// quarantines every record that would violate them and reports what it
+// dropped, so the pipeline can apply the remainder and keep going.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +22,9 @@
 #include "util/rng.hpp"
 
 namespace gcsm {
+
+class DynamicGraph;
+class FaultInjector;
 
 struct UpdateStreamOptions {
   // Number of edges in the update pool: either an absolute count, or (when
@@ -42,5 +51,38 @@ struct UpdateStream {
 // targets a live edge and an insertion never duplicates one.
 UpdateStream make_update_stream(const CsrGraph& graph,
                                 const UpdateStreamOptions& options);
+
+// Per-batch tally of quarantined records, by reason. The records themselves
+// are kept so callers can log or dead-letter them.
+struct QuarantineReport {
+  std::uint64_t out_of_range = 0;       // endpoint negative or undeclared
+  std::uint64_t self_loops = 0;         // u == v
+  std::uint64_t duplicate_in_batch = 0; // same undirected edge seen earlier
+  std::uint64_t insert_of_present = 0;  // insertion of a live edge
+  std::uint64_t delete_of_absent = 0;   // deletion of a non-live edge
+  std::vector<EdgeUpdate> quarantined;
+
+  std::uint64_t total() const {
+    return out_of_range + self_loops + duplicate_in_batch +
+           insert_of_present + delete_of_absent;
+  }
+  bool empty() const { return total() == 0; }
+};
+
+// Screens `batch` against `graph` (which must be reorganized) and returns a
+// copy containing only the records apply_batch can accept, in their original
+// order; everything else lands in `report`. Endpoints at or beyond the
+// current vertex count are valid only when declared in
+// batch.new_vertex_labels. A well-formed batch passes through unchanged.
+EdgeBatch sanitize_batch(const DynamicGraph& graph, const EdgeBatch& batch,
+                         QuarantineReport& report);
+
+// Fault site batch.corrupt: when the injector fires, APPENDS a handful of
+// malformed records (out-of-range endpoint, self-loop, duplicate of an
+// existing record) to `batch`. Appending — never mutating — means
+// sanitize_batch strips exactly the garbage and the surviving batch is
+// bit-identical to the original, which is what lets fault-matrix tests
+// compare embedding counts against a fault-free run.
+void inject_batch_corruption(EdgeBatch& batch, FaultInjector* faults);
 
 }  // namespace gcsm

@@ -1,0 +1,102 @@
+// Structured error taxonomy for the GCSM service layer.
+//
+// Every failure the pipeline can recover from — or must report — carries an
+// ErrorCode, so callers branch on machine-readable codes instead of matching
+// what() strings. The taxonomy splits along the recovery matrix documented
+// in docs/ROBUSTNESS.md:
+//
+//   * transient faults (a failed DMA, a refused kernel launch, a watchdog-
+//     cancelled kernel, an interrupted batch apply) — safe to retry after
+//     rolling the dynamic graph back to its pre-batch snapshot;
+//   * capacity faults (device OOM) — retrying verbatim cannot help; the
+//     pipeline degrades by shrinking the cache budget, then falls back to
+//     the CPU engine;
+//   * permanent faults (unparseable input, broken invariants, bad
+//     configuration) — surfaced to the caller with the batch rolled back.
+//
+// Error derives from std::runtime_error so existing catch sites keep
+// working; DeviceOomError and the kernel fault types derive from Error so
+// new code can catch the whole taxonomy with one clause.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gcsm {
+
+enum class ErrorCode {
+  kUnknown = 0,
+  // IO / input.
+  kIoOpen,       // cannot open a file for reading or writing
+  kIoParse,      // malformed content (bad token, bad magic)
+  kIoTruncated,  // file ends before the promised payload
+  // Device / kernel (simulated GPU).
+  kDeviceOom,      // allocation exceeds device capacity
+  kDeviceDma,      // a host->device copy failed (transient)
+  kKernelLaunch,   // the kernel launch was refused (transient)
+  kKernelTimeout,  // the watchdog cancelled a hung kernel (transient)
+  // Pipeline stages.
+  kCacheBuild,     // DCSR pack failed mid-build (transient)
+  kGraphApply,     // batch apply interrupted mid-append (transient)
+  kBatchRejected,  // a batch failed permanently after all recovery
+  kConfig,         // a setting the pipeline cannot satisfy
+};
+
+inline const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kUnknown:
+      return "unknown";
+    case ErrorCode::kIoOpen:
+      return "io-open";
+    case ErrorCode::kIoParse:
+      return "io-parse";
+    case ErrorCode::kIoTruncated:
+      return "io-truncated";
+    case ErrorCode::kDeviceOom:
+      return "device-oom";
+    case ErrorCode::kDeviceDma:
+      return "device-dma";
+    case ErrorCode::kKernelLaunch:
+      return "kernel-launch";
+    case ErrorCode::kKernelTimeout:
+      return "kernel-timeout";
+    case ErrorCode::kCacheBuild:
+      return "cache-build";
+    case ErrorCode::kGraphApply:
+      return "graph-apply";
+    case ErrorCode::kBatchRejected:
+      return "batch-rejected";
+    case ErrorCode::kConfig:
+      return "config";
+  }
+  return "?";
+}
+
+// True when retrying the same operation (after rollback) may succeed: the
+// fault models a momentary condition, not a capacity or input problem.
+inline bool error_code_transient(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kDeviceDma:
+    case ErrorCode::kKernelLaunch:
+    case ErrorCode::kKernelTimeout:
+    case ErrorCode::kCacheBuild:
+    case ErrorCode::kGraphApply:
+      return true;
+    default:
+      return false;
+  }
+}
+
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  ErrorCode code() const { return code_; }
+  bool transient() const { return error_code_transient(code_); }
+
+ private:
+  ErrorCode code_;
+};
+
+}  // namespace gcsm

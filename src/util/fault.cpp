@@ -1,0 +1,87 @@
+#include "util/fault.hpp"
+
+namespace gcsm {
+
+FaultInjector::FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+void FaultInjector::arm(const std::string& site, FaultSpec spec) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  specs_[site] = spec;
+}
+
+void FaultInjector::arm_all(double probability) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  default_spec_ = FaultSpec{probability, 0};
+}
+
+void FaultInjector::disarm(const std::string& site) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  specs_.erase(site);
+}
+
+void FaultInjector::disarm_all() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  specs_.clear();
+  default_spec_.reset();
+}
+
+void FaultInjector::set_enabled(bool on) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = on;
+}
+
+bool FaultInjector::enabled() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+const FaultSpec* FaultInjector::spec_for(const std::string& site) const {
+  const auto it = specs_.find(site);
+  if (it != specs_.end()) return &it->second;
+  if (default_spec_.has_value()) return &*default_spec_;
+  return nullptr;
+}
+
+bool FaultInjector::fires(const char* site) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return false;
+  const std::string key(site);
+  const std::uint64_t hit = ++hit_counts_[key];
+  const FaultSpec* spec = spec_for(key);
+  if (spec == nullptr) return false;
+  const bool on_nth = spec->nth_hit != 0 && hit == spec->nth_hit;
+  const bool on_draw = spec->probability > 0.0 &&
+                       rng_.bernoulli(spec->probability);
+  if (!on_nth && !on_draw) return false;
+  fired_.push_back({key, hit});
+  return true;
+}
+
+std::uint64_t FaultInjector::hits(const std::string& site) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = hit_counts_.find(site);
+  return it == hit_counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t FaultInjector::fired_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return fired_.size();
+}
+
+std::vector<std::string> FaultInjector::fired_sites_since(
+    std::uint64_t index) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (std::size_t i = static_cast<std::size_t>(index); i < fired_.size();
+       ++i) {
+    out.push_back(fired_[i].site);
+  }
+  return out;
+}
+
+std::vector<FaultObservation> FaultInjector::observations() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+}  // namespace gcsm
