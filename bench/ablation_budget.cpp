@@ -12,8 +12,7 @@ using namespace gcsm;
 using namespace gcsm::bench;
 }  // namespace
 
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+static int run(const gcsm::CliArgs& args) {
   RunConfig base_config = RunConfig::from_cli(args, "FR", 4096, 1.0);
 
   print_title("Ablation — cache budget sweep (GCSM vs Naive ranking)",
@@ -41,4 +40,8 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return gcsm::bench::bench_main("ablation_budget", argc, argv, run);
 }

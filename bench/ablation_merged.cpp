@@ -14,8 +14,7 @@ using namespace gcsm;
 using namespace gcsm::bench;
 }  // namespace
 
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+static int run(const gcsm::CliArgs& args) {
   RunConfig config = RunConfig::from_cli(args, "FR", 1024, 0.25);
 
   print_title("Ablation — merged binomial walks vs independent walks "
@@ -62,4 +61,8 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return gcsm::bench::bench_main("ablation_merged", argc, argv, run);
 }

@@ -22,8 +22,7 @@ using namespace gcsm;
 using namespace gcsm::bench;
 }  // namespace
 
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+static int run(const gcsm::CliArgs& args) {
   RunConfig config = RunConfig::from_cli(args, "FR", 4096, 0.5);
   if (config.workers == 0) config.workers = 8;
 
@@ -64,4 +63,8 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return gcsm::bench::bench_main("ablation_schedule", argc, argv, run);
 }

@@ -19,8 +19,7 @@ using namespace gcsm;
 using namespace gcsm::bench;
 }  // namespace
 
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+static int run(const gcsm::CliArgs& args) {
   RunConfig config = RunConfig::from_cli(args, "SF3K", 4096, 0.5);
 
   print_title("Ablation — estimator walks M vs coverage and cost",
@@ -63,4 +62,8 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return gcsm::bench::bench_main("ablation_walks", argc, argv, run);
 }

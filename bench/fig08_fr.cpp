@@ -4,8 +4,7 @@
 // are reported per row as in the paper's bar labels.
 #include "harness.hpp"
 
-int main(int argc, char** argv) {
-  const gcsm::CliArgs args(argc, argv);
+static int run(const gcsm::CliArgs& args) {
   const auto config =
       gcsm::bench::RunConfig::from_cli(args, "FR", 4096, 1.0);
   return gcsm::bench::run_comparison(
@@ -15,4 +14,8 @@ int main(int argc, char** argv) {
       config, {1, 2, 3, 4, 5, 6},
       {gcsm::EngineKind::kGcsm, gcsm::EngineKind::kZeroCopy,
        gcsm::EngineKind::kNaiveDegree, gcsm::EngineKind::kCpu});
+}
+
+int main(int argc, char** argv) {
+  return gcsm::bench::bench_main("fig08_fr", argc, argv, run);
 }

@@ -2,8 +2,7 @@
 // edges on LDBC SF3K (R-MAT analog here).
 #include "harness.hpp"
 
-int main(int argc, char** argv) {
-  const gcsm::CliArgs args(argc, argv);
+static int run(const gcsm::CliArgs& args) {
   const auto config =
       gcsm::bench::RunConfig::from_cli(args, "SF3K", 4096, 1.0);
   return gcsm::bench::run_comparison(
@@ -12,4 +11,8 @@ int main(int argc, char** argv) {
       config, {1, 2, 3, 4, 5, 6},
       {gcsm::EngineKind::kGcsm, gcsm::EngineKind::kZeroCopy,
        gcsm::EngineKind::kNaiveDegree, gcsm::EngineKind::kCpu});
+}
+
+int main(int argc, char** argv) {
+  return gcsm::bench::bench_main("fig09_sf3k", argc, argv, run);
 }

@@ -35,8 +35,7 @@ EngineResult sum_over_motifs(EngineKind kind, const PreparedStream& stream,
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+static int run(const gcsm::CliArgs& args) {
   RunConfig config = RunConfig::from_cli(args, "PA", 4096, 1.0);
   config.num_labels = static_cast<std::uint32_t>(args.get_int("labels", 1));
   config.labeled_queries = false;  // motifs are unlabeled, as in the paper
@@ -70,4 +69,8 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return gcsm::bench::bench_main("fig11_roadnets", argc, argv, run);
 }

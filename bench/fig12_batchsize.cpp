@@ -11,8 +11,7 @@ using namespace gcsm;
 using namespace gcsm::bench;
 }  // namespace
 
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+static int run(const gcsm::CliArgs& args) {
   RunConfig base_config = RunConfig::from_cli(args, "SF3K", 8192, 1.0);
   if (!args.has("labels")) {
     // The sweep is about batch-size scaling, not tree depth; shallower
@@ -57,4 +56,8 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return gcsm::bench::bench_main("fig12_batchsize", argc, argv, run);
 }

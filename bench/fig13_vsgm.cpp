@@ -12,8 +12,7 @@ using namespace gcsm;
 using namespace gcsm::bench;
 }  // namespace
 
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+static int run(const gcsm::CliArgs& args) {
   RunConfig base_config = RunConfig::from_cli(args, "SF3K", 128, 1.0);
 
   print_title("Fig. 13 — VSGM vs GCSM breakdown (DC vs Match)",
@@ -51,4 +50,8 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return gcsm::bench::bench_main("fig13_vsgm", argc, argv, run);
 }

@@ -12,8 +12,7 @@ using namespace gcsm;
 using namespace gcsm::bench;
 }  // namespace
 
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+static int run(const gcsm::CliArgs& args) {
   RunConfig base_config = RunConfig::from_cli(args, "AZ", 2048, 1.0);
 
   print_title("Fig. 14 — RapidFlow-like comparison on AZ and LJ analogs",
@@ -42,4 +41,8 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return gcsm::bench::bench_main("fig14_rapidflow", argc, argv, run);
 }

@@ -21,8 +21,7 @@ using namespace gcsm;
 using namespace gcsm::bench;
 }  // namespace
 
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+static int run(const gcsm::CliArgs& args) {
   RunConfig base_config = RunConfig::from_cli(args, "FR", 4096, 1.0);
   const int query_index = static_cast<int>(args.get_int("query", 1));
 
@@ -87,4 +86,8 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return gcsm::bench::bench_main("fig15_access", argc, argv, run);
 }

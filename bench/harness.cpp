@@ -3,6 +3,8 @@
 #include <cstdio>
 
 #include "query/patterns.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
 
 namespace gcsm::bench {
 
@@ -27,6 +29,7 @@ RunConfig RunConfig::from_cli(const CliArgs& args,
   c.cache_budget_bytes =
       static_cast<std::uint64_t>(args.get_int("budget", 0)) << 20;
   c.num_walks = static_cast<std::uint64_t>(args.get_int("walks", 0));
+  c.json_path = args.get("json", "");
   return c;
 }
 
@@ -89,6 +92,17 @@ EngineResult run_engine(EngineKind kind, const PreparedStream& stream,
   const gpusim::SimParams params = pipe.options().sim;
   for (std::size_t i = 0; i < n; ++i) {
     const BatchReport report = pipe.process_batch(stream.batches[i]);
+    BatchRecord rec;
+    rec.index = i;
+    rec.wall_ms = report.wall_total_ms();
+    rec.sim_s = report.sim_total_s();
+    rec.embeddings = report.stats.signed_embeddings;
+    rec.cache_hits = report.traffic.cache_hits;
+    rec.cache_misses = report.traffic.cache_misses;
+    rec.cached_vertices = report.cached_vertices;
+    rec.retries = report.retries;
+    rec.cpu_fallback = report.cpu_fallback;
+    r.per_batch.push_back(rec);
     r.wall_ms += report.wall_total_ms();
     r.sim_ms += report.sim_total_s() * 1e3;
     r.sim_match_ms += report.sim_match_s * 1e3;
@@ -134,6 +148,12 @@ EngineResult run_rapidflow(const PreparedStream& stream,
     // RF runs on the host; its simulated time is host-ops driven, matching
     // the CPU baseline's accounting.
     const gpusim::SimTime st = simulate_time(report.traffic, params);
+    BatchRecord rec;
+    rec.index = i;
+    rec.wall_ms = report.wall_total_ms();
+    rec.sim_s = st.host;
+    rec.embeddings = report.stats.signed_embeddings;
+    r.per_batch.push_back(rec);
     r.sim_ms += st.host * 1e3;
     r.sim_match_ms += st.host * 1e3;
     r.signed_embeddings += report.stats.signed_embeddings;
@@ -187,6 +207,87 @@ void print_result_row(const std::string& query, const EngineResult& r,
   std::fflush(stdout);
 }
 
+void write_json_report(const std::string& path, const RunConfig& config,
+                       const std::vector<std::string>& query_names,
+                       const std::vector<EngineResult>& results) {
+  json::Writer w;
+  w.begin_object();
+  w.key("dataset").value(std::string_view(config.dataset));
+  w.key("queries").begin_array();
+  for (const std::string& q : query_names) w.value(std::string_view(q));
+  w.end_array();
+  w.key("config").begin_object();
+  w.key("scale").value(config.scale);
+  w.key("labels").value(static_cast<std::uint64_t>(config.num_labels));
+  w.key("batch").value(static_cast<std::uint64_t>(config.batch_size));
+  w.key("batches").value(static_cast<std::uint64_t>(config.num_batches));
+  w.key("workers").value(static_cast<std::uint64_t>(config.workers));
+  w.key("seed").value(config.seed);
+  w.key("budget_bytes").value(config.cache_budget_bytes);
+  w.key("walks").value(config.num_walks);
+  w.end_object();
+
+  double agg_wall_ms = 0.0;
+  double agg_sim_s = 0.0;
+  std::uint64_t agg_hits = 0;
+  std::uint64_t agg_misses = 0;
+  w.key("per_batch").begin_array();
+  for (const EngineResult& r : results) {
+    for (const BatchRecord& b : r.per_batch) {
+      w.begin_object();
+      w.key("query").value(std::string_view(r.query));
+      w.key("engine").value(std::string_view(r.engine));
+      w.key("batch").value(static_cast<std::uint64_t>(b.index));
+      w.key("wall_ms").value(b.wall_ms);
+      w.key("sim_s").value(b.sim_s);
+      w.key("embeddings").value(static_cast<std::int64_t>(b.embeddings));
+      w.key("retries").value(static_cast<std::uint64_t>(b.retries));
+      w.key("cpu_fallback").value(b.cpu_fallback);
+      w.key("cache").begin_object();
+      w.key("hits").value(b.cache_hits);
+      w.key("misses").value(b.cache_misses);
+      const std::uint64_t total = b.cache_hits + b.cache_misses;
+      w.key("hit_rate").value(
+          total == 0 ? 0.0
+                     : static_cast<double>(b.cache_hits) /
+                           static_cast<double>(total));
+      w.key("cached_vertices").value(b.cached_vertices);
+      w.end_object();
+      w.end_object();
+      agg_wall_ms += b.wall_ms;
+      agg_sim_s += b.sim_s;
+      agg_hits += b.cache_hits;
+      agg_misses += b.cache_misses;
+    }
+  }
+  w.end_array();
+
+  w.key("aggregate").begin_object();
+  w.key("wall_ms").value(agg_wall_ms);
+  w.key("sim_s").value(agg_sim_s);
+  w.key("cache").begin_object();
+  w.key("hits").value(agg_hits);
+  w.key("misses").value(agg_misses);
+  const std::uint64_t agg_total = agg_hits + agg_misses;
+  w.key("hit_rate").value(agg_total == 0
+                              ? 0.0
+                              : static_cast<double>(agg_hits) /
+                                    static_cast<double>(agg_total));
+  w.end_object();
+  w.end_object();
+  w.end_object();
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw Error(ErrorCode::kIoOpen, "cannot write --json report: " + path);
+  }
+  const std::string& doc = w.str();
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("json report written to %s\n", path.c_str());
+}
+
 int run_comparison(const std::string& title, const std::string& expectation,
                    const RunConfig& config, const std::vector<int>& queries,
                    const std::vector<EngineKind>& engines,
@@ -195,20 +296,45 @@ int run_comparison(const std::string& title, const std::string& expectation,
   const PreparedStream stream = prepare_stream(config);
   print_workload_line(stream.initial, config.dataset, config);
   print_result_header();
+  std::vector<std::string> query_names;
+  std::vector<EngineResult> all;
   for (const int qi : queries) {
     const QueryGraph query = paper_query(qi, config);
+    query_names.push_back(query.name());
     double baseline = 0.0;
     for (std::size_t e = 0; e < engines.size(); ++e) {
-      const EngineResult r = run_engine(engines[e], stream, query, config);
+      EngineResult r = run_engine(engines[e], stream, query, config);
       if (e == 0) baseline = r.sim_ms;
       print_result_row(query.name(), r, e == 0 ? 0.0 : baseline);
+      r.query = query.name();
+      all.push_back(std::move(r));
     }
     if (include_rapidflow) {
-      const EngineResult r = run_rapidflow(stream, query, config);
+      EngineResult r = run_rapidflow(stream, query, config);
       print_result_row(query.name(), r, baseline);
+      r.query = query.name();
+      all.push_back(std::move(r));
     }
   }
+  if (!config.json_path.empty()) {
+    write_json_report(config.json_path, config, query_names, all);
+  }
   return 0;
+}
+
+int bench_main(const char* prog, int argc, char** argv,
+               const std::function<int(const CliArgs&)>& body) {
+  try {
+    const CliArgs args(argc, argv);
+    return body(args);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s: error [%s]: %s\n", prog,
+                 error_code_name(e.code()), e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: error: %s\n", prog, e.what());
+    return 1;
+  }
 }
 
 }  // namespace gcsm::bench

@@ -14,6 +14,7 @@
 // the gpusim cost model; paper-shape comparisons use the simulated time.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,10 @@ struct RunConfig {
   std::uint64_t seed = 7;
   std::uint64_t cache_budget_bytes = 256ull << 20;
   std::uint64_t num_walks = 0;  // 0 = paper default formula
+  // --json=PATH: write the machine-readable run report described in
+  // docs/OBSERVABILITY.md ({dataset, queries, config, per_batch[],
+  // aggregate{...}}). Empty = no report.
+  std::string json_path;
 
   static RunConfig from_cli(const CliArgs& args, std::string default_dataset,
                             std::size_t default_batch, double default_scale);
@@ -63,8 +68,23 @@ QueryGraph paper_query(int index, const RunConfig& config);
 std::uint64_t resolve_cache_budget(const RunConfig& config,
                                    const CsrGraph& graph);
 
+// One processed batch inside an engine run, as it lands in the --json
+// report's per_batch[] array.
+struct BatchRecord {
+  std::size_t index = 0;
+  double wall_ms = 0.0;
+  double sim_s = 0.0;
+  std::int64_t embeddings = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cached_vertices = 0;
+  std::uint32_t retries = 0;
+  bool cpu_fallback = false;
+};
+
 struct EngineResult {
   std::string engine;
+  std::string query;  // filled by run_comparison for the --json report
   double wall_ms = 0.0;      // avg per batch
   double sim_ms = 0.0;       // avg per batch (cost model)
   double sim_match_ms = 0.0;
@@ -78,6 +98,7 @@ struct EngineResult {
   double wall_reorg_ms = 0.0;
   double sim_fe_ms = 0.0;
   std::size_t batches = 0;
+  std::vector<BatchRecord> per_batch;
 };
 
 // Runs `kind` over the stream's first `num_batches` batches; returns
@@ -106,5 +127,20 @@ int run_comparison(const std::string& title, const std::string& expectation,
                    const RunConfig& config, const std::vector<int>& queries,
                    const std::vector<EngineKind>& engines,
                    bool include_rapidflow = false);
+
+// Writes the --json report for a finished comparison:
+//   {dataset, queries[], config{}, per_batch[], aggregate{wall_ms, sim_s,
+//    cache{hits, misses, hit_rate}}}
+// Schema changes must update docs/OBSERVABILITY.md and the checker in
+// scripts/check_bench_json.py together.
+void write_json_report(const std::string& path, const RunConfig& config,
+                       const std::vector<std::string>& query_names,
+                       const std::vector<EngineResult>& results);
+
+// Shared main() body for the bench binaries: runs `body`, converting any
+// thrown gcsm::Error (e.g. a malformed --batch=abc) into the one-line
+// `prog: error [CODE]: message` contract with exit code 1.
+int bench_main(const char* prog, int argc, char** argv,
+               const std::function<int(const CliArgs&)>& body);
 
 }  // namespace gcsm::bench

@@ -11,8 +11,7 @@ using namespace gcsm;
 using namespace gcsm::bench;
 }  // namespace
 
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+static int run(const gcsm::CliArgs& args) {
   RunConfig base_config = RunConfig::from_cli(args, "FR", 4096, 1.0);
 
   print_title("Table II — FE / DC overhead as % of GCSM total time",
@@ -45,4 +44,8 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return gcsm::bench::bench_main("table2_overhead", argc, argv, run);
 }

@@ -14,8 +14,7 @@ using namespace gcsm;
 using namespace gcsm::bench;
 }  // namespace
 
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+static int run(const gcsm::CliArgs& args) {
   const double scale = args.get_double("scale", 1.0);
   const std::uint64_t seed = static_cast<std::uint64_t>(
       args.get_int("seed", 7));
@@ -56,4 +55,8 @@ int main(int argc, char** argv) {
     std::printf(" %14s\n", "");
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return gcsm::bench::bench_main("table3_reorg", argc, argv, run);
 }

@@ -22,10 +22,38 @@
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 using namespace gcsm;
 
 namespace {
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw Error(ErrorCode::kIoOpen, "cannot write: " + path);
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+// --metrics-json / --trace-json sinks (docs/OBSERVABILITY.md), shared by
+// the pipeline and RapidFlow-like exits.
+void write_observability(const CliArgs& args,
+                         const trace::TraceCollector& collector) {
+  if (args.has("metrics-json")) {
+    const std::string path = args.get("metrics-json", "metrics.json");
+    write_text_file(path, metrics::Registry::global().snapshot().to_json());
+    std::printf("metrics written to %s\n", path.c_str());
+  }
+  if (args.has("trace-json")) {
+    const std::string path = args.get("trace-json", "trace.json");
+    write_text_file(path, collector.to_chrome_json());
+    std::printf("trace written to %s\n", path.c_str());
+  }
+}
 
 QueryGraph parse_query(const std::string& name, int labels) {
   QueryGraph q;
@@ -70,7 +98,10 @@ int usage() {
       "               [--save-graph=FILE]\n"
       "               [--faults=P] [--fault-seed=N]   (arm fault injection\n"
       "                with probability P at every site; see "
-      "docs/ROBUSTNESS.md)\n");
+      "docs/ROBUSTNESS.md)\n"
+      "               [--metrics-json=FILE]  (dump the metrics registry)\n"
+      "               [--trace-json=FILE]    (chrome://tracing span export;\n"
+      "                see docs/OBSERVABILITY.md)\n");
   return 2;
 }
 
@@ -142,6 +173,9 @@ int main(int argc, char** argv) try {
   const MatchSink* sink_ptr = list_limit > 0 ? &sink : nullptr;
 
   // --- run ------------------------------------------------------------
+  trace::TraceCollector collector;
+  if (args.has("trace-json")) trace::set_collector(&collector);
+
   const std::string engine = args.get("engine", "gcsm");
   if (engine == "rf") {
     RapidFlowLikeEngine rf(stream.initial, query);
@@ -152,6 +186,8 @@ int main(int argc, char** argv) try {
           static_cast<long long>(r.stats.signed_embeddings),
           r.wall_total_ms(), static_cast<double>(r.index_bytes) / 1e6);
     }
+    trace::set_collector(nullptr);
+    write_observability(args, collector);
     return 0;
   }
 
@@ -201,6 +237,8 @@ int main(int argc, char** argv) try {
           static_cast<unsigned long long>(r.quarantine.total()));
     }
   }
+  trace::set_collector(nullptr);
+  write_observability(args, collector);
   return 0;
 } catch (const gcsm::Error& e) {
   // One line, machine-prefixed with the taxonomy code, nonzero exit.

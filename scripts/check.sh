@@ -56,6 +56,26 @@ run_preset() {
     if ! run ctest --preset faults-asan -j "${JOBS}"; then
       failures+=("faults-asan: tests")
     fi
+    # Observability layer (registry concurrency, JSON schemas, regressions)
+    # under the same sanitizers.
+    if ! run ctest --preset metrics-asan -j "${JOBS}"; then
+      failures+=("metrics-asan: tests")
+    fi
+  fi
+  # Bench smoke + --json schema gate (docs/OBSERVABILITY.md): a reduced
+  # fig08 run must emit a report that the schema checker accepts.
+  if [ "${preset}" = "checks" ]; then
+    local report="build-${preset}/bench_smoke.json"
+    if ! run "build-${preset}/bench/fig08_fr" --scale=0.05 --batches=1 \
+         --json="${report}" > /dev/null; then
+      failures+=("${preset}: bench smoke")
+    elif command -v python3 > /dev/null 2>&1; then
+      if ! run python3 scripts/check_bench_json.py "${report}"; then
+        failures+=("${preset}: bench json schema")
+      fi
+    else
+      echo "bench json schema check SKIPPED (python3 not installed)"
+    fi
   fi
 }
 

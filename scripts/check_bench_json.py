@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Validates a bench --json report against the stable schema.
+
+Usage: check_bench_json.py REPORT.json
+
+The schema is documented in docs/OBSERVABILITY.md and emitted by
+bench/harness.cpp:write_json_report. This checker is intentionally strict
+about required keys and types (extra keys are a schema change and fail),
+so drift between the emitter, the docs, and downstream consumers is caught
+by the scripts/check.sh smoke run.
+"""
+import json
+import numbers
+import sys
+
+
+def fail(msg):
+    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_keys(obj, required, where):
+    if not isinstance(obj, dict):
+        fail(f"{where}: expected object, got {type(obj).__name__}")
+    missing = required.keys() - obj.keys()
+    if missing:
+        fail(f"{where}: missing keys {sorted(missing)}")
+    extra = obj.keys() - required.keys()
+    if extra:
+        fail(f"{where}: unexpected keys {sorted(extra)} (schema change?)")
+    for key, kind in required.items():
+        if not isinstance(obj[key], kind) or (
+            kind is not bool and isinstance(obj[key], bool)
+        ):
+            fail(
+                f"{where}.{key}: expected {kind}, "
+                f"got {type(obj[key]).__name__}"
+            )
+
+
+CACHE_KEYS = {
+    "hits": int,
+    "misses": int,
+    "hit_rate": numbers.Real,
+    "cached_vertices": int,
+}
+
+BATCH_KEYS = {
+    "query": str,
+    "engine": str,
+    "batch": int,
+    "wall_ms": numbers.Real,
+    "sim_s": numbers.Real,
+    "embeddings": int,
+    "retries": int,
+    "cpu_fallback": bool,
+    "cache": dict,
+}
+
+CONFIG_KEYS = {
+    "scale": numbers.Real,
+    "labels": int,
+    "batch": int,
+    "batches": int,
+    "workers": int,
+    "seed": int,
+    "budget_bytes": int,
+    "walks": int,
+}
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_bench_json.py REPORT.json")
+    try:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{sys.argv[1]}: {e}")
+
+    check_keys(
+        doc,
+        {
+            "dataset": str,
+            "queries": list,
+            "config": dict,
+            "per_batch": list,
+            "aggregate": dict,
+        },
+        "report",
+    )
+    if not all(isinstance(q, str) for q in doc["queries"]):
+        fail("queries: every entry must be a string")
+    check_keys(doc["config"], CONFIG_KEYS, "config")
+
+    if not doc["per_batch"]:
+        fail("per_batch: empty (the run produced no batches)")
+    for i, rec in enumerate(doc["per_batch"]):
+        where = f"per_batch[{i}]"
+        check_keys(rec, BATCH_KEYS, where)
+        check_keys(rec["cache"], CACHE_KEYS, f"{where}.cache")
+
+    agg = doc["aggregate"]
+    check_keys(
+        agg,
+        {"wall_ms": numbers.Real, "sim_s": numbers.Real, "cache": dict},
+        "aggregate",
+    )
+    check_keys(
+        agg["cache"],
+        {"hits": int, "misses": int, "hit_rate": numbers.Real},
+        "aggregate.cache",
+    )
+    if not 0.0 <= agg["cache"]["hit_rate"] <= 1.0:
+        fail("aggregate.cache.hit_rate outside [0, 1]")
+
+    print(
+        f"check_bench_json: OK — {doc['dataset']}, "
+        f"{len(doc['queries'])} queries, "
+        f"{len(doc['per_batch'])} per-batch records"
+    )
+
+
+if __name__ == "__main__":
+    main()

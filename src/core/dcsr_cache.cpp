@@ -7,6 +7,8 @@
 #include "util/check.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace gcsm {
 
@@ -14,10 +16,21 @@ void DcsrCache::build(const DynamicGraph& graph,
                       const std::vector<VertexId>& vertices,
                       std::uint64_t byte_budget, gpusim::Device& device,
                       gpusim::TrafficCounters& counters) {
+  static auto& m_builds = metrics::Registry::global().counter("cache.builds");
+  static auto& m_failures =
+      metrics::Registry::global().counter("cache.build_failures");
+  static auto& m_vertices =
+      metrics::Registry::global().counter("cache.built_vertices");
+  static auto& m_bytes =
+      metrics::Registry::global().counter("cache.built_bytes");
+  static auto& m_blob_gauge =
+      metrics::Registry::global().gauge("cache.blob_bytes");
+  const trace::Span span("cache.build");
   clear();
 
   if (FaultInjector* faults = device.fault_injector();
       faults != nullptr && faults->fires(fault_site::kCacheBuild)) {
+    m_failures.add();
     throw Error(ErrorCode::kCacheBuild,
                 "injected fault: DCSR cache build aborted (transient)");
   }
@@ -80,8 +93,21 @@ void DcsrCache::build(const DynamicGraph& graph,
   rowptr[row_count].begin = cursor;  // sentinel: length of colidx
   rowptr[row_count].new_begin = -1;
 
-  gpusim::DeviceBuffer blob = device.alloc(blob_bytes);
-  device.dma_to_device(blob, staging.data(), blob_bytes, counters);
+  // alloc / DMA throw on (injected) device failure; count those as build
+  // failures too so the metric mirrors every aborted pack.
+  gpusim::DeviceBuffer blob;
+  try {
+    blob = device.alloc(blob_bytes);
+    device.dma_to_device(blob, staging.data(), blob_bytes, counters);
+  } catch (...) {
+    m_failures.add();
+    throw;
+  }
+
+  m_builds.add();
+  m_vertices.add(row_count);
+  m_bytes.add(blob_bytes);
+  m_blob_gauge.set(static_cast<double>(blob_bytes));
 
   blob_ = std::move(blob);
   row_count_ = row_count;

@@ -8,6 +8,7 @@
 #include "core/gpu_engine.hpp"
 #include "util/fault.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace gcsm {
 
@@ -95,13 +96,17 @@ void Pipeline::run_attempt(const EdgeBatch& batch, const MatchSink* sink,
 
   // Step 1: dynamic graph maintenance on the CPU.
   Timer t;
-  graph_.apply_batch(batch);
+  {
+    const trace::Span span("pipeline.update");
+    graph_.apply_batch(batch);
+  }
   report.wall_update_ms = t.millis();
   if (options_.check_invariants) graph_.validate();
 
   // Step 2: frequency estimation (GCSM only).
   std::vector<VertexId> cache_order;
   if (kind == EngineKind::kGcsm) {
+    const trace::Span span("pipeline.estimate");
     t.reset();
     const EstimateResult est = estimator_.estimate(graph_, batch, rng_);
     cache_order = select_by_frequency(est.frequency);
@@ -110,7 +115,16 @@ void Pipeline::run_attempt(const EdgeBatch& batch, const MatchSink* sink,
     report.sim_estimate_s =
         static_cast<double>(est.ops) /
         (sim.host_ops_per_sec_per_thread * sim.host_threads);
+    static auto& m_walks =
+        metrics::Registry::global().counter("estimator.walks");
+    static auto& m_nodes =
+        metrics::Registry::global().counter("estimator.nodes_visited");
+    static auto& m_ops = metrics::Registry::global().counter("estimator.ops");
+    m_walks.add(est.walks);
+    m_nodes.add(est.nodes_visited);
+    m_ops.add(est.ops);
   } else if (kind == EngineKind::kNaiveDegree) {
+    const trace::Span span("pipeline.estimate");
     t.reset();
     cache_order = select_by_degree(graph_);
     report.wall_estimate_ms = t.millis();
@@ -118,6 +132,7 @@ void Pipeline::run_attempt(const EdgeBatch& batch, const MatchSink* sink,
         static_cast<double>(graph_.num_vertices()) /
         (sim.host_ops_per_sec_per_thread * sim.host_threads);
   } else if (kind == EngineKind::kVsgm) {
+    const trace::Span span("pipeline.estimate");
     t.reset();
     cache_order = khop_vertices(graph_, batch, engine_.query().diameter());
     report.wall_estimate_ms = t.millis();
@@ -131,6 +146,7 @@ void Pipeline::run_attempt(const EdgeBatch& batch, const MatchSink* sink,
                           kind == EngineKind::kNaiveDegree ||
                           kind == EngineKind::kVsgm;
   if (uses_cache) {
+    const trace::Span span("pipeline.pack");
     t.reset();
     cache_.clear();
     // VSGM semantically requires the full k-hop data on the device; a
@@ -154,6 +170,7 @@ void Pipeline::run_attempt(const EdgeBatch& batch, const MatchSink* sink,
   // Step 4: incremental matching.
   t.reset();
   {
+    const trace::Span span("pipeline.match");
     const gpusim::Traffic before = counters.snapshot();
     if (kind == EngineKind::kUnifiedMemory) {
       report.stats =
@@ -178,7 +195,11 @@ void Pipeline::run_attempt(const EdgeBatch& batch, const MatchSink* sink,
 
   // Step 5: reorganize the touched lists on the CPU.
   t.reset();
-  const DynamicGraph::ReorgStats reorg = graph_.reorganize();
+  DynamicGraph::ReorgStats reorg;
+  {
+    const trace::Span span("pipeline.reorg");
+    reorg = graph_.reorganize();
+  }
   report.wall_reorg_ms = t.millis();
   if (options_.check_invariants) graph_.validate();
   report.sim_reorg_s =
@@ -190,6 +211,7 @@ void Pipeline::run_attempt(const EdgeBatch& batch, const MatchSink* sink,
 
 BatchReport Pipeline::process_batch(const EdgeBatch& batch,
                                     const MatchSink* sink) {
+  const trace::Span batch_span("pipeline.batch");
   BatchReport report;
   const RecoveryOptions& rec = options_.recovery;
   const std::uint64_t faults_before =
@@ -264,6 +286,7 @@ BatchReport Pipeline::process_batch(const EdgeBatch& batch,
       if (!use_cpu &&
           effective_cache_budget() > rec.min_cache_budget_bytes) {
         ++degradation_level_;
+        metrics::Registry::global().counter("pipeline.degradations").add();
         clean_device_batches_ = 0;
         ++report.retries;
       } else {
@@ -300,7 +323,58 @@ BatchReport Pipeline::process_batch(const EdgeBatch& batch,
   if (faults_ != nullptr) {
     report.faults_observed = faults_->fired_count() - faults_before;
   }
+  record_batch_metrics(report);
+  report.metrics = metrics::Registry::global().snapshot();
   return report;
+}
+
+void Pipeline::record_batch_metrics(const BatchReport& report) {
+  metrics::Registry& reg = metrics::Registry::global();
+  static auto& m_batches = reg.counter("pipeline.batches");
+  static auto& m_retries = reg.counter("pipeline.retries");
+  static auto& m_fallbacks = reg.counter("pipeline.cpu_fallbacks");
+  static auto& m_quarantined = reg.counter("pipeline.quarantined_records");
+  static auto& m_faults = reg.counter("pipeline.faults_observed");
+  static auto& m_cache_hits = reg.counter("cache.hits");
+  static auto& m_cache_misses = reg.counter("cache.misses");
+  static auto& m_zero_copy_bytes = reg.counter("cache.zero_copy_bytes");
+  static auto& m_compute_ops = reg.counter("kernel.compute_ops");
+  static auto& m_host_ops = reg.counter("host.ops");
+  static auto& g_budget = reg.gauge("pipeline.effective_cache_budget_bytes");
+  static auto& g_level = reg.gauge("pipeline.degradation_level");
+  static auto& g_cached = reg.gauge("cache.cached_vertices");
+  static auto& h_wall = reg.histogram("pipeline.batch_wall_ms");
+  static auto& h_sim = reg.histogram("pipeline.batch_sim_ms");
+  static auto& h_update = reg.histogram("pipeline.phase.update_ms");
+  static auto& h_estimate = reg.histogram("pipeline.phase.estimate_ms");
+  static auto& h_pack = reg.histogram("pipeline.phase.pack_ms");
+  static auto& h_match = reg.histogram("pipeline.phase.match_ms");
+  static auto& h_reorg = reg.histogram("pipeline.phase.reorg_ms");
+  static auto& h_backoff = reg.histogram("pipeline.backoff_ms");
+
+  m_batches.add();
+  m_retries.add(report.retries);
+  if (report.cpu_fallback) m_fallbacks.add();
+  m_quarantined.add(report.quarantine.total());
+  m_faults.add(report.faults_observed);
+  // Hot-path cache/kernel traffic is mirrored per batch from the traffic
+  // counters — per-lookup metric updates would tax the fetch fast path.
+  m_cache_hits.add(report.traffic.cache_hits);
+  m_cache_misses.add(report.traffic.cache_misses);
+  m_zero_copy_bytes.add(report.traffic.zero_copy_bytes);
+  m_compute_ops.add(report.traffic.compute_ops);
+  m_host_ops.add(report.traffic.host_ops);
+  g_budget.set(static_cast<double>(report.effective_cache_budget));
+  g_level.set(static_cast<double>(report.degradation_level));
+  g_cached.set(static_cast<double>(report.cached_vertices));
+  h_wall.observe(report.wall_total_ms());
+  h_sim.observe(report.sim_total_s() * 1e3);
+  h_update.observe(report.wall_update_ms);
+  h_estimate.observe(report.wall_estimate_ms);
+  h_pack.observe(report.wall_pack_ms);
+  h_match.observe(report.wall_match_ms);
+  h_reorg.observe(report.wall_reorg_ms);
+  if (report.backoff_ms > 0.0) h_backoff.observe(report.backoff_ms);
 }
 
 std::uint64_t Pipeline::count_current_embeddings() {

@@ -39,6 +39,7 @@
 #include "graph/dynamic_graph.hpp"
 #include "graph/update_stream.hpp"
 #include "util/check.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace gcsm {
@@ -144,6 +145,12 @@ struct BatchReport {
   double backoff_ms = 0.0;              // total backoff slept for this batch
   std::uint64_t faults_observed = 0;    // injector fires during this batch
   QuarantineReport quarantine;          // malformed records screened out
+
+  // Process-wide metrics after this batch (docs/OBSERVABILITY.md): the
+  // cumulative registry state, so deltas between consecutive reports
+  // attribute activity to one batch.
+  metrics::Snapshot metrics;
+
   double cache_hit_rate() const {
     const auto total = traffic.cache_hits + traffic.cache_misses;
     return total == 0 ? 0.0
@@ -183,6 +190,10 @@ class Pipeline {
   // batch on the CPU engine regardless of the configured kind.
   void run_attempt(const EdgeBatch& batch, const MatchSink* sink,
                    bool use_cpu, BatchReport& report);
+
+  // Folds the finished batch into the process-wide metrics registry
+  // (per-batch granularity so the fetch hot path stays untouched).
+  static void record_batch_metrics(const BatchReport& report);
 
   PipelineOptions options_;
   DynamicGraph graph_;

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "util/fault.hpp"
+#include "util/metrics.hpp"
 
 namespace gcsm::gpusim {
 
@@ -54,26 +55,42 @@ DeviceDmaError::DeviceDmaError()
 Device::Device(SimParams params) : params_(params) {}
 
 DeviceBuffer Device::alloc(std::size_t bytes) {
+  static auto& m_allocs =
+      metrics::Registry::global().counter("device.allocs");
+  static auto& m_alloc_bytes =
+      metrics::Registry::global().counter("device.alloc_bytes");
+  static auto& m_oom = metrics::Registry::global().counter("device.oom_errors");
   if (faults_ != nullptr && faults_->fires(fault_site::kDeviceAlloc)) {
+    m_oom.add();
     throw DeviceOomError(bytes, available());
   }
   if (bytes > available()) {
+    m_oom.add();
     throw DeviceOomError(bytes, available());
   }
   used_ += bytes;
+  m_allocs.add();
+  m_alloc_bytes.add(bytes);
   return DeviceBuffer(this, bytes);
 }
 
 void Device::dma_to_device(DeviceBuffer& dst, const void* src,
                            std::size_t bytes, TrafficCounters& counters) {
+  static auto& m_calls = metrics::Registry::global().counter("device.dma.calls");
+  static auto& m_bytes = metrics::Registry::global().counter("device.dma.bytes");
+  static auto& m_errors =
+      metrics::Registry::global().counter("device.dma.errors");
   if (bytes > dst.size()) {
     throw std::invalid_argument("dma_to_device: copy larger than buffer");
   }
   if (faults_ != nullptr && faults_->fires(fault_site::kDeviceDma)) {
+    m_errors.add();
     throw DeviceDmaError();
   }
   std::memcpy(dst.data(), src, bytes);
   counters.add_dma(1, bytes);
+  m_calls.add();
+  m_bytes.add(bytes);
 }
 
 }  // namespace gcsm::gpusim

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "util/fault.hpp"
+#include "util/metrics.hpp"
 
 namespace gcsm::gpusim {
 
@@ -41,19 +42,38 @@ void SimtExecutor::simulate_hung_kernel() {
 void SimtExecutor::for_each_item(
     std::size_t n, std::size_t grain,
     const std::function<void(std::size_t, std::size_t)>& body) {
+  static auto& m_launches =
+      metrics::Registry::global().counter("kernel.launches");
+  static auto& m_items = metrics::Registry::global().counter("kernel.items");
+  static auto& m_steals =
+      metrics::Registry::global().counter("kernel.steal_chunks");
+  static auto& m_launch_errors =
+      metrics::Registry::global().counter("kernel.launch_errors");
+  static auto& m_timeouts =
+      metrics::Registry::global().counter("kernel.timeouts");
+  static auto& m_items_hist =
+      metrics::Registry::global().histogram("kernel.items_per_launch");
   if (n == 0) return;
   if (faults_ != nullptr) {
     if (faults_->fires(fault_site::kKernelLaunch)) {
+      m_launch_errors.add();
       throw KernelLaunchError();
     }
     if (faults_->fires(fault_site::kKernelHang)) {
+      m_timeouts.add();
       simulate_hung_kernel();
     }
   }
+  m_launches.add();
+  m_items.add(n);
+  m_items_hist.observe(static_cast<double>(n));
   if (schedule_ == Schedule::kWorkStealing) {
+    // Each parallel_for callback is one chunk claimed from the shared
+    // counter — the simulation's unit of "work stolen" by a block.
     pool_->parallel_for(n, grain,
                         [&](std::size_t begin, std::size_t end,
                             std::size_t block) {
+                          m_steals.add();
                           for (std::size_t i = begin; i < end; ++i) {
                             body(i, block);
                           }

@@ -10,6 +10,7 @@
 #include "util/check.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
+#include "util/metrics.hpp"
 
 namespace gcsm {
 
@@ -100,12 +101,22 @@ void DynamicGraph::note_touched(VertexId v) {
 }
 
 void DynamicGraph::apply_batch(const EdgeBatch& batch) {
+  static auto& m_batches =
+      metrics::Registry::global().counter("graph.batches_applied");
+  static auto& m_inserts =
+      metrics::Registry::global().counter("graph.edges_inserted");
+  static auto& m_tombstones =
+      metrics::Registry::global().counter("graph.edges_tombstoned");
+  static auto& m_new_vertices =
+      metrics::Registry::global().counter("graph.vertices_added");
   if (has_pending_batch()) {
     throw std::logic_error(
         "apply_batch called with a pending batch; call reorganize() first");
   }
+  m_batches.add();
 
   // Step 2: new vertices, arrays sized to the average degree.
+  const VertexId vertices_before = num_vertices();
   for (const auto& [v, label] : batch.new_vertex_labels) {
     if (v < num_vertices()) {
       throw std::invalid_argument("new vertex id already exists");
@@ -120,6 +131,8 @@ void DynamicGraph::apply_batch(const EdgeBatch& batch) {
     }
     labels_[v] = label;
   }
+  m_new_vertices.add(
+      static_cast<std::uint64_t>(num_vertices() - vertices_before));
 
   // Fault site: fires at most once per batch, halfway through the record
   // list and between the two directed writes of that record — the nastiest
@@ -146,6 +159,7 @@ void DynamicGraph::apply_batch(const EdgeBatch& batch) {
       inject_apply_fault(idx);
       append_neighbor(e.v, e.u);
       ++live_edges_;
+      m_inserts.add();
     } else {
       // Step 3: tombstone in both directed prefixes.
       const bool a = tombstone_in_prefix(e.u, e.v);
@@ -155,6 +169,7 @@ void DynamicGraph::apply_batch(const EdgeBatch& batch) {
         throw std::invalid_argument("deletion of a non-live edge");
       }
       --live_edges_;
+      m_tombstones.add();
     }
     note_touched(e.u);
     note_touched(e.v);
@@ -230,6 +245,10 @@ void DynamicGraph::restore(const Snapshot& snap) {
 }
 
 DynamicGraph::ReorgStats DynamicGraph::reorganize() {
+  static auto& m_calls = metrics::Registry::global().counter("graph.reorg.calls");
+  static auto& m_lists = metrics::Registry::global().counter("graph.reorg.lists");
+  static auto& m_entries =
+      metrics::Registry::global().counter("graph.reorg.entries");
   ReorgStats stats;
   stats.lists = touched_.size();
   for (const VertexId v : touched_) {
@@ -258,6 +277,9 @@ DynamicGraph::ReorgStats DynamicGraph::reorganize() {
     touched_flag_[v] = 0;
   }
   touched_.clear();
+  m_calls.add();
+  m_lists.add(stats.lists);
+  m_entries.add(stats.entries);
   return stats;
 }
 

@@ -23,6 +23,11 @@ double stirling_tail(double k) {
 }  // namespace
 
 std::uint64_t binomial_inversion(Rng& rng, std::uint64_t n, double p) {
+  // Degenerate probabilities first: at p == 1 the q == 0 arithmetic below
+  // turns f into 0 * inf = NaN and the CDF walk stops at k == 1 instead of
+  // n. (binomial() pre-clamps, but this entry point is public too.)
+  if (p <= 0.0) return 0;
+  if (p >= 1.0) return n;
   // Sequential search on the CDF starting from k = 0.
   const double q = 1.0 - p;
   const double s = p / q;

@@ -1,6 +1,9 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
+
+#include "util/error.hpp"
 
 namespace gcsm {
 
@@ -37,13 +40,29 @@ std::int64_t CliArgs::get_int(const std::string& name,
                               std::int64_t def) const {
   const auto it = flags_.find(name);
   if (it == flags_.end() || it->second.empty()) return def;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const char* s = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) {
+    throw Error(ErrorCode::kConfig,
+                "invalid integer for --" + name + ": " + it->second);
+  }
+  return v;
 }
 
 double CliArgs::get_double(const std::string& name, double def) const {
   const auto it = flags_.find(name);
   if (it == flags_.end() || it->second.empty()) return def;
-  return std::strtod(it->second.c_str(), nullptr);
+  const char* s = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || errno == ERANGE) {
+    throw Error(ErrorCode::kConfig,
+                "invalid number for --" + name + ": " + it->second);
+  }
+  return v;
 }
 
 bool CliArgs::get_bool(const std::string& name, bool def) const {

@@ -1,5 +1,10 @@
 // Minimal command-line flag parsing shared by the benchmark binaries and
 // examples: `--name=value` / `--name value` / boolean `--name`.
+//
+// Numeric getters are strict: a malformed or out-of-range value (e.g.
+// `--batch=abc`) throws Error(kConfig) naming the flag and the offending
+// value, so every driver reports `flag: value` on one line and exits
+// nonzero instead of silently running with a garbage parameter.
 #pragma once
 
 #include <cstdint>

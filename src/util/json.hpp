@@ -1,0 +1,146 @@
+// Minimal JSON emission shared by the observability sinks (metrics
+// snapshots, trace exports, bench --json reports). Write-only by design:
+// the repo never parses JSON, it only needs to emit schema-stable documents
+// that external tooling (jq, chrome://tracing, the perf-trajectory
+// collector) can read. Keys are emitted in call order, numbers via %.12g,
+// and non-finite doubles as null, so identical inputs produce byte-identical
+// documents — which is what the golden-file schema test pins down.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gcsm::json {
+
+inline void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+inline void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out += buf;
+}
+
+// Streaming writer with just enough structure tracking to place commas.
+// Usage: w.begin_object().key("a").value(1.0).end_object();
+class Writer {
+ public:
+  Writer& begin_object() {
+    separate();
+    out_ += '{';
+    first_.push_back(true);
+    return *this;
+  }
+  Writer& end_object() {
+    out_ += '}';
+    first_.pop_back();
+    return *this;
+  }
+  Writer& begin_array() {
+    separate();
+    out_ += '[';
+    first_.push_back(true);
+    return *this;
+  }
+  Writer& end_array() {
+    out_ += ']';
+    first_.pop_back();
+    return *this;
+  }
+  Writer& key(std::string_view k) {
+    separate();
+    append_escaped(out_, k);
+    out_ += ':';
+    after_key_ = true;
+    return *this;
+  }
+  Writer& value(std::string_view s) {
+    separate();
+    append_escaped(out_, s);
+    return *this;
+  }
+  Writer& value(const char* s) { return value(std::string_view(s)); }
+  Writer& value(double v) {
+    separate();
+    append_number(out_, v);
+    return *this;
+  }
+  Writer& value(std::uint64_t v) {
+    separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  Writer& value(std::int64_t v) {
+    separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  Writer& value(bool b) {
+    separate();
+    out_ += b ? "true" : "false";
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  // Emits the comma between container elements; a value directly after a
+  // key never needs one.
+  void separate() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    if (first_.empty()) return;
+    if (first_.back()) {
+      first_.back() = false;
+    } else {
+      out_ += ',';
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> first_;
+  bool after_key_ = false;
+};
+
+}  // namespace gcsm::json

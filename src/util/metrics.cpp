@@ -1,0 +1,213 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/json.hpp"
+
+namespace gcsm::metrics {
+
+namespace {
+
+// Atomically folds `v` into a stored double under `cmp` (CAS loop). The
+// empty state is the identity of `cmp` (+inf for min, -inf for max), so no
+// first-observation flag is needed and concurrent first observers race
+// safely.
+template <typename Cmp>
+void atomic_fold(std::atomic<std::uint64_t>& bits, double v, Cmp cmp) {
+  std::uint64_t cur = bits.load(std::memory_order_relaxed);
+  while (cmp(v, std::bit_cast<double>(cur))) {
+    if (bits.compare_exchange_weak(cur, std::bit_cast<std::uint64_t>(v),
+                                   std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+int Histogram::bin_index(double v) {
+  if (!(v > 0.0)) return 0;  // zero, negatives, and NaN land in bin 0
+  const int octave_offset = static_cast<int>(
+      std::floor((std::log2(v) - kMinExp) * kBinsPerOctave));
+  return std::clamp(octave_offset + 1, 1, kNumBins - 1);
+}
+
+double Histogram::bin_lower(int index) {
+  if (index <= 0) return 0.0;
+  return std::exp2(kMinExp +
+                   static_cast<double>(index - 1) / kBinsPerOctave);
+}
+
+double Histogram::bin_upper(int index) {
+  return std::exp2(kMinExp + static_cast<double>(index) / kBinsPerOctave);
+}
+
+void Histogram::observe(double v) {
+  if (std::isnan(v)) return;
+  bins_[static_cast<std::size_t>(bin_index(v))].fetch_add(1, kRelaxed);
+  count_.fetch_add(1, kRelaxed);
+  std::uint64_t sum_cur = sum_bits_.load(kRelaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      sum_cur, std::bit_cast<std::uint64_t>(std::bit_cast<double>(sum_cur) + v),
+      kRelaxed)) {
+  }
+  atomic_fold(min_bits_, v, std::less<>());
+  atomic_fold(max_bits_, v, std::greater<>());
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : std::bit_cast<double>(min_bits_.load(kRelaxed));
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : std::bit_cast<double>(max_bits_.load(kRelaxed));
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::percentile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest rank, exactly as gcsm::percentile: the ceil(p/100 * n)-th
+  // smallest sample (rank 0 maps to the smallest).
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  const std::uint64_t target = rank == 0 ? 1 : rank;
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kNumBins; ++i) {
+    cum += bins_[static_cast<std::size_t>(i)].load(kRelaxed);
+    if (cum >= target) {
+      const double lo = bin_lower(i);
+      const double hi = bin_upper(i);
+      const double mid = i == 0 ? hi / 2.0 : std::sqrt(lo * hi);
+      return std::clamp(mid, min(), max());
+    }
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  count_.store(0, kRelaxed);
+  sum_bits_.store(0, kRelaxed);
+  min_bits_.store(kPosInfBits, kRelaxed);
+  max_bits_.store(kNegInfBits, kRelaxed);
+  for (auto& b : bins_) b.store(0, kRelaxed);
+}
+
+std::uint64_t Snapshot::counter_or(std::string_view name,
+                                   std::uint64_t def) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return def;
+}
+
+std::optional<double> Snapshot::gauge(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return std::nullopt;
+}
+
+const HistogramSummary* Snapshot::histogram(std::string_view name) const {
+  for (const auto& [n, v] : histograms) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+std::string Snapshot::to_json() const {
+  json::Writer w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : counters) {
+    w.key(name).value(value);
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : gauges) {
+    w.key(name).value(value);
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms) {
+    w.key(name).begin_object();
+    w.key("count").value(h.count);
+    w.key("sum").value(h.sum);
+    w.key("min").value(h.min);
+    w.key("max").value(h.max);
+    w.key("p50").value(h.p50);
+    w.key("p90").value(h.p90);
+    w.key("p99").value(h.p99);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+Snapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSummary s;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.min = h->min();
+    s.max = h->max();
+    s.p50 = h->percentile(50.0);
+    s.p90 = h->percentile(90.0);
+    s.p99 = h->percentile(99.0);
+    snap.histograms.emplace_back(name, s);
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace gcsm::metrics

@@ -1,0 +1,162 @@
+// Process-wide observability registry (docs/OBSERVABILITY.md).
+//
+// Named counters, gauges, and histograms with a lock-free fast path: a
+// metric is registered once (under the registry mutex), after which the
+// returned reference is stable for the registry's lifetime and every update
+// is a single relaxed atomic operation. Components either cache the
+// reference at construction or use a function-local static, so the hot
+// paths — per-batch pipeline accounting, device DMA, kernel launches —
+// never touch a lock.
+//
+// Reads are snapshot-on-read: snapshot() walks the registered metrics and
+// copies their current values into a plain Snapshot (no atomics), which is
+// what BatchReport carries and what the JSON sinks serialize. Histograms
+// bin observations geometrically (8 bins per octave, ~9% relative
+// resolution), so percentile queries never store raw samples and
+// observe() stays O(1) and allocation-free.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gcsm::metrics {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, kRelaxed); }
+  std::uint64_t value() const { return value_.load(kRelaxed); }
+  void reset() { value_.store(0, kRelaxed); }
+
+ private:
+  static constexpr auto kRelaxed = std::memory_order_relaxed;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Last-written instantaneous value (e.g. a budget or a level).
+class Gauge {
+ public:
+  void set(double v) { bits_.store(std::bit_cast<std::uint64_t>(v), kRelaxed); }
+  void add(double delta) {
+    std::uint64_t cur = bits_.load(kRelaxed);
+    while (!bits_.compare_exchange_weak(
+        cur, std::bit_cast<std::uint64_t>(std::bit_cast<double>(cur) + delta),
+        kRelaxed)) {
+    }
+  }
+  double value() const { return std::bit_cast<double>(bits_.load(kRelaxed)); }
+  void reset() { set(0.0); }
+
+ private:
+  static constexpr auto kRelaxed = std::memory_order_relaxed;
+  static_assert(std::bit_cast<std::uint64_t>(0.0) == 0);
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+// Geometric-bin histogram for non-negative samples (phase times, sizes).
+// Bin 0 holds everything below 2^kMinExp (including zero); above that, each
+// octave is split into kBinsPerOctave bins, so any reported quantile is
+// within a factor of 2^(1/kBinsPerOctave) ≈ 1.09 of the exact sample.
+class Histogram {
+ public:
+  static constexpr int kBinsPerOctave = 8;
+  static constexpr int kMinExp = -20;  // bin 0 ceiling: 2^-20 ≈ 9.5e-7
+  static constexpr int kMaxExp = 44;   // saturates above 2^44 ≈ 1.8e13
+  static constexpr int kNumBins = (kMaxExp - kMinExp) * kBinsPerOctave + 1;
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_.load(kRelaxed); }
+  double sum() const { return std::bit_cast<double>(sum_bits_.load(kRelaxed)); }
+  double min() const;  // 0.0 when empty
+  double max() const;  // 0.0 when empty
+  double mean() const;
+
+  // Nearest-rank percentile (same rank rule as gcsm::percentile), answered
+  // from the bins: the returned value is the geometric midpoint of the bin
+  // holding the rank-th smallest sample, clamped to the observed [min, max].
+  double percentile(double p) const;
+
+  void reset();
+
+ private:
+  static constexpr auto kRelaxed = std::memory_order_relaxed;
+  static int bin_index(double v);
+  static double bin_lower(int index);
+  static double bin_upper(int index);
+
+  // min/max rest at their fold identity (±inf) so concurrent first
+  // observations need no coordination; reads gate on count() == 0.
+  static constexpr std::uint64_t kPosInfBits =
+      std::bit_cast<std::uint64_t>(std::numeric_limits<double>::infinity());
+  static constexpr std::uint64_t kNegInfBits =
+      std::bit_cast<std::uint64_t>(-std::numeric_limits<double>::infinity());
+
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};
+  std::atomic<std::uint64_t> min_bits_{kPosInfBits};
+  std::atomic<std::uint64_t> max_bits_{kNegInfBits};
+  std::array<std::atomic<std::uint64_t>, kNumBins> bins_{};
+};
+
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+// A plain copy of every registered metric at one instant.
+struct Snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSummary>> histograms;
+
+  std::uint64_t counter_or(std::string_view name, std::uint64_t def = 0) const;
+  std::optional<double> gauge(std::string_view name) const;
+  const HistogramSummary* histogram(std::string_view name) const;
+
+  // {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
+  // p50,p90,p99}}} with names in lexicographic order (schema-stable; pinned
+  // by the golden-file test).
+  std::string to_json() const;
+};
+
+class Registry {
+ public:
+  // The process-wide registry the library instruments. Separate instances
+  // exist only so tests can exercise the registry in isolation.
+  static Registry& global();
+
+  // Registers on first use; later calls return the same object. References
+  // stay valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  Snapshot snapshot() const;
+
+  // Zeroes every registered metric in place (references stay valid).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace gcsm::metrics

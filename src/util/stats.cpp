@@ -69,6 +69,9 @@ double topk_coverage(const std::vector<std::uint64_t>& truth,
   std::vector<std::uint32_t> order_est(estimate.size());
   std::iota(order_est.begin(), order_est.end(), 0);
   const std::size_t ke = std::min(k, order_est.size());
+  // An empty estimate covers nothing; without this guard ke-1 wraps and
+  // nth_element gets an iterator before begin().
+  if (ke == 0) return 0.0;
   std::nth_element(order_est.begin(),
                    order_est.begin() + static_cast<long>(ke - 1),
                    order_est.end(), [&](std::uint32_t a, std::uint32_t b) {

@@ -1,0 +1,100 @@
+#include "util/trace.hpp"
+
+#include <atomic>
+#include <functional>
+#include <thread>
+
+#include "util/json.hpp"
+
+namespace gcsm::trace {
+
+namespace {
+
+std::atomic<TraceCollector*> g_collector{nullptr};
+
+std::uint64_t current_tid() {
+  // A stable small-ish id per thread; chrome://tracing only needs distinct
+  // integers, not OS thread ids.
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) % 1000000;
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector()
+    : epoch_(std::chrono::steady_clock::now()) {}
+
+void TraceCollector::record(std::string name, std::string category,
+                            double ts_us, double dur_us) {
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.tid = current_tid();
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+double TraceCollector::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::vector<TraceEvent> TraceCollector::events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t TraceCollector::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceCollector::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+std::string TraceCollector::to_chrome_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  json::Writer w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+  for (const TraceEvent& ev : events_) {
+    w.begin_object();
+    w.key("name").value(ev.name);
+    w.key("cat").value(ev.category);
+    w.key("ph").value("X");
+    w.key("ts").value(ev.ts_us);
+    w.key("dur").value(ev.dur_us);
+    w.key("pid").value(std::uint64_t{1});
+    w.key("tid").value(ev.tid);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+void set_collector(TraceCollector* collector) {
+  g_collector.store(collector, std::memory_order_release);
+}
+
+TraceCollector* collector() {
+  return g_collector.load(std::memory_order_acquire);
+}
+
+Span::Span(const char* name, const char* category)
+    : collector_(trace::collector()), name_(name), category_(category) {
+  if (collector_ != nullptr) start_us_ = collector_->now_us();
+}
+
+Span::~Span() {
+  if (collector_ == nullptr) return;
+  const double end_us = collector_->now_us();
+  collector_->record(name_, category_, start_us_, end_us - start_us_);
+}
+
+}  // namespace gcsm::trace

@@ -1,0 +1,81 @@
+// Lightweight phase tracing (docs/OBSERVABILITY.md).
+//
+// A TraceCollector records complete spans (begin/end collapsed into one
+// event, chrome "ph":"X") and exports them as chrome://tracing /
+// Perfetto-compatible JSON. Collection is armed by installing a collector
+// globally (set_collector) or per-span; when no collector is armed, a Span
+// costs one relaxed atomic load and never reads the clock — cheap enough to
+// leave in every pipeline phase unconditionally.
+//
+// Timestamps are microseconds on the steady clock relative to the
+// collector's construction, so a trace from one process is internally
+// consistent without wall-clock coupling.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gcsm::trace {
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  double ts_us = 0.0;   // span begin, relative to the collector epoch
+  double dur_us = 0.0;  // span duration
+  std::uint64_t tid = 0;
+};
+
+class TraceCollector {
+ public:
+  TraceCollector();
+
+  // Thread-safe; called from Span destructors.
+  void record(std::string name, std::string category, double ts_us,
+              double dur_us);
+
+  // Microseconds since this collector's construction.
+  double now_us() const;
+
+  std::vector<TraceEvent> events() const;
+  std::size_t size() const;
+  void clear();
+
+  // {"displayTimeUnit":"ms","traceEvents":[{"name":...,"cat":...,"ph":"X",
+  // "ts":...,"dur":...,"pid":1,"tid":...}]} — load in chrome://tracing or
+  // https://ui.perfetto.dev.
+  std::string to_chrome_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<TraceEvent> events_;
+};
+
+// Arms/disarms the process-wide collector spans attach to by default.
+// Non-owning; pass nullptr to disarm. The collector must outlive every span
+// started while it was armed.
+void set_collector(TraceCollector* collector);
+TraceCollector* collector();
+
+// RAII span: records [construction, destruction) into the collector armed
+// at construction time. Nesting works naturally — inner spans close first
+// and chrome://tracing renders containment per thread.
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "gcsm");
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceCollector* collector_;  // nullptr = disarmed, whole span is a no-op
+  const char* name_;
+  const char* category_;
+  double start_us_ = 0.0;
+};
+
+}  // namespace gcsm::trace

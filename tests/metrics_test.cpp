@@ -1,0 +1,294 @@
+// Tests for the observability layer (docs/OBSERVABILITY.md): the metrics
+// registry's lock-free fast path under concurrency, histogram percentiles
+// against the exact gcsm::percentile, trace span nesting, and the JSON
+// snapshot schema pinned by a golden file. Also carries the regression
+// cases for the bugs fixed alongside the layer (topk_coverage on an empty
+// estimate, binomial_inversion at p == 1, strict CLI numeric parsing).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "util/binomial.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/trace.hpp"
+
+namespace gcsm {
+namespace {
+
+// ---------------------------------------------------------- registry -----
+
+TEST(MetricsRegistry, RegisterOnFirstUseReturnsStableReferences) {
+  metrics::Registry reg;
+  metrics::Counter& a = reg.counter("a");
+  metrics::Counter& a2 = reg.counter("a");
+  EXPECT_EQ(&a, &a2);
+  a.add(3);
+  EXPECT_EQ(a2.value(), 3u);
+
+  metrics::Gauge& g = reg.gauge("g");
+  EXPECT_EQ(&g, &reg.gauge("g"));
+  g.set(2.5);
+  g.add(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+
+  metrics::Histogram& h = reg.histogram("h");
+  EXPECT_EQ(&h, &reg.histogram("h"));
+  h.observe(4.0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(MetricsRegistry, SnapshotCopiesAndLooksUp) {
+  metrics::Registry reg;
+  reg.counter("runs").add(7);
+  reg.gauge("level").set(-1.5);
+  reg.histogram("ms").observe(10.0);
+  reg.histogram("ms").observe(20.0);
+
+  const metrics::Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_or("runs"), 7u);
+  EXPECT_EQ(snap.counter_or("absent", 42), 42u);
+  ASSERT_TRUE(snap.gauge("level").has_value());
+  EXPECT_DOUBLE_EQ(*snap.gauge("level"), -1.5);
+  EXPECT_FALSE(snap.gauge("absent").has_value());
+  const metrics::HistogramSummary* ms = snap.histogram("ms");
+  ASSERT_NE(ms, nullptr);
+  EXPECT_EQ(ms->count, 2u);
+  EXPECT_DOUBLE_EQ(ms->sum, 30.0);
+  EXPECT_DOUBLE_EQ(ms->min, 10.0);
+  EXPECT_DOUBLE_EQ(ms->max, 20.0);
+
+  // The snapshot is a copy: later updates do not bleed into it.
+  reg.counter("runs").add(100);
+  EXPECT_EQ(snap.counter_or("runs"), 7u);
+}
+
+TEST(MetricsRegistry, ResetZeroesInPlace) {
+  metrics::Registry reg;
+  metrics::Counter& c = reg.counter("c");
+  c.add(9);
+  reg.gauge("g").set(3.0);
+  reg.histogram("h").observe(1.0);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);  // the reference survives the reset
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 0.0);
+  EXPECT_EQ(reg.histogram("h").count(), 0u);
+  EXPECT_DOUBLE_EQ(reg.histogram("h").min(), 0.0);
+  EXPECT_DOUBLE_EQ(reg.histogram("h").max(), 0.0);
+}
+
+// The lock-free fast path must count exactly under contention; run under
+// the tsan preset this also proves the absence of data races.
+TEST(MetricsRegistry, ConcurrentUpdatesCountExactly) {
+  metrics::Registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  metrics::Counter& c = reg.counter("shared.counter");
+  metrics::Gauge& g = reg.gauge("shared.gauge");
+  metrics::Histogram& h = reg.histogram("shared.histogram");
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        g.add(1.0);
+        h.observe(static_cast<double>(t * kPerThread + i + 1));
+        // Interleave registrations to race the registry mutex too.
+        if (i == kPerThread / 2) reg.counter("late." + std::to_string(t));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  constexpr auto kTotal = static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(c.value(), kTotal);
+  EXPECT_DOUBLE_EQ(g.value(), static_cast<double>(kTotal));
+  EXPECT_EQ(h.count(), kTotal);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), static_cast<double>(kTotal));
+}
+
+// --------------------------------------------------------- histogram -----
+
+TEST(MetricsHistogram, EmptyIsAllZero) {
+  metrics::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(MetricsHistogram, PercentileTracksExactWithinBinResolution) {
+  // Samples spanning several orders of magnitude, like phase times do.
+  Rng rng(123);
+  std::vector<double> samples;
+  metrics::Histogram h;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = std::exp2(rng.uniform() * 20.0 - 4.0);  // 2^-4 .. 2^16
+    samples.push_back(v);
+    h.observe(v);
+  }
+  for (const double p : {10.0, 50.0, 90.0, 99.0}) {
+    const double exact = percentile(samples, p);
+    const double binned = h.percentile(p);
+    // Bins split octaves 8 ways, so the geometric midpoint is within
+    // 2^(1/16) ~ 4.4% of any sample in the bin; 10% leaves rank slack.
+    EXPECT_NEAR(binned / exact, 1.0, 0.10) << "p" << p;
+  }
+}
+
+TEST(MetricsHistogram, HandlesZeroAndExtremeSamples) {
+  metrics::Histogram h;
+  h.observe(0.0);
+  h.observe(-3.0);   // clamped into bin 0, still counted
+  h.observe(1e300);  // saturates the top bin
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), -3.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1e300);
+  // Percentiles stay within the observed range even with saturated bins.
+  EXPECT_GE(h.percentile(99), -3.0);
+  EXPECT_LE(h.percentile(99), 1e300);
+}
+
+// ------------------------------------------------------------- trace -----
+
+TEST(TraceSpan, DisarmedSpanRecordsNothing) {
+  trace::set_collector(nullptr);
+  { const trace::Span span("noop"); }
+  trace::TraceCollector collector;
+  EXPECT_EQ(collector.size(), 0u);
+}
+
+TEST(TraceSpan, NestedSpansAreContained) {
+  trace::TraceCollector collector;
+  trace::set_collector(&collector);
+  {
+    const trace::Span outer("outer");
+    const trace::Span inner("inner");
+    // Inner closes before outer by scope order.
+  }
+  trace::set_collector(nullptr);
+
+  const std::vector<trace::TraceEvent> events = collector.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans are recorded at destruction: inner first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  const trace::TraceEvent& inner = events[0];
+  const trace::TraceEvent& outer = events[1];
+  EXPECT_GE(inner.ts_us, outer.ts_us);
+  EXPECT_LE(inner.ts_us + inner.dur_us, outer.ts_us + outer.dur_us + 1e-3);
+
+  const std::string json = collector.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"inner\""), std::string::npos);
+}
+
+TEST(TraceCollector, ClearDropsEvents) {
+  trace::TraceCollector collector;
+  trace::set_collector(&collector);
+  { const trace::Span span("once"); }
+  trace::set_collector(nullptr);
+  EXPECT_EQ(collector.size(), 1u);
+  collector.clear();
+  EXPECT_EQ(collector.size(), 0u);
+}
+
+// -------------------------------------------------------------- json -----
+
+TEST(JsonWriter, EscapesAndFormats) {
+  json::Writer w;
+  w.begin_object();
+  w.key("s").value("a\"b\\c\nd");
+  w.key("n").value(1.5);
+  w.key("nan").value(std::nan(""));
+  w.key("i").value(static_cast<std::int64_t>(-3));
+  w.key("b").value(true);
+  w.key("arr").begin_array().value(1.0).value(2.0).end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"s\":\"a\\\"b\\\\c\\nd\",\"n\":1.5,\"nan\":null,\"i\":-3,"
+            "\"b\":true,\"arr\":[1,2]}");
+}
+
+// The on-disk schema contract: a deterministic registry must serialize to
+// exactly the golden bytes. A diff here means the schema changed — update
+// docs/OBSERVABILITY.md, scripts/check_bench_json.py, and the golden file
+// deliberately, in the same commit.
+TEST(MetricsSnapshot, JsonMatchesGoldenFile) {
+  metrics::Registry reg;
+  reg.counter("cache.hits").add(120);
+  reg.counter("cache.misses").add(8);
+  reg.gauge("pipeline.degradation_level").set(1.0);
+  metrics::Histogram& h = reg.histogram("pipeline.batch_wall_ms");
+  for (int i = 1; i <= 16; ++i) h.observe(static_cast<double>(i));
+  const std::string actual = reg.snapshot().to_json();
+
+  const std::string path =
+      std::string(GCSM_TEST_GOLDEN_DIR) + "/metrics_snapshot.json";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file: " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string expected = buf.str();
+  // The golden file ends with the POSIX trailing newline; the snapshot
+  // string does not.
+  if (!expected.empty() && expected.back() == '\n') expected.pop_back();
+  EXPECT_EQ(actual, expected) << "actual document:\n" << actual;
+}
+
+// ------------------------------------------------------- regressions -----
+
+// An empty estimate used to hand nth_element an iterator before begin()
+// (ke == 0 made `begin() + (ke - 1)` wrap); it must mean zero coverage.
+TEST(Regression, TopkCoverageEmptyEstimate) {
+  const std::vector<std::uint64_t> truth{1, 2, 3};
+  EXPECT_DOUBLE_EQ(topk_coverage(truth, {}, 2), 0.0);
+  EXPECT_DOUBLE_EQ(topk_coverage({}, {}, 2), 0.0);
+  EXPECT_DOUBLE_EQ(topk_coverage(truth, {3.0, 2.0, 1.0}, 0), 0.0);
+}
+
+// p == 1 used to drive the CDF walk through 0 * inf = NaN and return 1;
+// a certain success must return n from the public detail entry point too.
+TEST(Regression, BinomialInversionDegenerateProbabilities) {
+  Rng rng(7);
+  EXPECT_EQ(detail::binomial_inversion(rng, 100, 1.0), 100u);
+  EXPECT_EQ(detail::binomial_inversion(rng, 100, 1.5), 100u);
+  EXPECT_EQ(detail::binomial_inversion(rng, 100, 0.0), 0u);
+  EXPECT_EQ(detail::binomial_inversion(rng, 100, -0.5), 0u);
+  EXPECT_EQ(detail::binomial_inversion(rng, 0, 1.0), 0u);
+}
+
+// Malformed numeric flags must throw Error(kConfig) naming `flag: value`
+// (the drivers' catch blocks turn that into the one-line exit-1 contract).
+TEST(Regression, CliRejectsMalformedNumericFlags) {
+  const char* argv[] = {"prog", "--batch=abc", "--scale=1.5x", "--ok=7"};
+  const CliArgs args(4, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("ok", 0), 7);
+  try {
+    args.get_int("batch", 0);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kConfig);
+    EXPECT_NE(std::string(e.what()).find("batch: abc"), std::string::npos);
+  }
+  EXPECT_THROW(args.get_double("scale", 0.0), Error);
+  // Absent or empty values still fall back to the default.
+  EXPECT_EQ(args.get_int("absent", 11), 11);
+}
+
+}  // namespace
+}  // namespace gcsm
