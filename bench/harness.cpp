@@ -1,8 +1,10 @@
 #include "harness.hpp"
 
 #include <cstdio>
+#include <stdexcept>
 
 #include "query/patterns.hpp"
+#include "util/durable_io.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
 
@@ -277,14 +279,9 @@ void write_json_report(const std::string& path, const RunConfig& config,
   w.end_object();
   w.end_object();
 
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    throw Error(ErrorCode::kIoOpen, "cannot write --json report: " + path);
-  }
-  const std::string& doc = w.str();
-  std::fwrite(doc.data(), 1, doc.size(), f);
-  std::fputc('\n', f);
-  std::fclose(f);
+  // Atomic (temp + rename): a consumer polling the report path never reads
+  // a torn document.
+  io::atomic_write_file(path, w.str() + "\n", /*sync=*/false);
   std::printf("json report written to %s\n", path.c_str());
 }
 
@@ -328,9 +325,14 @@ int bench_main(const char* prog, int argc, char** argv,
     const CliArgs args(argc, argv);
     return body(args);
   } catch (const Error& e) {
+    // Exit-code contract (docs/ROBUSTNESS.md): 1 permanent, 2 config/parse,
+    // 3 unrecoverable device.
     std::fprintf(stderr, "%s: error [%s]: %s\n", prog,
                  error_code_name(e.code()), e.what());
-    return 1;
+    return exit_code_for(e.code());
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s: error [config]: %s\n", prog, e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: error: %s\n", prog, e.what());
     return 1;

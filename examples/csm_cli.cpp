@@ -20,6 +20,7 @@
 #include "query/automorphism.hpp"
 #include "query/patterns.hpp"
 #include "util/cli.hpp"
+#include "util/durable_io.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 #include "util/metrics.hpp"
@@ -30,13 +31,9 @@ using namespace gcsm;
 namespace {
 
 void write_text_file(const std::string& path, const std::string& content) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    throw Error(ErrorCode::kIoOpen, "cannot write: " + path);
-  }
-  std::fwrite(content.data(), 1, content.size(), f);
-  std::fputc('\n', f);
-  std::fclose(f);
+  // Atomic (temp + rename): a reader polling the report never sees a torn
+  // file, even if the process dies mid-write.
+  io::atomic_write_file(path, content + "\n", /*sync=*/false);
 }
 
 // --metrics-json / --trace-json sinks (docs/OBSERVABILITY.md), shared by
@@ -101,7 +98,16 @@ int usage() {
       "docs/ROBUSTNESS.md)\n"
       "               [--metrics-json=FILE]  (dump the metrics registry)\n"
       "               [--trace-json=FILE]    (chrome://tracing span export;\n"
-      "                see docs/OBSERVABILITY.md)\n");
+      "                see docs/OBSERVABILITY.md)\n"
+      "               [--wal-dir=DIR]        (crash durability: write-ahead\n"
+      "                log + snapshots in DIR; see docs/ROBUSTNESS.md)\n"
+      "               [--snapshot-every=N]   (snapshot + compact the WAL\n"
+      "                every N batches; default 8, 0 = never)\n"
+      "               [--recover]            (replay committed state from\n"
+      "                --wal-dir before processing; resumes the stream\n"
+      "                after the last committed batch)\n"
+      "exit codes: 0 ok, 1 permanent error, 2 config/parse error,\n"
+      "            3 unrecoverable device error\n");
   return 2;
 }
 
@@ -200,6 +206,12 @@ int main(int argc, char** argv) try {
   }
   popt.estimator.num_walks =
       static_cast<std::uint64_t>(args.get_int("walks", 0));
+  if (args.has("wal-dir")) {
+    popt.durability.wal_dir = args.get("wal-dir", "wal");
+    popt.durability.snapshot_interval =
+        static_cast<std::uint64_t>(args.get_int("snapshot-every", 8));
+    popt.durability.recover_on_start = args.has("recover");
+  }
 
   FaultInjector faults(
       static_cast<std::uint64_t>(args.get_int("fault-seed", 0x5eed)));
@@ -210,8 +222,24 @@ int main(int argc, char** argv) try {
   }
   Pipeline pipeline(stream.initial, query, popt);
 
+  // With --recover, the durable state already covers a committed prefix of
+  // the deterministic stream: resume submission right after it.
+  std::size_t start_batch = 0;
+  if (popt.durability.enabled() && popt.durability.recover_on_start) {
+    const RecoveredState& rec = pipeline.recovery_info();
+    const durable::DurableCounters& cum = pipeline.cumulative();
+    start_batch = static_cast<std::size_t>(cum.batches_committed);
+    std::printf(
+        "recovered: %llu batch(es) committed (%s snapshot, %zu replayed, "
+        "%zu uncommitted dropped)%s; resuming at batch %zu\n",
+        static_cast<unsigned long long>(cum.batches_committed),
+        rec.snapshot_loaded ? "with" : "no", rec.replay.size(),
+        rec.dropped_uncommitted,
+        rec.wal_tail_truncated ? " [WAL tail truncated]" : "", start_batch);
+  }
+
   const gpusim::SimParams params = popt.sim;
-  for (std::size_t k = 0; k < max_batches; ++k) {
+  for (std::size_t k = start_batch; k < max_batches; ++k) {
     const BatchReport r = pipeline.process_batch(stream.batches[k], sink_ptr);
     std::printf(
         "batch %zu: %+lld embeddings (+%llu/-%llu) | sim %.3f ms "
@@ -241,10 +269,14 @@ int main(int argc, char** argv) try {
   write_observability(args, collector);
   return 0;
 } catch (const gcsm::Error& e) {
-  // One line, machine-prefixed with the taxonomy code, nonzero exit.
+  // One line, machine-prefixed with the taxonomy code; the exit code follows
+  // the contract in docs/ROBUSTNESS.md (1 permanent, 2 config, 3 device).
   std::fprintf(stderr, "csm_cli: error [%s]: %s\n",
                error_code_name(e.code()), e.what());
-  return 1;
+  return exit_code_for(e.code());
+} catch (const std::invalid_argument& e) {
+  std::fprintf(stderr, "csm_cli: error [config]: %s\n", e.what());
+  return 2;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "csm_cli: error: %s\n", e.what());
   return 1;

@@ -61,6 +61,12 @@ run_preset() {
     if ! run ctest --preset metrics-asan -j "${JOBS}"; then
       failures+=("metrics-asan: tests")
     fi
+    # Durability layer (WAL torn tails, snapshot round trips, the crash
+    # matrix): every injected-crash recovery path runs with the sanitizers
+    # watching for leaks of half-written state.
+    if ! run ctest --preset durability-asan -j "${JOBS}"; then
+      failures+=("durability-asan: tests")
+    fi
   fi
   # Bench smoke + --json schema gate (docs/OBSERVABILITY.md): a reduced
   # fig08 run must emit a report that the schema checker accepts.

@@ -1,0 +1,120 @@
+// Crash durability for the streaming pipeline: WAL + snapshots + recovery
+// (docs/ROBUSTNESS.md, "Durability & recovery").
+//
+// Commit protocol, per batch (batch-granular exactly-once):
+//   1. begin_batch  — the sanitized batch is appended to the WAL as a
+//      kBatch record and fsynced BEFORE the graph is touched;
+//   2. the pipeline applies and matches the batch (its own transactional
+//      rollback handles in-flight failures);
+//   3. commit_batch — a kCommit marker carrying the cumulative durable
+//      counters is appended and fsynced AFTER the report is produced;
+//   4. maybe_snapshot — every snapshot_interval commits, a full graph
+//      snapshot is written atomically and the WAL prefix is compacted
+//      (truncated to zero: every logged record is now covered).
+//
+// Recovery (recover()): load the latest valid snapshot, truncate any torn
+// or corrupt WAL tail (warning, not a crash), then hand back the COMMITTED
+// batch records with seq beyond the snapshot for deterministic replay.
+// Batch records without a commit marker are dropped — their effects never
+// made it into a report, so the client re-submits them (it resumes from
+// `counters.batches_committed`). The last commit marker's counters are the
+// integrity check: replay must reproduce them exactly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/snapshot.hpp"
+#include "util/wal.hpp"
+
+namespace gcsm {
+
+class FaultInjector;
+
+struct DurabilityOptions {
+  // Directory for gcsm.wal and graph.snap. Empty = durability disabled.
+  std::string wal_dir;
+  // Snapshot + compact the WAL every N committed batches (0 = never).
+  std::uint64_t snapshot_interval = 8;
+  // Recover from wal_dir at pipeline construction. Off = start fresh (any
+  // existing WAL is truncated so stale records cannot replay later).
+  bool recover_on_start = true;
+  // fsync on commit boundaries. Off skips the syscall (tests) but keeps the
+  // protocol and fault sites identical.
+  bool fsync = true;
+  // Bounded internal retries for transient WAL/snapshot write faults.
+  int max_write_attempts = 3;
+
+  bool enabled() const { return !wal_dir.empty(); }
+};
+
+// What recover() found; the pipeline restores `graph` (if loaded) and
+// replays `replay` in order.
+struct RecoveredState {
+  bool snapshot_loaded = false;
+  DynamicGraph::Snapshot graph;        // valid when snapshot_loaded
+  durable::DurableCounters counters;   // as of the snapshot (zero if none)
+
+  // Committed batches beyond the snapshot, ascending seq.
+  std::vector<std::pair<std::uint64_t, EdgeBatch>> replay;
+  // Counters from the last commit marker — what replay must reproduce.
+  durable::DurableCounters expected;
+  bool have_expected = false;
+
+  std::size_t dropped_uncommitted = 0;  // logged but never committed
+  bool wal_tail_truncated = false;
+  std::string warning;  // accumulated recovery warnings (also on stderr)
+};
+
+class DurabilityManager {
+ public:
+  // Creates wal_dir if needed. The injector is non-owning (nullptr =
+  // disarmed) and must outlive the manager.
+  DurabilityManager(DurabilityOptions options, FaultInjector* faults);
+
+  const DurabilityOptions& options() const { return options_; }
+  const std::string& wal_path() const { return wal_path_; }
+  const std::string& snapshot_path() const { return snapshot_path_; }
+
+  // Reads the snapshot and the WAL, repairs a damaged tail, and returns the
+  // state to restore + replay. Call once, before the first begin_batch.
+  // When recover_on_start is off, discards any existing WAL instead.
+  RecoveredState recover();
+
+  // Step 1: durably logs the batch under the next sequence number (returned)
+  // before the pipeline touches the graph. Transient write faults retry up
+  // to max_write_attempts; CrashError always escapes.
+  std::uint64_t begin_batch(const EdgeBatch& batch);
+
+  // Step 3: durably logs the commit marker for `seq`.
+  void commit_batch(std::uint64_t seq,
+                    const durable::DurableCounters& counters);
+
+  // Step 4: snapshot + compact when the interval has elapsed. A CrashError
+  // escapes (the process is "dead"); any other failure is swallowed with a
+  // warning — the WAL still covers everything, so correctness is intact.
+  void maybe_snapshot(const DynamicGraph& graph,
+                      const durable::DurableCounters& counters);
+
+  std::uint64_t next_seq() const { return next_seq_; }
+
+ private:
+  void ensure_writer();
+  // Append + fsync with bounded retries for transient faults. `written`
+  // tracking ensures a failed fsync retry does not duplicate the record.
+  void append_and_sync(wal::RecordType type, std::uint64_t seq,
+                       const std::string& payload);
+
+  DurabilityOptions options_;
+  std::string wal_path_;
+  std::string snapshot_path_;
+  FaultInjector* faults_;
+  std::unique_ptr<wal::Writer> writer_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t commits_since_snapshot_ = 0;
+};
+
+}  // namespace gcsm

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "core/gpu_engine.hpp"
+#include "util/error.hpp"
 #include "util/fault.hpp"
 #include "util/timer.hpp"
 #include "util/trace.hpp"
@@ -39,7 +40,8 @@ Pipeline::Pipeline(const CsrGraph& initial, QueryGraph query,
       engine_(std::move(query), executor_, options.grain),
       estimator_(engine_.query(), options.estimator),
       rng_(options.seed),
-      faults_(options.fault_injector) {
+      faults_(options.fault_injector),
+      durability_(options.durability, options.fault_injector) {
   device_.set_fault_injector(faults_);
   executor_.set_fault_injector(faults_);
   executor_.set_watchdog_timeout_ms(options_.recovery.watchdog_timeout_ms);
@@ -54,6 +56,46 @@ Pipeline::Pipeline(const CsrGraph& initial, QueryGraph query,
         std::min<std::uint64_t>(um_params.um_page_cache_bytes,
                                 options_.cache_budget_bytes);
     um_policy_ = std::make_unique<UnifiedMemoryPolicy>(graph_, um_params);
+  }
+
+  if (options_.durability.enabled()) {
+    recovery_info_ = durability_.recover();
+    if (recovery_info_.snapshot_loaded) {
+      graph_.restore(recovery_info_.graph);
+      if (options_.check_invariants) graph_.validate();
+      cumulative_ = recovery_info_.counters;
+    }
+    if (!recovery_info_.replay.empty()) {
+      // Deterministic replay of committed-but-unsnapshotted batches. Fault
+      // injection is suspended (the batches already survived production once)
+      // and `replaying_` keeps process_batch from re-logging them.
+      const FaultSuspendGuard suspend(faults_);
+      replaying_ = true;
+      try {
+        for (const auto& [seq, batch] : recovery_info_.replay) {
+          process_batch(batch);
+          cumulative_.last_seq = seq;
+        }
+      } catch (...) {
+        replaying_ = false;
+        throw;
+      }
+      replaying_ = false;
+    }
+    // Integrity gate: the replayed totals must reproduce the last commit
+    // marker exactly — otherwise the durable state is inconsistent (e.g. a
+    // compacted WAL with a corrupt snapshot) and serving it would be wrong.
+    if (recovery_info_.have_expected &&
+        cumulative_ != recovery_info_.expected) {
+      throw Error(
+          ErrorCode::kRecovery,
+          "recovery replay does not reproduce the committed counters "
+          "(batches " +
+              std::to_string(cumulative_.batches_committed) + " vs " +
+              std::to_string(recovery_info_.expected.batches_committed) +
+              ", signed " + std::to_string(cumulative_.cum_signed) + " vs " +
+              std::to_string(recovery_info_.expected.cum_signed) + ")");
+    }
   }
 }
 
@@ -236,6 +278,15 @@ BatchReport Pipeline::process_batch(const EdgeBatch& batch,
     report.quarantine = std::move(quarantine);
   }
 
+  // Durable logging (step 1 of the commit protocol): the sanitized batch
+  // reaches stable storage before the graph is touched, so recovery replays
+  // exactly the bytes that ran. Recovery replay itself is not re-logged.
+  std::uint64_t wal_seq = 0;
+  if (options_.durability.enabled() && !replaying_) {
+    wal_seq = durability_.begin_batch(*use);
+    report.wal_seq = wal_seq;
+  }
+
   // The transaction: everything the batch can touch, restorable even from a
   // half-applied state.
   const DynamicGraph::Snapshot snap = graph_.snapshot_for(*use);
@@ -323,7 +374,32 @@ BatchReport Pipeline::process_batch(const EdgeBatch& batch,
   if (faults_ != nullptr) {
     report.faults_observed = faults_->fired_count() - faults_before;
   }
+
+  // Commit (step 3): the cumulative totals including this batch go into the
+  // commit marker; only after it is durable does the in-memory cumulative
+  // state advance.
+  durable::DurableCounters next = cumulative_;
+  next.batches_committed += 1;
+  next.cum_signed += report.stats.signed_embeddings;
+  next.cum_positive += report.stats.positive;
+  next.cum_negative += report.stats.negative;
+  if (wal_seq != 0) {
+    next.last_seq = wal_seq;
+    try {
+      durability_.commit_batch(wal_seq, next);
+    } catch (...) {
+      // The batch never became durable: roll the graph back so memory agrees
+      // with disk, and let the client re-submit. (Sink callbacks already made
+      // cannot be retracted — see docs/ROBUSTNESS.md.)
+      rollback();
+      throw;
+    }
+  }
+  cumulative_ = next;
   record_batch_metrics(report);
+  // Snapshot + WAL compaction (step 4) runs after the commit, so a crash
+  // inside it can only lose the snapshot, never the batch.
+  if (wal_seq != 0) durability_.maybe_snapshot(graph_, next);
   report.metrics = metrics::Registry::global().snapshot();
   return report;
 }

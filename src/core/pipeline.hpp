@@ -33,6 +33,7 @@
 #include "core/access_policy.hpp"
 #include "core/cpu_engine.hpp"
 #include "core/dcsr_cache.hpp"
+#include "core/durability.hpp"
 #include "core/frequency_estimator.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/simt_executor.hpp"
@@ -99,6 +100,9 @@ struct PipelineOptions {
   // can be toggled per pipeline regardless of the build flavor.
   bool check_invariants = GCSM_CHECKS_ENABLED != 0;
   RecoveryOptions recovery;
+  // Crash durability: WAL + snapshots + recover-on-start (core/durability.hpp
+  // and docs/ROBUSTNESS.md). Disabled while wal_dir is empty.
+  DurabilityOptions durability;
   // Arms every fault site in the pipeline's components (device allocation
   // and DMA, kernel launch/hang, cache build, batch apply, batch
   // corruption). Non-owning; must outlive the pipeline. nullptr = disarmed.
@@ -145,6 +149,7 @@ struct BatchReport {
   double backoff_ms = 0.0;              // total backoff slept for this batch
   std::uint64_t faults_observed = 0;    // injector fires during this batch
   QuarantineReport quarantine;          // malformed records screened out
+  std::uint64_t wal_seq = 0;            // WAL sequence (0 = not durably logged)
 
   // Process-wide metrics after this batch (docs/OBSERVABILITY.md): the
   // cumulative registry state, so deltas between consecutive reports
@@ -183,6 +188,15 @@ class Pipeline {
   std::uint64_t effective_cache_budget() const;
   std::uint32_t degradation_level() const { return degradation_level_; }
 
+  // Cumulative match totals across every committed batch (maintained with
+  // or without durability). With durability on, exactly what the last WAL
+  // commit marker recorded — a restarted client resumes submission from
+  // cumulative().batches_committed.
+  const durable::DurableCounters& cumulative() const { return cumulative_; }
+  // What recover-on-start found (empty when durability is off or the start
+  // was cold).
+  const RecoveredState& recovery_info() const { return recovery_info_; }
+
  private:
   std::unique_ptr<AccessPolicy> make_policy(EngineKind kind);
 
@@ -205,6 +219,10 @@ class Pipeline {
   std::unique_ptr<UnifiedMemoryPolicy> um_policy_;  // persistent page cache
   Rng rng_;
   FaultInjector* faults_ = nullptr;
+  DurabilityManager durability_;
+  durable::DurableCounters cumulative_;
+  RecoveredState recovery_info_;
+  bool replaying_ = false;  // recovery replay: no sink, no re-logging
   std::uint32_t degradation_level_ = 0;
   int clean_device_batches_ = 0;  // streak feeding the budget-heal counter
 };

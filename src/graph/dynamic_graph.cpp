@@ -185,6 +185,18 @@ void DynamicGraph::apply_batch(const EdgeBatch& batch) {
   }
 }
 
+DynamicGraph::Snapshot::ListCopy DynamicGraph::copy_list(VertexId v) const {
+  const AdjList& a = adj_[v];
+  Snapshot::ListCopy copy;
+  copy.v = v;
+  copy.capacity = a.capacity;
+  copy.size = a.size;
+  copy.old_size = a.old_size;
+  copy.old_tombstones = a.old_tombstones;
+  copy.entries.assign(a.data.get(), a.data.get() + a.size);
+  return copy;
+}
+
 DynamicGraph::Snapshot DynamicGraph::snapshot_for(
     const EdgeBatch& batch) const {
   if (has_pending_batch()) {
@@ -202,20 +214,28 @@ DynamicGraph::Snapshot DynamicGraph::snapshot_for(
     // drops the vertices the batch created by truncating back to the
     // snapshot count.
     if (v < 0 || v >= snap.num_vertices || !seen.insert(v).second) return;
-    const AdjList& a = adj_[v];
-    Snapshot::ListCopy copy;
-    copy.v = v;
-    copy.capacity = a.capacity;
-    copy.size = a.size;
-    copy.old_size = a.old_size;
-    copy.old_tombstones = a.old_tombstones;
-    copy.entries.assign(a.data.get(), a.data.get() + a.size);
-    snap.lists.push_back(std::move(copy));
+    snap.lists.push_back(copy_list(v));
   };
   for (const EdgeUpdate& e : batch.updates) {
     save(e.u);
     save(e.v);
   }
+  return snap;
+}
+
+DynamicGraph::Snapshot DynamicGraph::snapshot_full() const {
+  Snapshot snap;
+  snap.full = true;
+  snap.num_vertices = num_vertices();
+  snap.live_edges = live_edges_;
+  snap.max_degree_bound = max_degree_bound_;
+  snap.initial_avg_degree = initial_avg_degree_;
+  snap.lists.reserve(adj_.size());
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    snap.lists.push_back(copy_list(v));
+  }
+  snap.labels = labels_;
+  snap.touched = touched_;
   return snap;
 }
 
@@ -242,6 +262,13 @@ void DynamicGraph::restore(const Snapshot& snap) {
   }
   live_edges_ = snap.live_edges;
   max_degree_bound_ = snap.max_degree_bound;
+  if (snap.full) {
+    labels_ = snap.labels;
+    initial_avg_degree_ = snap.initial_avg_degree;
+    std::fill(touched_flag_.begin(), touched_flag_.end(), 0);
+    touched_ = snap.touched;
+    for (const VertexId v : touched_) touched_flag_[v] = 1;
+  }
 }
 
 DynamicGraph::ReorgStats DynamicGraph::reorganize() {

@@ -97,15 +97,25 @@ class DynamicGraph {
   // twice.
   void apply_batch(const EdgeBatch& batch);
 
-  // A transactional checkpoint of exactly the state a batch can touch: the
-  // adjacency lists of the batch's endpoints, the vertex count, and the
-  // edge/degree accounting. Taking one is O(sum of touched list sizes);
+  // A checkpoint of graph state, used at two granularities that share one
+  // representation and one restore path (graph/snapshot.hpp serializes it):
+  //
+  //   * PARTIAL (snapshot_for): exactly the state a batch can touch — the
+  //     adjacency lists of the batch's endpoints plus the global counters.
+  //     O(sum of touched list sizes); this is process_batch's rollback
+  //     transaction.
+  //   * FULL (snapshot_full): every list, every label, the touched set, and
+  //     the counters — the durable on-disk snapshot, valid even with a
+  //     pending (applied-but-unreorganized) batch in flight.
+  //
   // restore() rolls the graph back even from a half-applied (or corrupted)
   // mid-batch state, after which validate() holds again.
   struct Snapshot {
+    bool full = false;  // full snapshots also carry labels/touched
     VertexId num_vertices = 0;
     EdgeCount live_edges = 0;
     std::uint32_t max_degree_bound = 0;
+    std::uint32_t initial_avg_degree = 0;  // full only
 
     struct ListCopy {
       VertexId v = kInvalidVertex;
@@ -116,14 +126,20 @@ class DynamicGraph {
       std::uint32_t old_tombstones = 0;
     };
     std::vector<ListCopy> lists;
+    std::vector<Label> labels;     // full only
+    std::vector<VertexId> touched;  // full only: pending-reorg lists
   };
 
   // Captures the pre-batch state of every list `batch` can modify. Requires
   // a reorganized graph (no pending batch).
   Snapshot snapshot_for(const EdgeBatch& batch) const;
 
+  // Captures the complete graph state, pending-reorg work included.
+  Snapshot snapshot_full() const;
+
   // Rolls back to `snap`: drops vertices created since, restores the saved
-  // lists verbatim, resets the counters, and clears the touched set.
+  // lists verbatim, resets the counters, and rebuilds the touched set (full
+  // snapshots restore theirs; partial ones clear it).
   void restore(const Snapshot& snap);
 
   // Arms the graph.apply fault site inside apply_batch (mid-append, so the
@@ -172,6 +188,7 @@ class DynamicGraph {
     std::uint32_t old_tombstones = 0;  // tombstones within the prefix
   };
 
+  Snapshot::ListCopy copy_list(VertexId v) const;
   void ensure_capacity(VertexId v, std::uint32_t needed);
   void append_neighbor(VertexId v, VertexId neighbor);
   bool tombstone_in_prefix(VertexId v, VertexId neighbor);

@@ -1,0 +1,236 @@
+#include "graph/snapshot.hpp"
+
+#include "util/durable_io.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+#include "util/metrics.hpp"
+
+namespace gcsm::durable {
+namespace {
+
+void put_vertex(std::string& out, VertexId v) {
+  io::put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+VertexId get_vertex(io::ByteReader& r) {
+  return static_cast<VertexId>(r.get_u32());
+}
+
+void encode_counters_into(std::string& out, const DurableCounters& c) {
+  io::put_u64(out, c.batches_committed);
+  io::put_u64(out, c.last_seq);
+  io::put_i64(out, c.cum_signed);
+  io::put_u64(out, c.cum_positive);
+  io::put_u64(out, c.cum_negative);
+}
+
+DurableCounters decode_counters_from(io::ByteReader& r) {
+  DurableCounters c;
+  c.batches_committed = r.get_u64();
+  c.last_seq = r.get_u64();
+  c.cum_signed = r.get_i64();
+  c.cum_positive = r.get_u64();
+  c.cum_negative = r.get_u64();
+  return c;
+}
+
+// Sanity cap on decoded element counts: a corrupt length field must not
+// drive a multi-gigabyte allocation before the underrun check fires.
+bool plausible_count(std::uint64_t count, std::size_t remaining,
+                     std::size_t min_elem_bytes) {
+  return count <= remaining / min_elem_bytes;
+}
+
+}  // namespace
+
+std::string encode_counters(const DurableCounters& counters) {
+  std::string out;
+  encode_counters_into(out, counters);
+  return out;
+}
+
+std::optional<DurableCounters> decode_counters(std::string_view bytes) {
+  io::ByteReader r(bytes);
+  const DurableCounters c = decode_counters_from(r);
+  if (!r.ok() || r.remaining() != 0) return std::nullopt;
+  return c;
+}
+
+std::string encode_batch(const EdgeBatch& batch) {
+  std::string out;
+  io::put_u64(out, batch.updates.size());
+  for (const EdgeUpdate& e : batch.updates) {
+    put_vertex(out, e.u);
+    put_vertex(out, e.v);
+    io::put_u8(out, static_cast<std::uint8_t>(e.sign));
+  }
+  io::put_u64(out, batch.new_vertex_labels.size());
+  for (const auto& [v, label] : batch.new_vertex_labels) {
+    put_vertex(out, v);
+    io::put_u32(out, static_cast<std::uint32_t>(label));
+  }
+  return out;
+}
+
+std::optional<EdgeBatch> decode_batch(std::string_view bytes) {
+  io::ByteReader r(bytes);
+  EdgeBatch batch;
+  const std::uint64_t num_updates = r.get_u64();
+  if (!r.ok() || !plausible_count(num_updates, r.remaining(), 9)) {
+    return std::nullopt;
+  }
+  batch.updates.reserve(num_updates);
+  for (std::uint64_t i = 0; i < num_updates && r.ok(); ++i) {
+    EdgeUpdate e;
+    e.u = get_vertex(r);
+    e.v = get_vertex(r);
+    e.sign = static_cast<std::int8_t>(r.get_u8());
+    batch.updates.push_back(e);
+  }
+  const std::uint64_t num_labels = r.get_u64();
+  if (!r.ok() || !plausible_count(num_labels, r.remaining(), 8)) {
+    return std::nullopt;
+  }
+  batch.new_vertex_labels.reserve(num_labels);
+  for (std::uint64_t i = 0; i < num_labels && r.ok(); ++i) {
+    const VertexId v = get_vertex(r);
+    const auto label = static_cast<Label>(r.get_u32());
+    batch.new_vertex_labels.emplace_back(v, label);
+  }
+  if (!r.ok() || r.remaining() != 0) return std::nullopt;
+  return batch;
+}
+
+std::string encode_snapshot(const DynamicGraph::Snapshot& graph,
+                            const DurableCounters& counters) {
+  std::string out;
+  io::put_u32(out, kSnapshotMagic);
+  io::put_u32(out, kSnapshotVersion);
+  encode_counters_into(out, counters);
+  io::put_u8(out, graph.full ? 1 : 0);
+  put_vertex(out, graph.num_vertices);
+  io::put_u64(out, graph.live_edges);
+  io::put_u32(out, graph.max_degree_bound);
+  io::put_u32(out, graph.initial_avg_degree);
+  io::put_u64(out, graph.labels.size());
+  for (const Label label : graph.labels) {
+    io::put_u32(out, static_cast<std::uint32_t>(label));
+  }
+  io::put_u64(out, graph.lists.size());
+  for (const auto& list : graph.lists) {
+    put_vertex(out, list.v);
+    io::put_u32(out, list.capacity);
+    io::put_u32(out, list.size);
+    io::put_u32(out, list.old_size);
+    io::put_u32(out, list.old_tombstones);
+    io::put_u64(out, list.entries.size());
+    for (const VertexId e : list.entries) put_vertex(out, e);
+  }
+  io::put_u64(out, graph.touched.size());
+  for (const VertexId v : graph.touched) put_vertex(out, v);
+  io::put_u32(out, io::crc32c(out));
+  return out;
+}
+
+std::optional<LoadedSnapshot> decode_snapshot(std::string_view bytes,
+                                              std::string* why) {
+  auto fail = [&](const std::string& reason) -> std::optional<LoadedSnapshot> {
+    if (why != nullptr) *why = reason;
+    return std::nullopt;
+  };
+  if (bytes.size() < 12) return fail("snapshot file truncated");
+  {
+    io::ByteReader tail(bytes.substr(bytes.size() - 4));
+    const std::uint32_t stored_crc = tail.get_u32();
+    const std::uint32_t actual_crc =
+        io::crc32c(bytes.substr(0, bytes.size() - 4));
+    if (stored_crc != actual_crc) return fail("snapshot CRC mismatch");
+  }
+  io::ByteReader r(bytes.substr(0, bytes.size() - 4));
+  if (r.get_u32() != kSnapshotMagic) return fail("bad snapshot magic");
+  const std::uint32_t version = r.get_u32();
+  if (version != kSnapshotVersion) {
+    return fail("unsupported snapshot version " + std::to_string(version));
+  }
+  LoadedSnapshot loaded;
+  loaded.counters = decode_counters_from(r);
+  auto& graph = loaded.graph;
+  graph.full = r.get_u8() != 0;
+  graph.num_vertices = get_vertex(r);
+  graph.live_edges = r.get_u64();
+  graph.max_degree_bound = r.get_u32();
+  graph.initial_avg_degree = r.get_u32();
+  const std::uint64_t num_labels = r.get_u64();
+  if (!r.ok() || !plausible_count(num_labels, r.remaining(), 4)) {
+    return fail("implausible snapshot label count");
+  }
+  graph.labels.reserve(num_labels);
+  for (std::uint64_t i = 0; i < num_labels && r.ok(); ++i) {
+    graph.labels.push_back(static_cast<Label>(r.get_u32()));
+  }
+  const std::uint64_t num_lists = r.get_u64();
+  if (!r.ok() || !plausible_count(num_lists, r.remaining(), 28)) {
+    return fail("implausible snapshot list count");
+  }
+  graph.lists.reserve(num_lists);
+  for (std::uint64_t i = 0; i < num_lists && r.ok(); ++i) {
+    DynamicGraph::Snapshot::ListCopy list;
+    list.v = get_vertex(r);
+    list.capacity = r.get_u32();
+    list.size = r.get_u32();
+    list.old_size = r.get_u32();
+    list.old_tombstones = r.get_u32();
+    const std::uint64_t num_entries = r.get_u64();
+    if (!r.ok() || !plausible_count(num_entries, r.remaining(), 4)) {
+      return fail("implausible snapshot entry count");
+    }
+    list.entries.reserve(num_entries);
+    for (std::uint64_t j = 0; j < num_entries && r.ok(); ++j) {
+      list.entries.push_back(get_vertex(r));
+    }
+    graph.lists.push_back(std::move(list));
+  }
+  const std::uint64_t num_touched = r.get_u64();
+  if (!r.ok() || !plausible_count(num_touched, r.remaining(), 4)) {
+    return fail("implausible snapshot touched count");
+  }
+  graph.touched.reserve(num_touched);
+  for (std::uint64_t i = 0; i < num_touched && r.ok(); ++i) {
+    graph.touched.push_back(get_vertex(r));
+  }
+  if (!r.ok() || r.remaining() != 0) {
+    return fail("snapshot payload truncated or oversized");
+  }
+  return loaded;
+}
+
+void write_snapshot_file(const std::string& path,
+                         const DynamicGraph::Snapshot& graph,
+                         const DurableCounters& counters, bool sync,
+                         FaultInjector* faults) {
+  static auto& m_writes =
+      metrics::Registry::global().counter("snapshot.writes");
+  static auto& m_bytes = metrics::Registry::global().counter("snapshot.bytes");
+  if (faults != nullptr && faults->fires(fault_site::kSnapshotWrite)) {
+    // Fires before encoding reaches the disk; the previous snapshot file
+    // is untouched, so a retry (or skipping the snapshot) is safe.
+    throw Error(ErrorCode::kSnapshotWrite,
+                "injected fault: snapshot write refused (" + path + ")");
+  }
+  const std::string bytes = encode_snapshot(graph, counters);
+  io::atomic_write_file(path, bytes, sync, faults);
+  m_writes.add();
+  m_bytes.add(bytes.size());
+}
+
+std::optional<LoadedSnapshot> load_snapshot_file(const std::string& path,
+                                                 std::string* why) {
+  const std::optional<std::string> bytes = io::read_file_if_exists(path);
+  if (!bytes.has_value()) {
+    if (why != nullptr) *why = "no snapshot file";
+    return std::nullopt;
+  }
+  return decode_snapshot(*bytes, why);
+}
+
+}  // namespace gcsm::durable

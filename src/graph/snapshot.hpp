@@ -1,0 +1,93 @@
+// Versioned, checksummed serialization of the dynamic graph plus the
+// durable match counters (docs/ROBUSTNESS.md, "Durability & recovery").
+//
+// This module serializes the SAME DynamicGraph::Snapshot representation that
+// Pipeline::process_batch already uses for batch rollback — one snapshot
+// type, one restore path, two consumers (in-memory rollback and the on-disk
+// durability layer). A full snapshot captures tombstones and pending-reorg
+// state verbatim, so recovery lands bit-identically where the writer stood.
+//
+// Snapshot file format (little-endian):
+//
+//   offset  size  field
+//        0     4  magic    0x504E5347 ("GSNP")
+//        4     4  version  currently 1
+//        8     *  payload  counters + graph state (see encode_snapshot)
+//     end-4     4  crc     CRC32C over bytes [0, end-4)
+//
+// Files are written atomically (temp + rename) so a crash mid-write leaves
+// the previous snapshot intact. A corrupt or truncated snapshot decodes to
+// nullopt — recovery falls back to replaying the WAL from scratch instead
+// of consuming garbage.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "graph/dynamic_graph.hpp"
+#include "graph/types.hpp"
+
+namespace gcsm {
+
+class FaultInjector;
+
+namespace durable {
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x504E5347U;  // "GSNP"
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+// Cumulative, replay-checkable totals across every committed batch. Carried
+// in WAL commit markers and snapshot files; recovery recomputes them from
+// replayed batches and refuses to serve mismatched state.
+struct DurableCounters {
+  std::uint64_t batches_committed = 0;
+  std::uint64_t last_seq = 0;  // seq of the last committed batch
+  std::int64_t cum_signed = 0;   // signed embedding delta, summed
+  std::uint64_t cum_positive = 0;
+  std::uint64_t cum_negative = 0;
+
+  friend bool operator==(const DurableCounters&,
+                         const DurableCounters&) = default;
+};
+
+std::string encode_counters(const DurableCounters& counters);
+std::optional<DurableCounters> decode_counters(std::string_view bytes);
+
+// WAL payload for one update batch (undirected signed edges + new-vertex
+// labels). Replayed verbatim during recovery.
+std::string encode_batch(const EdgeBatch& batch);
+std::optional<EdgeBatch> decode_batch(std::string_view bytes);
+
+// Serializes a full graph snapshot + counters into the file format above.
+std::string encode_snapshot(const DynamicGraph::Snapshot& graph,
+                            const DurableCounters& counters);
+
+struct LoadedSnapshot {
+  DynamicGraph::Snapshot graph;
+  DurableCounters counters;
+};
+
+// Validates magic/version/CRC and decodes. nullopt on any damage; `why`
+// (optional) receives a human-readable reason for the recovery warning.
+std::optional<LoadedSnapshot> decode_snapshot(std::string_view bytes,
+                                              std::string* why = nullptr);
+
+// Encodes and atomically writes a snapshot file. Probes the snapshot.write
+// fault site (transient Error before any byte is written) and, via
+// io::atomic_write_file, crash.at (torn temp file + CrashError; the
+// previous snapshot at `path` survives).
+void write_snapshot_file(const std::string& path,
+                         const DynamicGraph::Snapshot& graph,
+                         const DurableCounters& counters, bool sync,
+                         FaultInjector* faults = nullptr);
+
+// Reads and decodes a snapshot file. nullopt when the file is missing OR
+// fails validation (`why` distinguishes, when provided). Never throws on
+// corruption.
+std::optional<LoadedSnapshot> load_snapshot_file(const std::string& path,
+                                                 std::string* why = nullptr);
+
+}  // namespace durable
+}  // namespace gcsm

@@ -1,0 +1,215 @@
+#include "util/durable_io.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace gcsm::io {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) != 0 ? (crc >> 1) ^ 0x82F63B78U : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+std::string errno_text() { return std::strerror(errno); }
+
+}  // namespace
+
+std::uint32_t crc32c(std::string_view data, std::uint32_t crc) {
+  static const std::array<std::uint32_t, 256> table = make_crc32c_table();
+  crc = ~crc;
+  for (const char c : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(c)) & 0xFFU] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFU));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFU));
+  }
+}
+
+void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_bytes(std::string& out, std::string_view bytes) {
+  put_u64(out, bytes.size());
+  out.append(bytes);
+}
+
+const unsigned char* ByteReader::take(std::size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return nullptr;
+  }
+  const auto* p =
+      reinterpret_cast<const unsigned char*>(data_.data()) + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t ByteReader::get_u8() {
+  const unsigned char* p = take(1);
+  return p == nullptr ? 0 : *p;
+}
+
+std::uint32_t ByteReader::get_u32() {
+  const unsigned char* p = take(4);
+  if (p == nullptr) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t ByteReader::get_u64() {
+  const unsigned char* p = take(8);
+  if (p == nullptr) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::int64_t ByteReader::get_i64() {
+  return static_cast<std::int64_t>(get_u64());
+}
+
+std::string_view ByteReader::get_bytes() {
+  const std::uint64_t len = get_u64();
+  if (!ok_ || data_.size() - pos_ < len) {
+    ok_ = false;
+    return {};
+  }
+  const std::string_view out = data_.substr(pos_, len);
+  pos_ += len;
+  return out;
+}
+
+void ensure_dir(const std::string& path) {
+  if (path.empty() || path == "/" || path == ".") return;
+  struct stat st{};
+  if (::stat(path.c_str(), &st) == 0) {
+    if (S_ISDIR(st.st_mode)) return;
+    throw Error(ErrorCode::kIoOpen, "not a directory: " + path);
+  }
+  const std::size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos && slash > 0) {
+    ensure_dir(path.substr(0, slash));
+  }
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw Error(ErrorCode::kIoOpen,
+                "cannot create directory " + path + ": " + errno_text());
+  }
+}
+
+std::optional<std::string> read_file_if_exists(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return std::nullopt;
+    throw Error(ErrorCode::kIoOpen,
+                "cannot open " + path + ": " + errno_text());
+  }
+  std::string out;
+  std::array<char, 1 << 16> buf{};
+  for (;;) {
+    const ssize_t n = ::read(fd, buf.data(), buf.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = errno_text();
+      ::close(fd);
+      throw Error(ErrorCode::kIoOpen, "cannot read " + path + ": " + err);
+    }
+    if (n == 0) break;
+    out.append(buf.data(), static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+namespace {
+
+void write_all(int fd, const char* data, std::size_t len,
+               const std::string& path) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(ErrorCode::kIoOpen,
+                  "cannot write " + path + ": " + errno_text());
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, std::string_view bytes,
+                       bool sync, FaultInjector* faults) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);  // NOLINT
+  if (fd < 0) {
+    throw Error(ErrorCode::kIoOpen,
+                "cannot open " + tmp + ": " + errno_text());
+  }
+  try {
+    if (faults != nullptr) {
+      if (const auto spec = faults->fires_spec(fault_site::kCrashAt)) {
+        // Torn write: part of the payload reaches the temp file, then the
+        // process "dies". The destination is never renamed over.
+        const std::size_t torn =
+            std::min<std::size_t>(spec->crash_at_byte, bytes.size());
+        write_all(fd, bytes.data(), torn, tmp);
+        ::close(fd);
+        throw CrashError("injected crash: " + tmp + " torn at byte " +
+                         std::to_string(torn));
+      }
+    }
+    write_all(fd, bytes.data(), bytes.size(), tmp);
+    if (sync && ::fsync(fd) != 0) {
+      throw Error(ErrorCode::kIoOpen,
+                  "cannot fsync " + tmp + ": " + errno_text());
+    }
+  } catch (const CrashError&) {
+    throw;  // fd already closed above
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw Error(ErrorCode::kIoOpen, "cannot rename " + tmp + " to " + path +
+                                        ": " + errno_text());
+  }
+}
+
+}  // namespace gcsm::io

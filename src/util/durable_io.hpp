@@ -1,0 +1,82 @@
+// Low-level durable-IO building blocks shared by the WAL (util/wal.hpp),
+// the graph snapshot serializer (graph/snapshot.hpp), and the JSON report
+// sinks:
+//
+//   * CRC32C (Castagnoli) — the checksum every durable record and snapshot
+//     carries, so corruption is detected instead of deserialized;
+//   * explicit little-endian byte encoding — on-disk layouts never depend
+//     on struct padding or host endianness;
+//   * atomic_write_file — temp file + rename(2), so a reader can never
+//     observe a half-written file: it sees the old content or the new one.
+//
+// atomic_write_file optionally probes the `crash.at` fault site before the
+// payload write: when armed, only FaultSpec::crash_at_byte bytes reach the
+// temp file and a CrashError escapes — a deterministic torn write, with the
+// destination path untouched.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace gcsm {
+
+class FaultInjector;
+
+namespace io {
+
+// CRC32C (polynomial 0x1EDC6F41, reflected). `crc` chains calls:
+// crc32c(b, crc32c(a)) == crc32c(a+b).
+std::uint32_t crc32c(std::string_view data, std::uint32_t crc = 0);
+
+// Little-endian append helpers for building on-disk records.
+void put_u8(std::string& out, std::uint8_t v);
+void put_u32(std::string& out, std::uint32_t v);
+void put_u64(std::string& out, std::uint64_t v);
+void put_i64(std::string& out, std::int64_t v);
+// Length-prefixed (u64) byte string.
+void put_bytes(std::string& out, std::string_view bytes);
+
+// Sequential little-endian decoder. Every getter sets ok() to false (and
+// returns 0 / empty) on underrun instead of reading past the end, so a
+// parser can decode optimistically and check ok() once.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t get_u8();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  std::int64_t get_i64();
+  std::string_view get_bytes();  // u64 length prefix
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  const unsigned char* take(std::size_t n);
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// mkdir -p: creates `path` and any missing parents. Throws Error(kIoOpen)
+// when a component cannot be created.
+void ensure_dir(const std::string& path);
+
+// Reads the whole file; nullopt when it does not exist. Throws
+// Error(kIoOpen) on any other failure.
+std::optional<std::string> read_file_if_exists(const std::string& path);
+
+// Writes `bytes` to `path + ".tmp"`, optionally fsyncs, then renames over
+// `path`. Readers observe the old file or the new one, never a torn mix.
+// When `faults` is armed at crash.at, tears the temp-file write at the
+// spec's byte offset and throws CrashError (destination untouched).
+void atomic_write_file(const std::string& path, std::string_view bytes,
+                       bool sync, FaultInjector* faults = nullptr);
+
+}  // namespace io
+}  // namespace gcsm

@@ -40,6 +40,11 @@ enum class ErrorCode {
   kGraphApply,     // batch apply interrupted mid-append (transient)
   kBatchRejected,  // a batch failed permanently after all recovery
   kConfig,         // a setting the pipeline cannot satisfy
+  // Durability layer (docs/ROBUSTNESS.md, "Durability & recovery").
+  kWalWrite,       // a WAL append or fsync failed (transient)
+  kSnapshotWrite,  // a snapshot write failed pre-rename (transient)
+  kCrash,          // injected crash: the write in progress was torn
+  kRecovery,       // startup recovery failed (replay/counter mismatch)
 };
 
 inline const char* error_code_name(ErrorCode code) {
@@ -68,6 +73,14 @@ inline const char* error_code_name(ErrorCode code) {
       return "batch-rejected";
     case ErrorCode::kConfig:
       return "config";
+    case ErrorCode::kWalWrite:
+      return "wal-write";
+    case ErrorCode::kSnapshotWrite:
+      return "snapshot-write";
+    case ErrorCode::kCrash:
+      return "crash";
+    case ErrorCode::kRecovery:
+      return "recovery";
   }
   return "?";
 }
@@ -81,9 +94,31 @@ inline bool error_code_transient(ErrorCode code) {
     case ErrorCode::kKernelTimeout:
     case ErrorCode::kCacheBuild:
     case ErrorCode::kGraphApply:
+    case ErrorCode::kWalWrite:
+    case ErrorCode::kSnapshotWrite:
       return true;
     default:
       return false;
+  }
+}
+
+// Process exit-code contract for the drivers (csm_cli, bench binaries);
+// documented in docs/ROBUSTNESS.md:
+//   1 — permanent gcsm::Error (IO, rejected batch, recovery failure, ...);
+//   2 — configuration / parse error (bad flag, malformed input);
+//   3 — unrecoverable device error (OOM, DMA, launch, watchdog timeout).
+inline int exit_code_for(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kConfig:
+    case ErrorCode::kIoParse:
+      return 2;
+    case ErrorCode::kDeviceOom:
+    case ErrorCode::kDeviceDma:
+    case ErrorCode::kKernelLaunch:
+    case ErrorCode::kKernelTimeout:
+      return 3;
+    default:
+      return 1;
   }
 }
 
@@ -97,6 +132,17 @@ class Error : public std::runtime_error {
 
  private:
   ErrorCode code_;
+};
+
+// Deterministic injected crash (fault site `crash.at`): the write in
+// progress was torn at a configured byte offset and the process is presumed
+// dead from this point on. Crash-matrix tests catch this, destroy the
+// pipeline without any cleanup of the durable state, and restart with
+// recover-on-start — the in-process analog of kill -9.
+class CrashError : public Error {
+ public:
+  explicit CrashError(const std::string& what)
+      : Error(ErrorCode::kCrash, what) {}
 };
 
 }  // namespace gcsm

@@ -38,23 +38,31 @@ bool FaultInjector::enabled() const {
 const FaultSpec* FaultInjector::spec_for(const std::string& site) const {
   const auto it = specs_.find(site);
   if (it != specs_.end()) return &it->second;
-  if (default_spec_.has_value()) return &*default_spec_;
+  // crash.at is explicit-arm only: a probabilistic arm_all sweep must never
+  // schedule a (simulated) process death.
+  if (default_spec_.has_value() && site != fault_site::kCrashAt) {
+    return &*default_spec_;
+  }
   return nullptr;
 }
 
 bool FaultInjector::fires(const char* site) {
+  return fires_spec(site).has_value();
+}
+
+std::optional<FaultSpec> FaultInjector::fires_spec(const char* site) {
   const std::lock_guard<std::mutex> lock(mu_);
-  if (!enabled_) return false;
+  if (!enabled_) return std::nullopt;
   const std::string key(site);
   const std::uint64_t hit = ++hit_counts_[key];
   const FaultSpec* spec = spec_for(key);
-  if (spec == nullptr) return false;
+  if (spec == nullptr) return std::nullopt;
   const bool on_nth = spec->nth_hit != 0 && hit == spec->nth_hit;
   const bool on_draw = spec->probability > 0.0 &&
                        rng_.bernoulli(spec->probability);
-  if (!on_nth && !on_draw) return false;
+  if (!on_nth && !on_draw) return std::nullopt;
   fired_.push_back({key, hit});
-  return true;
+  return *spec;
 }
 
 std::uint64_t FaultInjector::hits(const std::string& site) const {

@@ -40,18 +40,33 @@ inline constexpr const char* kKernelHang = "kernel.hang";
 inline constexpr const char* kCacheBuild = "cache.build";
 inline constexpr const char* kGraphApply = "graph.apply";
 inline constexpr const char* kBatchCorrupt = "batch.corrupt";
+// Durability layer (docs/ROBUSTNESS.md, "Durability & recovery").
+inline constexpr const char* kWalWrite = "wal.write";
+inline constexpr const char* kWalFsync = "wal.fsync";
+inline constexpr const char* kSnapshotWrite = "snapshot.write";
+// crash.at is special: when it fires, the durable write in progress is torn
+// at FaultSpec::crash_at_byte and a CrashError escapes (the in-process
+// kill -9). It never fires from arm_all's default spec — only an explicit
+// arm() can schedule a crash, so probabilistic fault sweeps stay alive.
+inline constexpr const char* kCrashAt = "crash.at";
 }  // namespace fault_site
 
-inline constexpr std::array<const char*, 7> kAllFaultSites = {
-    fault_site::kDeviceAlloc, fault_site::kDeviceDma,
-    fault_site::kKernelLaunch, fault_site::kKernelHang,
-    fault_site::kCacheBuild,   fault_site::kGraphApply,
-    fault_site::kBatchCorrupt,
+// Every site covered by arm_all (crash.at is deliberately excluded; see
+// above).
+inline constexpr std::array<const char*, 10> kAllFaultSites = {
+    fault_site::kDeviceAlloc,   fault_site::kDeviceDma,
+    fault_site::kKernelLaunch,  fault_site::kKernelHang,
+    fault_site::kCacheBuild,    fault_site::kGraphApply,
+    fault_site::kBatchCorrupt,  fault_site::kWalWrite,
+    fault_site::kWalFsync,      fault_site::kSnapshotWrite,
 };
 
 struct FaultSpec {
   double probability = 0.0;   // chance of firing at each hit
   std::uint64_t nth_hit = 0;  // fire on exactly this hit (1-based); 0 = off
+  // crash.at only: how many bytes of the write in progress reach the file
+  // before the crash (0 = the write never starts).
+  std::uint64_t crash_at_byte = 0;
 };
 
 struct FaultObservation {
@@ -79,6 +94,11 @@ class FaultInjector {
   // Called at a fault site: counts the hit, returns true when the fault
   // fires. The decision is deterministic in (seed, call sequence).
   bool fires(const char* site);
+
+  // fires() variant for sites whose behavior depends on spec parameters
+  // (crash.at's byte offset): returns the firing spec, or nullopt when the
+  // site does not fire. Counts the hit exactly like fires().
+  std::optional<FaultSpec> fires_spec(const char* site);
 
   std::uint64_t hits(const std::string& site) const;
   std::uint64_t fired_count() const;

@@ -1,0 +1,191 @@
+#include "util/wal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/durable_io.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+#include "util/metrics.hpp"
+#include "util/timer.hpp"
+
+namespace gcsm::wal {
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+void write_all(int fd, const char* data, std::size_t len,
+               const std::string& path) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(ErrorCode::kWalWrite,
+                  "cannot append to WAL " + path + ": " + errno_text());
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::string encode_record(RecordType type, std::uint64_t seq,
+                          std::string_view payload) {
+  std::string rec;
+  rec.reserve(kHeaderBytes + payload.size());
+  io::put_u32(rec, kMagic);
+  io::put_u8(rec, static_cast<std::uint8_t>(type));
+  io::put_u64(rec, seq);
+  io::put_u32(rec, static_cast<std::uint32_t>(payload.size()));
+  // CRC over everything before the crc field, then the payload.
+  std::uint32_t crc = io::crc32c(rec);
+  crc = io::crc32c(payload, crc);
+  io::put_u32(rec, crc);
+  rec.append(payload);
+  return rec;
+}
+
+Writer::Writer(std::string path, bool sync, FaultInjector* faults)
+    : path_(std::move(path)), sync_enabled_(sync), faults_(faults) {
+  fd_ = ::open(path_.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);  // NOLINT
+  if (fd_ < 0) {
+    throw Error(ErrorCode::kIoOpen,
+                "cannot open WAL " + path_ + ": " + errno_text());
+  }
+}
+
+Writer::~Writer() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Writer::append(RecordType type, std::uint64_t seq,
+                    std::string_view payload) {
+  static auto& m_records = metrics::Registry::global().counter("wal.records");
+  static auto& m_bytes = metrics::Registry::global().counter("wal.bytes");
+  const std::string rec = encode_record(type, seq, payload);
+  if (faults_ != nullptr && faults_->fires(fault_site::kWalWrite)) {
+    // Fires before any byte reaches the file, so a retry simply re-appends.
+    throw Error(ErrorCode::kWalWrite,
+                "injected fault: WAL append refused (" + path_ + ")");
+  }
+  if (faults_ != nullptr) {
+    if (const auto spec = faults_->fires_spec(fault_site::kCrashAt)) {
+      const std::size_t torn =
+          std::min<std::size_t>(spec->crash_at_byte, rec.size());
+      write_all(fd_, rec.data(), torn, path_);
+      throw CrashError("injected crash: WAL append of seq " +
+                       std::to_string(seq) + " torn at byte " +
+                       std::to_string(torn));
+    }
+  }
+  write_all(fd_, rec.data(), rec.size(), path_);
+  bytes_appended_ += rec.size();
+  dirty_ = true;
+  m_records.add();
+  m_bytes.add(rec.size());
+}
+
+void Writer::sync() {
+  static auto& m_fsyncs = metrics::Registry::global().counter("wal.fsyncs");
+  static auto& h_fsync =
+      metrics::Registry::global().histogram("wal.fsync_ms");
+  if (faults_ != nullptr && faults_->fires(fault_site::kWalFsync)) {
+    throw Error(ErrorCode::kWalWrite,
+                "injected fault: WAL fsync failed (" + path_ + ")");
+  }
+  if (faults_ != nullptr && faults_->fires_spec(fault_site::kCrashAt)) {
+    throw CrashError("injected crash: before WAL fsync of " + path_);
+  }
+  if (!dirty_) return;
+  if (sync_enabled_) {
+    const Timer t;
+    if (::fsync(fd_) != 0) {
+      throw Error(ErrorCode::kWalWrite,
+                  "cannot fsync WAL " + path_ + ": " + errno_text());
+    }
+    h_fsync.observe(t.millis());
+  }
+  dirty_ = false;
+  m_fsyncs.add();
+}
+
+void Writer::reset() {
+  if (::ftruncate(fd_, 0) != 0) {
+    throw Error(ErrorCode::kWalWrite,
+                "cannot truncate WAL " + path_ + ": " + errno_text());
+  }
+  if (sync_enabled_ && ::fsync(fd_) != 0) {
+    throw Error(ErrorCode::kWalWrite,
+                "cannot fsync WAL " + path_ + ": " + errno_text());
+  }
+  dirty_ = false;
+}
+
+ReadResult read_all(const std::string& path) {
+  ReadResult result;
+  const std::optional<std::string> bytes = io::read_file_if_exists(path);
+  if (!bytes.has_value()) return result;
+  const std::string_view data = *bytes;
+
+  std::size_t pos = 0;
+  auto damaged = [&](const std::string& reason) {
+    result.tail_damaged = true;
+    result.tail_reason = reason + " at byte " + std::to_string(pos);
+  };
+  while (pos < data.size()) {
+    if (data.size() - pos < kHeaderBytes) {
+      damaged("torn record header");
+      break;
+    }
+    io::ByteReader header(data.substr(pos, kHeaderBytes));
+    const std::uint32_t magic = header.get_u32();
+    const std::uint8_t type = header.get_u8();
+    const std::uint64_t seq = header.get_u64();
+    const std::uint32_t len = header.get_u32();
+    const std::uint32_t crc = header.get_u32();
+    if (magic != kMagic) {
+      damaged("bad record magic");
+      break;
+    }
+    if (type != static_cast<std::uint8_t>(RecordType::kBatch) &&
+        type != static_cast<std::uint8_t>(RecordType::kCommit)) {
+      damaged("unknown record type " + std::to_string(type));
+      break;
+    }
+    if (len > kMaxPayloadBytes) {
+      damaged("implausible payload length " + std::to_string(len));
+      break;
+    }
+    if (data.size() - pos - kHeaderBytes < len) {
+      damaged("torn record payload");
+      break;
+    }
+    const std::string_view payload = data.substr(pos + kHeaderBytes, len);
+    std::uint32_t expect = io::crc32c(data.substr(pos, kHeaderBytes - 4));
+    expect = io::crc32c(payload, expect);
+    if (expect != crc) {
+      damaged("record CRC mismatch (seq " + std::to_string(seq) + ")");
+      break;
+    }
+    result.records.push_back(
+        {static_cast<RecordType>(type), seq, std::string(payload)});
+    pos += kHeaderBytes + len;
+  }
+  result.valid_bytes = pos;
+  return result;
+}
+
+void truncate_log(const std::string& path, std::uint64_t valid_bytes) {
+  if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
+    throw Error(ErrorCode::kIoOpen,
+                "cannot truncate WAL " + path + ": " + errno_text());
+  }
+}
+
+}  // namespace gcsm::wal

@@ -1,0 +1,105 @@
+// Append-only write-ahead log of update batches (docs/ROBUSTNESS.md,
+// "Durability & recovery").
+//
+// Record format (little-endian, fixed 21-byte header then payload):
+//
+//   offset  size  field
+//        0     4  magic   0x4C415747 ("GWAL")
+//        4     1  type    1 = batch payload, 2 = commit marker
+//        5     8  seq     batch sequence number (1-based, monotonic)
+//       13     4  len     payload length in bytes
+//       17     4  crc     CRC32C over bytes [0, 17) + payload
+//       21   len  payload
+//
+// The writer appends records and fsyncs on commit boundaries; the reader
+// validates every record and STOPS at the first torn or corrupt one — a
+// crash mid-append can only damage the tail, so everything before it is
+// intact by construction. Recovery truncates the damaged tail (with a
+// logged warning) instead of refusing to start.
+//
+// Fault sites (util/fault.hpp): `wal.write` fires before a record write
+// (nothing reaches the file — safe to retry), `wal.fsync` fires before the
+// fsync, and `crash.at` tears the write at FaultSpec::crash_at_byte and
+// throws CrashError.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gcsm {
+
+class FaultInjector;
+
+namespace wal {
+
+inline constexpr std::uint32_t kMagic = 0x4C415747U;  // "GWAL"
+inline constexpr std::size_t kHeaderBytes = 21;
+// Sanity cap on a single record payload: a corrupt length field must not
+// make the reader chase gigabytes of garbage.
+inline constexpr std::uint32_t kMaxPayloadBytes = 1U << 30;
+
+enum class RecordType : std::uint8_t { kBatch = 1, kCommit = 2 };
+
+struct Record {
+  RecordType type = RecordType::kBatch;
+  std::uint64_t seq = 0;
+  std::string payload;
+};
+
+// Serializes one record (header + payload) into its on-disk bytes.
+std::string encode_record(RecordType type, std::uint64_t seq,
+                          std::string_view payload);
+
+class Writer {
+ public:
+  // Opens `path` for appending, creating it if needed. `sync` off skips the
+  // fsync syscall (tests) but still probes the wal.fsync fault site.
+  Writer(std::string path, bool sync, FaultInjector* faults = nullptr);
+  ~Writer();
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  // Appends one record. Probes wal.write (transient Error, nothing written)
+  // and crash.at (torn write + CrashError) before/while touching the file.
+  void append(RecordType type, std::uint64_t seq, std::string_view payload);
+
+  // Flushes appended records to stable storage. Probes wal.fsync.
+  void sync();
+
+  // Truncates the log to zero length (snapshot compaction dropped the whole
+  // prefix) and syncs the truncation.
+  void reset();
+
+  const std::string& path() const { return path_; }
+  std::uint64_t bytes_appended() const { return bytes_appended_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  bool sync_enabled_;
+  bool dirty_ = false;
+  std::uint64_t bytes_appended_ = 0;
+  FaultInjector* faults_;
+};
+
+struct ReadResult {
+  std::vector<Record> records;
+  // Offset of the first byte that failed validation; equals the file size
+  // for a clean log.
+  std::uint64_t valid_bytes = 0;
+  bool tail_damaged = false;
+  std::string tail_reason;  // human-readable, for the recovery warning
+};
+
+// Reads every valid record from the log. Missing file = empty clean result.
+// Never throws on corruption: the damaged tail is reported, not fatal.
+ReadResult read_all(const std::string& path);
+
+// Truncates the log file to `valid_bytes` (recovery's tail repair).
+void truncate_log(const std::string& path, std::uint64_t valid_bytes);
+
+}  // namespace wal
+}  // namespace gcsm

@@ -1,0 +1,577 @@
+// Crash-durability suite (docs/ROBUSTNESS.md, "Durability & recovery").
+//
+// The contract under test: with a WAL directory configured, a process that
+// dies at ANY point — mid-WAL-append, pre-fsync, mid-snapshot-write — and
+// restarts with recover-on-start produces cumulative match counts
+// BIT-IDENTICAL to an uninterrupted run, and a corrupted WAL tail is
+// truncated with a warning instead of refusing to start. The injected
+// CrashError is the in-process analog of kill -9: the pipeline object is
+// destroyed with no cleanup and a fresh one recovers from disk.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "graph/generators.hpp"
+#include "graph/snapshot.hpp"
+#include "graph/update_stream.hpp"
+#include "query/patterns.hpp"
+#include "util/durable_io.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+#include "util/wal.hpp"
+
+namespace gcsm {
+namespace {
+
+// pool / batch must cover kBatches below: 256 / 32 = exactly 8 batches.
+// (Indexing past stream.batches.size() is UB the sanitizers cannot see —
+// the vector's capacity usually exceeds its size.)
+struct StreamFixture {
+  explicit StreamFixture(int seed, VertexId n = 300, std::size_t batch = 32,
+                         std::size_t pool = 256) {
+    Rng rng(seed);
+    base = generate_barabasi_albert(n, 4, 2, rng);
+    UpdateStreamOptions opt;
+    opt.pool_edge_count = pool;
+    opt.batch_size = batch;
+    opt.seed = seed + 1;
+    stream = make_update_stream(base, opt);
+  }
+  CsrGraph base;
+  UpdateStream stream;
+};
+
+// A unique directory per call, under gtest's temp root. The counter restarts
+// with the process, so a previous run's WAL/snapshot may still sit at the
+// same path — durable state that recovery would faithfully (and confusingly)
+// resurrect. Scrub it first.
+std::string fresh_dir(const std::string& tag) {
+  static int counter = 0;
+  const std::string dir = std::string(::testing::TempDir()) + "gcsm_dur_" +
+                          tag + "_" + std::to_string(counter++);
+  std::filesystem::remove_all(dir);
+  io::ensure_dir(dir);
+  return dir;
+}
+
+// Match-count equality against a non-durable baseline: every counter except
+// last_seq, which only durable runs assign.
+void expect_counts(const durable::DurableCounters& got,
+                   const durable::DurableCounters& want) {
+  EXPECT_EQ(got.batches_committed, want.batches_committed);
+  EXPECT_EQ(got.cum_signed, want.cum_signed);
+  EXPECT_EQ(got.cum_positive, want.cum_positive);
+  EXPECT_EQ(got.cum_negative, want.cum_negative);
+}
+
+PipelineOptions durable_options(const std::string& dir,
+                                FaultInjector* inj = nullptr,
+                                EngineKind kind = EngineKind::kCpu) {
+  PipelineOptions opt;
+  opt.kind = kind;
+  opt.workers = 2;
+  opt.cache_budget_bytes = 4 << 20;
+  opt.estimator.num_walks = 512;
+  opt.recovery.backoff_initial_ms = 0.0;
+  opt.durability.wal_dir = dir;
+  opt.durability.snapshot_interval = 3;
+  opt.durability.recover_on_start = true;
+  opt.durability.fsync = false;  // protocol + fault sites identical, no I/O tax
+  opt.fault_injector = inj;
+  return opt;
+}
+
+// Uninterrupted non-durable reference run over the first `k` batches.
+durable::DurableCounters baseline_counters(const StreamFixture& fx,
+                                           const QueryGraph& query,
+                                           std::size_t k,
+                                           std::vector<Edge>* edges = nullptr) {
+  PipelineOptions opt = durable_options("");
+  opt.durability.wal_dir.clear();
+  Pipeline p(fx.stream.initial, query, opt);
+  for (std::size_t i = 0; i < k; ++i) p.process_batch(fx.stream.batches[i]);
+  if (edges != nullptr) *edges = p.graph().to_csr().edge_list();
+  return p.cumulative();
+}
+
+void corrupt_byte(const std::string& path, std::size_t offset_from_end) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, -static_cast<long>(offset_from_end), SEEK_END);
+  const int c = std::fgetc(f);
+  std::fseek(f, -1, SEEK_CUR);
+  std::fputc(c ^ 0x40, f);
+  std::fclose(f);
+}
+
+// ---------------------------------------------------------------------------
+// CRC32C and the low-level encoders.
+
+TEST(DurableIo, Crc32cKnownAnswer) {
+  // The canonical CRC32C check value (RFC 3720 appendix / Castagnoli).
+  EXPECT_EQ(io::crc32c("123456789"), 0xE3069283U);
+  EXPECT_EQ(io::crc32c(""), 0U);
+}
+
+TEST(DurableIo, Crc32cChains) {
+  const std::string a = "hello ";
+  const std::string b = "world";
+  EXPECT_EQ(io::crc32c(b, io::crc32c(a)), io::crc32c(a + b));
+}
+
+TEST(DurableIo, ByteReaderFlagsUnderrun) {
+  std::string buf;
+  io::put_u32(buf, 7);
+  io::ByteReader r(buf);
+  EXPECT_EQ(r.get_u32(), 7U);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.get_u64(), 0U);  // underrun: returns 0, flags not-ok
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DurableIo, AtomicWriteReplacesWholeFile) {
+  const std::string dir = fresh_dir("atomic");
+  const std::string path = dir + "/doc.txt";
+  io::atomic_write_file(path, "first version", false);
+  io::atomic_write_file(path, "v2", false);
+  EXPECT_EQ(io::read_file_if_exists(path).value_or(""), "v2");
+}
+
+// ---------------------------------------------------------------------------
+// WAL record format, torn tails, corruption.
+
+TEST(Wal, RoundTrip) {
+  const std::string path = fresh_dir("roundtrip") + "/gcsm.wal";
+  {
+    wal::Writer w(path, /*sync=*/false);
+    w.append(wal::RecordType::kBatch, 1, "payload-one");
+    w.append(wal::RecordType::kCommit, 1, "");
+    w.append(wal::RecordType::kBatch, 2, std::string(1000, 'x'));
+    w.sync();
+  }
+  const wal::ReadResult r = wal::read_all(path);
+  EXPECT_FALSE(r.tail_damaged);
+  ASSERT_EQ(r.records.size(), 3U);
+  EXPECT_EQ(r.records[0].type, wal::RecordType::kBatch);
+  EXPECT_EQ(r.records[0].seq, 1U);
+  EXPECT_EQ(r.records[0].payload, "payload-one");
+  EXPECT_EQ(r.records[1].type, wal::RecordType::kCommit);
+  EXPECT_EQ(r.records[2].payload.size(), 1000U);
+}
+
+TEST(Wal, MissingFileIsCleanEmpty) {
+  const wal::ReadResult r = wal::read_all(fresh_dir("nofile") + "/gcsm.wal");
+  EXPECT_TRUE(r.records.empty());
+  EXPECT_FALSE(r.tail_damaged);
+  EXPECT_EQ(r.valid_bytes, 0U);
+}
+
+TEST(Wal, TornTailDetectedAndTruncated) {
+  const std::string path = fresh_dir("torn") + "/gcsm.wal";
+  std::uint64_t clean_bytes = 0;
+  {
+    wal::Writer w(path, false);
+    w.append(wal::RecordType::kBatch, 1, "intact");
+    clean_bytes = w.bytes_appended();
+    // A torn append: only a prefix of the next record reached the disk.
+    const std::string rec =
+        wal::encode_record(wal::RecordType::kBatch, 2, "never-finished");
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(rec.data(), 1, rec.size() / 2, f);
+    std::fclose(f);
+  }
+  wal::ReadResult r = wal::read_all(path);
+  EXPECT_TRUE(r.tail_damaged);
+  EXPECT_EQ(r.valid_bytes, clean_bytes);
+  ASSERT_EQ(r.records.size(), 1U);
+  EXPECT_EQ(r.records[0].payload, "intact");
+
+  // Recovery's repair: truncate to the clean prefix, then the log is clean.
+  wal::truncate_log(path, r.valid_bytes);
+  r = wal::read_all(path);
+  EXPECT_FALSE(r.tail_damaged);
+  EXPECT_EQ(r.records.size(), 1U);
+}
+
+TEST(Wal, BitFlippedCrcStopsAtTheDamage) {
+  const std::string path = fresh_dir("bitflip") + "/gcsm.wal";
+  {
+    wal::Writer w(path, false);
+    w.append(wal::RecordType::kBatch, 1, "aaaa");
+    w.append(wal::RecordType::kBatch, 2, "bbbb");
+  }
+  corrupt_byte(path, 2);  // inside record 2's payload -> its CRC fails
+  const wal::ReadResult r = wal::read_all(path);
+  EXPECT_TRUE(r.tail_damaged);
+  EXPECT_NE(r.tail_reason.find("CRC"), std::string::npos);
+  ASSERT_EQ(r.records.size(), 1U);
+  EXPECT_EQ(r.records[0].payload, "aaaa");
+}
+
+TEST(Wal, CrashAtTearsTheAppend) {
+  const std::string path = fresh_dir("crash") + "/gcsm.wal";
+  FaultInjector inj(5);
+  inj.arm(fault_site::kCrashAt, {0.0, 1, 10});  // 10 bytes reach the file
+  {
+    wal::Writer w(path, false, &inj);
+    EXPECT_THROW(w.append(wal::RecordType::kBatch, 1, "doomed"), CrashError);
+  }
+  const auto bytes = io::read_file_if_exists(path);
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_EQ(bytes->size(), 10U);
+  const wal::ReadResult r = wal::read_all(path);
+  EXPECT_TRUE(r.tail_damaged);
+  EXPECT_TRUE(r.records.empty());
+}
+
+TEST(Wal, ArmAllNeverSchedulesACrash) {
+  FaultInjector inj(6);
+  inj.arm_all(1.0);  // every site fires always ... except crash.at
+  EXPECT_FALSE(inj.fires_spec(fault_site::kCrashAt).has_value());
+  EXPECT_TRUE(inj.fires(fault_site::kWalWrite));
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot serialization.
+
+TEST(Snapshot, RoundTripPreservesPendingReorgState) {
+  StreamFixture fx(11);
+  DynamicGraph g(fx.stream.initial);
+  g.apply_batch(fx.stream.batches[0]);  // NOT reorganized: tombstones +
+  ASSERT_TRUE(g.has_pending_batch());   // appended runs + touched set live
+
+  durable::DurableCounters counters;
+  counters.batches_committed = 1;
+  counters.last_seq = 1;
+  counters.cum_signed = -3;
+  const std::string bytes = durable::encode_snapshot(g.snapshot_full(),
+                                                     counters);
+  std::string why;
+  const auto loaded = durable::decode_snapshot(bytes, &why);
+  ASSERT_TRUE(loaded.has_value()) << why;
+  EXPECT_EQ(loaded->counters, counters);
+
+  DynamicGraph restored(fx.stream.initial);
+  restored.restore(loaded->graph);
+  restored.validate();
+  EXPECT_TRUE(restored.has_pending_batch());
+  EXPECT_EQ(restored.num_live_edges(), g.num_live_edges());
+  EXPECT_EQ(restored.to_csr().edge_list(), g.to_csr().edge_list());
+
+  // The restored graph must be operationally identical, not just equal now:
+  // reorganizing both yields the same compacted lists.
+  g.reorganize();
+  restored.reorganize();
+  restored.validate();
+  EXPECT_EQ(restored.to_csr().edge_list(), g.to_csr().edge_list());
+}
+
+TEST(Snapshot, CorruptFileRejectedNotDeserialized) {
+  StreamFixture fx(12);
+  DynamicGraph g(fx.stream.initial);
+  const std::string path = fresh_dir("snapcorrupt") + "/graph.snap";
+  durable::write_snapshot_file(path, g.snapshot_full(), {}, false);
+  ASSERT_TRUE(durable::load_snapshot_file(path).has_value());
+
+  corrupt_byte(path, 40);
+  std::string why;
+  EXPECT_FALSE(durable::load_snapshot_file(path, &why).has_value());
+  EXPECT_NE(why.find("CRC"), std::string::npos);
+}
+
+TEST(Snapshot, CrashDuringWriteKeepsThePreviousSnapshot) {
+  StreamFixture fx(13);
+  DynamicGraph g(fx.stream.initial);
+  const std::string path = fresh_dir("snapcrash") + "/graph.snap";
+  durable::DurableCounters v1;
+  v1.batches_committed = 7;
+  durable::write_snapshot_file(path, g.snapshot_full(), v1, false);
+
+  g.apply_batch(fx.stream.batches[0]);
+  FaultInjector inj(9);
+  inj.arm(fault_site::kCrashAt, {0.0, 1, 100});
+  durable::DurableCounters v2;
+  v2.batches_committed = 8;
+  EXPECT_THROW(
+      durable::write_snapshot_file(path, g.snapshot_full(), v2, false, &inj),
+      CrashError);
+
+  // The rename never happened: readers still see v1, whole and valid.
+  const auto loaded = durable::load_snapshot_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->counters.batches_committed, 7U);
+}
+
+TEST(Snapshot, BatchPayloadRoundTrip) {
+  EdgeBatch batch;
+  batch.updates = {{1, 2, +1}, {3, 4, -1}, {0, 5, +1}};
+  batch.new_vertex_labels = {{5, 3}};
+  const auto decoded = durable::decode_batch(durable::encode_batch(batch));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->updates, batch.updates);
+  EXPECT_EQ(decoded->new_vertex_labels, batch.new_vertex_labels);
+  EXPECT_FALSE(durable::decode_batch("garbage").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Exit-code contract (docs/ROBUSTNESS.md).
+
+TEST(ExitCodes, FollowTheDocumentedContract) {
+  EXPECT_EQ(exit_code_for(ErrorCode::kConfig), 2);
+  EXPECT_EQ(exit_code_for(ErrorCode::kIoParse), 2);
+  EXPECT_EQ(exit_code_for(ErrorCode::kDeviceOom), 3);
+  EXPECT_EQ(exit_code_for(ErrorCode::kDeviceDma), 3);
+  EXPECT_EQ(exit_code_for(ErrorCode::kKernelLaunch), 3);
+  EXPECT_EQ(exit_code_for(ErrorCode::kKernelTimeout), 3);
+  EXPECT_EQ(exit_code_for(ErrorCode::kIoOpen), 1);
+  EXPECT_EQ(exit_code_for(ErrorCode::kBatchRejected), 1);
+  EXPECT_EQ(exit_code_for(ErrorCode::kRecovery), 1);
+  EXPECT_EQ(exit_code_for(ErrorCode::kCrash), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline-level durability.
+
+constexpr std::size_t kBatches = 8;
+
+TEST(Durability, ColdStartOnEmptyDirIsANoOp) {
+  StreamFixture fx(21);
+  const QueryGraph query = make_triangle();
+  Pipeline p(fx.stream.initial, query,
+             durable_options(fresh_dir("cold")));
+  EXPECT_FALSE(p.recovery_info().snapshot_loaded);
+  EXPECT_TRUE(p.recovery_info().replay.empty());
+  p.process_batch(fx.stream.batches[0]);
+  EXPECT_EQ(p.cumulative().batches_committed, 1U);
+  EXPECT_EQ(p.cumulative().last_seq, 1U);
+}
+
+TEST(Durability, CleanRestartReproducesCountsAndGraph) {
+  StreamFixture fx(22);
+  ASSERT_GE(fx.stream.batches.size(), kBatches);
+  const QueryGraph query = make_triangle();
+  std::vector<Edge> baseline_edges;
+  const durable::DurableCounters expect =
+      baseline_counters(fx, query, kBatches, &baseline_edges);
+
+  const std::string dir = fresh_dir("restart");
+  durable::DurableCounters half;
+  {
+    Pipeline p(fx.stream.initial, query, durable_options(dir));
+    for (std::size_t k = 0; k < 5; ++k) p.process_batch(fx.stream.batches[k]);
+    half = p.cumulative();
+  }
+  // Restart: snapshot (interval 3 -> written at batch 3) + WAL replay of
+  // batches 4..5, then the client resumes from batches_committed.
+  Pipeline p(fx.stream.initial, query, durable_options(dir));
+  EXPECT_EQ(p.cumulative(), half);
+  EXPECT_TRUE(p.recovery_info().snapshot_loaded);
+  EXPECT_FALSE(p.recovery_info().replay.empty());
+  for (std::size_t k = p.cumulative().batches_committed; k < kBatches; ++k) {
+    p.process_batch(fx.stream.batches[k]);
+  }
+  EXPECT_EQ(p.cumulative().batches_committed, expect.batches_committed);
+  EXPECT_EQ(p.cumulative().cum_signed, expect.cum_signed);
+  EXPECT_EQ(p.cumulative().cum_positive, expect.cum_positive);
+  EXPECT_EQ(p.cumulative().cum_negative, expect.cum_negative);
+  EXPECT_EQ(p.graph().to_csr().edge_list(), baseline_edges);
+}
+
+TEST(Durability, CleanRestartOnGcsmEngineToo) {
+  // The durable guarantee is engine-independent: match counts never depend
+  // on what the cache holds, so recovery under the full GCSM path (estimator
+  // + DCSR cache) reproduces them bit-identically as well.
+  StreamFixture fx(23);
+  const QueryGraph query = make_triangle();
+  const durable::DurableCounters expect = baseline_counters(fx, query, 6);
+
+  const std::string dir = fresh_dir("gcsm");
+  {
+    Pipeline p(fx.stream.initial, query,
+               durable_options(dir, nullptr, EngineKind::kGcsm));
+    for (std::size_t k = 0; k < 4; ++k) p.process_batch(fx.stream.batches[k]);
+  }
+  Pipeline p(fx.stream.initial, query,
+             durable_options(dir, nullptr, EngineKind::kGcsm));
+  for (std::size_t k = p.cumulative().batches_committed; k < 6; ++k) {
+    p.process_batch(fx.stream.batches[k]);
+  }
+  EXPECT_EQ(p.cumulative().cum_signed, expect.cum_signed);
+  EXPECT_EQ(p.cumulative().cum_positive, expect.cum_positive);
+  EXPECT_EQ(p.cumulative().cum_negative, expect.cum_negative);
+}
+
+// Drives the stream to completion against one crash scheduled at the nth
+// crash.at hit with the given torn-byte offset, restarting with recovery
+// after the "kill". Returns how many crashes actually fired.
+int run_with_scheduled_crash(const StreamFixture& fx, const QueryGraph& query,
+                             const std::string& dir, std::uint64_t nth,
+                             std::uint64_t byte,
+                             durable::DurableCounters* out,
+                             std::vector<Edge>* edges) {
+  FaultInjector inj(31);
+  inj.arm(fault_site::kCrashAt, {0.0, nth, byte});
+  int crashes = 0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    try {
+      Pipeline p(fx.stream.initial, query, durable_options(dir, &inj));
+      // Exactly-once resumption: submit from the committed count onward.
+      for (std::size_t k = p.cumulative().batches_committed; k < kBatches;
+           ++k) {
+        p.process_batch(fx.stream.batches[k]);
+      }
+      *out = p.cumulative();
+      *edges = p.graph().to_csr().edge_list();
+      return crashes;
+    } catch (const CrashError&) {
+      ++crashes;  // the pipeline died mid-write; loop restarts + recovers
+    }
+  }
+  ADD_FAILURE() << "crash storm: nth=" << nth << " byte=" << byte;
+  return crashes;
+}
+
+TEST(Durability, CrashMatrixEveryWalAndSnapshotSiteRecovers) {
+  StreamFixture fx(24);
+  ASSERT_GE(fx.stream.batches.size(), kBatches);
+  const QueryGraph query = make_triangle();
+  std::vector<Edge> baseline_edges;
+  const durable::DurableCounters expect =
+      baseline_counters(fx, query, kBatches, &baseline_edges);
+
+  // Sweep the crash over every crash.at probe an uninterrupted run makes
+  // (WAL appends, pre-fsync points, the snapshot temp-file write), at three
+  // torn-write offsets: nothing written, a torn header, a torn payload.
+  int cases = 0;
+  for (const std::uint64_t byte : {0U, 11U, 64U}) {
+    for (std::uint64_t nth = 1;; ++nth) {
+      const std::string dir =
+          fresh_dir("matrix_" + std::to_string(byte) + "_" +
+                    std::to_string(nth));
+      durable::DurableCounters got;
+      std::vector<Edge> got_edges;
+      const int crashes =
+          run_with_scheduled_crash(fx, query, dir, nth, byte, &got,
+                                   &got_edges);
+      ASSERT_EQ(got.batches_committed, expect.batches_committed)
+          << "nth=" << nth << " byte=" << byte;
+      ASSERT_EQ(got.cum_signed, expect.cum_signed)
+          << "nth=" << nth << " byte=" << byte;
+      ASSERT_EQ(got.cum_positive, expect.cum_positive)
+          << "nth=" << nth << " byte=" << byte;
+      ASSERT_EQ(got.cum_negative, expect.cum_negative)
+          << "nth=" << nth << " byte=" << byte;
+      ASSERT_EQ(got_edges, baseline_edges)
+          << "nth=" << nth << " byte=" << byte;
+      ++cases;
+      // Once nth exceeds the number of probes a full run makes, no crash
+      // fires and the sweep is complete for this offset.
+      if (crashes == 0) break;
+      ASSERT_LT(nth, 200U) << "sweep did not terminate";
+    }
+  }
+  // The matrix must have actually crashed somewhere (several sites per
+  // batch, times kBatches), or the sweep tested nothing.
+  EXPECT_GT(cases, 3 * static_cast<int>(kBatches));
+}
+
+TEST(Durability, CorruptedWalTailIsTruncatedWithWarningNotFatal) {
+  StreamFixture fx(25);
+  ASSERT_GE(fx.stream.batches.size(), kBatches);
+  const QueryGraph query = make_triangle();
+  std::vector<Edge> baseline_edges;
+  const durable::DurableCounters expect =
+      baseline_counters(fx, query, kBatches, &baseline_edges);
+
+  const std::string dir = fresh_dir("tail");
+  PipelineOptions opt = durable_options(dir);
+  opt.durability.snapshot_interval = 0;  // keep the whole history in the WAL
+  {
+    Pipeline p(fx.stream.initial, query, opt);
+    for (std::size_t k = 0; k < kBatches; ++k) {
+      p.process_batch(fx.stream.batches[k]);
+    }
+  }
+  // External corruption: a flipped bit in the final commit marker. Recovery
+  // must truncate it, replay the intact prefix, and keep going.
+  corrupt_byte(dir + "/gcsm.wal", 3);
+
+  Pipeline p(fx.stream.initial, query, opt);
+  EXPECT_TRUE(p.recovery_info().wal_tail_truncated);
+  EXPECT_NE(p.recovery_info().warning.find("WAL tail damaged"),
+            std::string::npos);
+  EXPECT_EQ(p.cumulative().batches_committed, kBatches - 1);
+  // The last batch's record lost its commit: dropped, then re-submitted.
+  EXPECT_EQ(p.recovery_info().dropped_uncommitted, 1U);
+  for (std::size_t k = p.cumulative().batches_committed; k < kBatches; ++k) {
+    p.process_batch(fx.stream.batches[k]);
+  }
+  EXPECT_EQ(p.cumulative().cum_signed, expect.cum_signed);
+  EXPECT_EQ(p.cumulative().cum_positive, expect.cum_positive);
+  EXPECT_EQ(p.graph().to_csr().edge_list(), baseline_edges);
+}
+
+TEST(Durability, StaleSnapshotPlusLongerWalReplaysTheSuffix) {
+  StreamFixture fx(26);
+  const QueryGraph query = make_triangle();
+  const std::string dir = fresh_dir("stale");
+  PipelineOptions opt = durable_options(dir);
+  opt.durability.snapshot_interval = 4;
+  {
+    Pipeline p(fx.stream.initial, query, opt);
+    for (std::size_t k = 0; k < 7; ++k) p.process_batch(fx.stream.batches[k]);
+  }
+  // Snapshot covers batches 1..4; the WAL holds committed batches 5..7.
+  Pipeline p(fx.stream.initial, query, opt);
+  EXPECT_TRUE(p.recovery_info().snapshot_loaded);
+  EXPECT_EQ(p.recovery_info().counters.batches_committed, 4U);
+  EXPECT_EQ(p.recovery_info().replay.size(), 3U);
+  EXPECT_EQ(p.cumulative().batches_committed, 7U);
+  expect_counts(p.cumulative(), baseline_counters(fx, query, 7));
+}
+
+TEST(Durability, TransientWalFaultsAreRetriedInternally) {
+  StreamFixture fx(27);
+  const QueryGraph query = make_triangle();
+  FaultInjector inj(41);
+  // One refused append and one refused fsync, at deterministic hits; the
+  // manager's bounded retry absorbs both without surfacing an error or
+  // duplicating records.
+  inj.arm(fault_site::kWalWrite, {0.0, 3});
+  inj.arm(fault_site::kWalFsync, {0.0, 5});
+  Pipeline p(fx.stream.initial, query,
+             durable_options(fresh_dir("transient"), &inj));
+  for (std::size_t k = 0; k < 4; ++k) p.process_batch(fx.stream.batches[k]);
+  EXPECT_EQ(p.cumulative().batches_committed, 4U);
+  expect_counts(p.cumulative(), baseline_counters(fx, query, 4));
+}
+
+TEST(Durability, RecoverOnStartOffDiscardsStaleState) {
+  StreamFixture fx(28);
+  const QueryGraph query = make_triangle();
+  const std::string dir = fresh_dir("fresh");
+  {
+    Pipeline p(fx.stream.initial, query, durable_options(dir));
+    for (std::size_t k = 0; k < 4; ++k) p.process_batch(fx.stream.batches[k]);
+  }
+  PipelineOptions opt = durable_options(dir);
+  opt.durability.recover_on_start = false;
+  {
+    Pipeline p(fx.stream.initial, query, opt);
+    EXPECT_EQ(p.cumulative().batches_committed, 0U);
+    p.process_batch(fx.stream.batches[0]);
+  }
+  // A later recovering start must see only the fresh run's history.
+  Pipeline p(fx.stream.initial, query, durable_options(dir));
+  EXPECT_EQ(p.cumulative().batches_committed, 1U);
+  expect_counts(p.cumulative(), baseline_counters(fx, query, 1));
+}
+
+}  // namespace
+}  // namespace gcsm
