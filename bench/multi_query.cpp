@@ -1,0 +1,151 @@
+// Multi-query serving: one shared engine vs N independent pipelines.
+//
+// Serves 1/2/4/8 standing patterns over the same update stream twice —
+// once through a MultiQueryEngine (one graph, one estimation, one cache
+// build, one pack/DMA per batch) and once as N independent single-query
+// Pipelines — and reports wall time and cache bytes for both. The shared
+// engine's advantage grows with N: the shared phases are paid once, and
+// one arbitrated cache replaces N private ones. Per-query counts are
+// bit-identical by construction (tests/multi_query_test.cpp).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "harness.hpp"
+#include "server/multi_query_engine.hpp"
+#include "util/timer.hpp"
+
+namespace {
+using namespace gcsm;
+using namespace gcsm::bench;
+
+server::MultiQueryOptions multi_options(const RunConfig& config,
+                                        std::uint64_t budget) {
+  server::MultiQueryOptions opt;
+  opt.kind = EngineKind::kGcsm;
+  opt.cache_budget_bytes = budget;
+  opt.estimator.num_walks = config.num_walks;
+  opt.workers = config.workers;
+  opt.seed = config.seed;
+  return opt;
+}
+
+PipelineOptions single_options(const RunConfig& config,
+                               std::uint64_t budget) {
+  PipelineOptions opt;
+  opt.kind = EngineKind::kGcsm;
+  opt.cache_budget_bytes = budget;
+  opt.estimator.num_walks = config.num_walks;
+  opt.workers = config.workers;
+  opt.seed = config.seed;
+  return opt;
+}
+
+}  // namespace
+
+static int run(const gcsm::CliArgs& args) {
+  RunConfig config = RunConfig::from_cli(args, "FR", 4096, 1.0);
+
+  print_title("Multi-query serving — shared engine vs independent pipelines",
+              "shared wall time grows sublinearly in the query count (the "
+              "update/estimate/pack phases are paid once) and cache bytes "
+              "stay flat where N pipelines pay N private caches");
+
+  const PreparedStream stream = prepare_stream(config);
+  print_workload_line(stream.initial, config.dataset, config);
+  const std::uint64_t budget = resolve_cache_budget(config, stream.initial);
+
+  std::vector<std::string> query_names;
+  std::vector<EngineResult> all;
+
+  std::printf("%8s %14s %14s %9s %15s %15s\n", "queries", "shared_ms",
+              "indep_ms", "speedup", "shared_cacheMB", "indep_cacheMB");
+  for (const std::size_t n : {1u, 2u, 4u, 8u}) {
+    std::vector<QueryGraph> patterns;
+    for (std::size_t i = 0; i < n; ++i) {
+      patterns.push_back(paper_query(static_cast<int>(i % 6) + 1, config));
+    }
+
+    // Shared engine: every pattern registered against ONE graph + cache.
+    server::MultiQueryEngine engine(stream.initial,
+                                    multi_options(config, budget));
+    for (const QueryGraph& q : patterns) engine.register_query(q);
+    EngineResult shared;
+    shared.engine = "shared";
+    shared.query = "x" + std::to_string(n);
+    double shared_cache_bytes = 0.0;
+    for (std::size_t k = 0; k < config.num_batches; ++k) {
+      const Timer t;
+      const server::ServerBatchReport r =
+          engine.process_batch(stream.batches[k]);
+      BatchRecord rec;
+      rec.index = k;
+      rec.wall_ms = t.millis();
+      rec.sim_s = r.shared.sim_total_s();
+      rec.embeddings = r.shared.stats.signed_embeddings;
+      rec.cached_vertices = r.shared.cached_vertices;
+      rec.retries = r.shared.retries;
+      for (const server::QueryReport& q : r.queries) {
+        rec.sim_s += q.report.sim_match_s;
+        rec.cache_hits += q.report.traffic.cache_hits;
+        rec.cache_misses += q.report.traffic.cache_misses;
+        rec.retries += q.report.retries;
+        rec.cpu_fallback = rec.cpu_fallback || q.report.cpu_fallback;
+      }
+      shared_cache_bytes += static_cast<double>(r.shared.cache_bytes);
+      shared.wall_ms += rec.wall_ms;
+      shared.per_batch.push_back(rec);
+    }
+
+    // Independent: one full pipeline (graph copy, cache, estimator) each.
+    std::vector<std::unique_ptr<Pipeline>> pipes;
+    for (const QueryGraph& q : patterns) {
+      pipes.push_back(std::make_unique<Pipeline>(
+          stream.initial, q, single_options(config, budget)));
+    }
+    EngineResult indep;
+    indep.engine = "independent";
+    indep.query = "x" + std::to_string(n);
+    double indep_cache_bytes = 0.0;
+    for (std::size_t k = 0; k < config.num_batches; ++k) {
+      BatchRecord rec;
+      rec.index = k;
+      const Timer t;
+      for (auto& pipe : pipes) {
+        const BatchReport r = pipe->process_batch(stream.batches[k]);
+        rec.sim_s += r.sim_total_s();
+        rec.embeddings += r.stats.signed_embeddings;
+        rec.cache_hits += r.traffic.cache_hits;
+        rec.cache_misses += r.traffic.cache_misses;
+        rec.cached_vertices += r.cached_vertices;
+        rec.retries += r.retries;
+        rec.cpu_fallback = rec.cpu_fallback || r.cpu_fallback;
+        indep_cache_bytes += static_cast<double>(r.cache_bytes);
+      }
+      rec.wall_ms = t.millis();
+      indep.wall_ms += rec.wall_ms;
+      indep.per_batch.push_back(rec);
+    }
+
+    const double batches = static_cast<double>(config.num_batches);
+    std::printf("%8zu %14.2f %14.2f %8.2fx %15.2f %15.2f\n", n,
+                shared.wall_ms, indep.wall_ms,
+                shared.wall_ms > 0.0 ? indep.wall_ms / shared.wall_ms : 0.0,
+                shared_cache_bytes / batches / 1e6,
+                indep_cache_bytes / batches / 1e6);
+    std::fflush(stdout);
+
+    query_names.push_back(shared.query);
+    all.push_back(std::move(shared));
+    all.push_back(std::move(indep));
+  }
+
+  if (!config.json_path.empty()) {
+    write_json_report(config.json_path, config, query_names, all);
+  }
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  return gcsm::bench::bench_main("multi_query", argc, argv, run);
+}

@@ -11,6 +11,8 @@
 //   csm_cli --dataset=AZ --query=Q2 --faults=0.05      # fault-injected run
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/pipeline.hpp"
 #include "core/rapidflow_like.hpp"
@@ -19,6 +21,7 @@
 #include "graph/update_stream.hpp"
 #include "query/automorphism.hpp"
 #include "query/patterns.hpp"
+#include "server/multi_query_engine.hpp"
 #include "util/cli.hpp"
 #include "util/durable_io.hpp"
 #include "util/error.hpp"
@@ -74,6 +77,13 @@ QueryGraph parse_query(const std::string& name, int labels) {
   return labels > 1 ? with_round_robin_labels(q, labels) : q;
 }
 
+// Multi-query serving mode: two or more --query flags share one engine
+// (docs/MULTI_QUERY.md). A single --query keeps the classic pipeline path
+// below, byte-for-byte.
+int run_multi_query(const CliArgs& args, const UpdateStream& stream,
+                    const std::vector<std::string>& query_names, int labels,
+                    std::uint64_t seed, std::size_t max_batches);
+
 EngineKind parse_engine(const std::string& name) {
   if (name == "gcsm") return EngineKind::kGcsm;
   if (name == "zp") return EngineKind::kZeroCopy;
@@ -107,8 +117,140 @@ int usage() {
       "                --wal-dir before processing; resumes the stream\n"
       "                after the last committed batch)\n"
       "exit codes: 0 ok, 1 permanent error, 2 config/parse error,\n"
-      "            3 unrecoverable device error\n");
+      "            3 unrecoverable device error\n"
+      "Repeat --query to serve several patterns from one shared engine\n"
+      "(one graph, one estimation, one cache build per batch; see\n"
+      "docs/MULTI_QUERY.md). A single --query keeps the classic pipeline.\n");
   return 2;
+}
+
+int run_multi_query(const CliArgs& args, const UpdateStream& stream,
+                    const std::vector<std::string>& query_names, int labels,
+                    std::uint64_t seed, std::size_t max_batches) {
+  const std::string engine = args.get("engine", "gcsm");
+  if (engine == "rf") {
+    throw Error(ErrorCode::kConfig,
+                "--engine=rf serves one query; repeated --query needs a "
+                "pipeline engine (gcsm|zp|um|naive|vsgm|cpu)");
+  }
+
+  trace::TraceCollector collector;
+  if (args.has("trace-json")) trace::set_collector(&collector);
+
+  server::MultiQueryOptions mopt;
+  mopt.kind = parse_engine(engine);
+  mopt.seed = seed + 2;
+  if (args.has("budget")) {
+    mopt.cache_budget_bytes =
+        static_cast<std::uint64_t>(args.get_int("budget", 256)) << 20;
+  }
+  mopt.estimator.num_walks =
+      static_cast<std::uint64_t>(args.get_int("walks", 0));
+  if (args.has("wal-dir")) {
+    mopt.durability.wal_dir = args.get("wal-dir", "wal");
+    mopt.durability.snapshot_interval =
+        static_cast<std::uint64_t>(args.get_int("snapshot-every", 8));
+    mopt.durability.recover_on_start = args.has("recover");
+  }
+  FaultInjector faults(
+      static_cast<std::uint64_t>(args.get_int("fault-seed", 0x5eed)));
+  const double fault_p = args.get_double("faults", 0.0);
+  if (fault_p > 0.0) {
+    faults.arm_all(fault_p);
+    mopt.fault_injector = &faults;
+  }
+  server::MultiQueryEngine srv(stream.initial, mopt);
+
+  const auto list_limit = static_cast<std::size_t>(args.get_int("list", 0));
+  std::size_t listed = 0;
+  const auto make_sink = [&listed, list_limit](server::QueryId id) {
+    if (list_limit == 0) return MatchSink{};
+    return MatchSink{[&listed, list_limit, id](const MatchPlan& plan,
+                                               std::span<const VertexId> b,
+                                               int sign) {
+      if (listed >= list_limit) return;
+      ++listed;
+      std::printf("  [q%u] %c match:", id, sign > 0 ? '+' : '-');
+      for (std::size_t pos = 0; pos < b.size(); ++pos) {
+        std::printf(" u%u->%d", plan.vertex_order[pos], b[pos]);
+      }
+      std::printf("\n");
+    }};
+  };
+
+  if (srv.registry().empty()) {
+    for (const std::string& name : query_names) {
+      QueryGraph q = parse_query(name, labels);
+      std::printf("query %s: %u vertices %u edges |Aut|=%llu\n",
+                  q.name().c_str(), q.num_vertices(), q.num_edges(),
+                  static_cast<unsigned long long>(count_automorphisms(q)));
+      const server::QueryId id = srv.register_query(std::move(q));
+      srv.attach_sink(id, make_sink(id));
+    }
+  } else {
+    // --recover restored the registry; re-attach sinks, don't re-register.
+    for (const server::RegisteredQuery& e : srv.registry().entries()) {
+      std::printf("query q%u %s: restored from registry\n", e.id,
+                  e.query.name().c_str());
+      srv.attach_sink(e.id, make_sink(e.id));
+    }
+  }
+
+  // With --recover, resume submission after the committed prefix, exactly
+  // as the single-query path does.
+  std::size_t start_batch = 0;
+  if (mopt.durability.enabled() && mopt.durability.recover_on_start) {
+    const RecoveredState& rec = srv.recovery_info();
+    const durable::DurableCounters& cum = srv.cumulative();
+    start_batch = static_cast<std::size_t>(cum.batches_committed);
+    std::printf(
+        "recovered: %llu batch(es) committed (%s snapshot, %zu replayed, "
+        "%zu uncommitted dropped)%s; %zu queries; resuming at batch %zu\n",
+        static_cast<unsigned long long>(cum.batches_committed),
+        rec.snapshot_loaded ? "with" : "no", rec.replay.size(),
+        rec.dropped_uncommitted,
+        rec.wal_tail_truncated ? " [WAL tail truncated]" : "",
+        srv.registry().size(), start_batch);
+  }
+
+  for (std::size_t k = start_batch; k < max_batches; ++k) {
+    const server::ServerBatchReport r = srv.process_batch(stream.batches[k]);
+    std::printf(
+        "batch %zu: %+lld embeddings across %zu queries | shared sim "
+        "(FE %.3f, DC %.3f, reorg %.3f ms) | wall %.1f ms | cache %llu "
+        "vtx%s\n",
+        k, static_cast<long long>(r.shared.stats.signed_embeddings),
+        r.queries.size(), r.shared.sim_estimate_s * 1e3,
+        r.shared.sim_pack_s * 1e3, r.shared.sim_reorg_s * 1e3,
+        r.shared.wall_total_ms(),
+        static_cast<unsigned long long>(r.shared.cached_vertices),
+        r.cache_dropped ? " [cache dropped]" : "");
+    for (const server::QueryReport& q : r.queries) {
+      std::printf(
+          "  q%u %s: %+lld (+%llu/-%llu) | match sim %.3f ms | hit "
+          "%.1f%%%s%s\n",
+          q.id, q.name.c_str(),
+          static_cast<long long>(q.report.stats.signed_embeddings),
+          static_cast<unsigned long long>(q.report.stats.positive),
+          static_cast<unsigned long long>(q.report.stats.negative),
+          q.report.sim_match_s * 1e3, 100.0 * q.report.cache_hit_rate(),
+          q.report.retries > 0 ? " [retried]" : "",
+          q.report.cpu_fallback ? " [CPU fallback]" : "");
+    }
+    if (r.shared.retries > 0 || r.shared.degradation_level > 0 ||
+        !r.shared.quarantine.empty()) {
+      std::printf(
+          "  recovery: %u shared retries, degradation L%u (budget %llu B), "
+          "%llu faults observed, %llu records quarantined\n",
+          r.shared.retries, r.shared.degradation_level,
+          static_cast<unsigned long long>(r.shared.effective_cache_budget),
+          static_cast<unsigned long long>(r.shared.faults_observed),
+          static_cast<unsigned long long>(r.shared.quarantine.total()));
+    }
+  }
+  trace::set_collector(nullptr);
+  write_observability(args, collector);
+  return 0;
 }
 
 }  // namespace
@@ -157,6 +299,13 @@ int main(int argc, char** argv) try {
   const auto max_batches = std::min<std::size_t>(
       static_cast<std::size_t>(args.get_int("batches", 2)),
       stream.num_batches());
+
+  // --- multi-query serving mode (repeated --query) ------------------------
+  const std::vector<std::string> query_names = args.get_all("query");
+  if (query_names.size() > 1) {
+    return run_multi_query(args, stream, query_names, labels, seed,
+                           max_batches);
+  }
 
   // --- query --------------------------------------------------------------
   const QueryGraph query = parse_query(args.get("query", "Q1"), labels);

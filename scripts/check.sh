@@ -67,6 +67,18 @@ run_preset() {
     if ! run ctest --preset durability-asan -j "${JOBS}"; then
       failures+=("durability-asan: tests")
     fi
+    # Multi-query serving engine (registry durability, bit-identity vs
+    # independent pipelines, shared-cache arbitration) under asan/ubsan.
+    if ! run ctest --preset multiquery-asan -j "${JOBS}"; then
+      failures+=("multiquery-asan: tests")
+    fi
+  fi
+  # The match fan-out across queries is the concurrency hot spot: the
+  # multiquery label (engine suite + ThreadPool stress) is the tsan target.
+  if [ "${preset}" = "tsan" ]; then
+    if ! run ctest --preset multiquery-tsan -j "${JOBS}"; then
+      failures+=("multiquery-tsan: tests")
+    fi
   fi
   # Bench smoke + --json schema gate (docs/OBSERVABILITY.md): a reduced
   # fig08 run must emit a report that the schema checker accepts.
@@ -81,6 +93,16 @@ run_preset() {
       fi
     else
       echo "bench json schema check SKIPPED (python3 not installed)"
+    fi
+    # The multi-query bench shares the same --json schema contract.
+    local mq_report="build-${preset}/bench_multi_query_smoke.json"
+    if ! run "build-${preset}/bench/multi_query" --scale=0.05 --batches=1 \
+         --json="${mq_report}" > /dev/null; then
+      failures+=("${preset}: multi_query bench smoke")
+    elif command -v python3 > /dev/null 2>&1; then
+      if ! run python3 scripts/check_bench_json.py "${mq_report}"; then
+        failures+=("${preset}: multi_query bench json schema")
+      fi
     fi
   fi
 }

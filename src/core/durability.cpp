@@ -169,14 +169,19 @@ void DurabilityManager::commit_batch(std::uint64_t seq,
 
 void DurabilityManager::maybe_snapshot(
     const DynamicGraph& graph, const durable::DurableCounters& counters) {
-  static auto& m_failures =
-      metrics::Registry::global().counter("snapshot.failures");
-  static auto& m_compactions =
-      metrics::Registry::global().counter("wal.compactions");
   if (options_.snapshot_interval == 0 ||
       commits_since_snapshot_ < options_.snapshot_interval) {
     return;
   }
+  snapshot_now(graph, counters);
+}
+
+bool DurabilityManager::snapshot_now(
+    const DynamicGraph& graph, const durable::DurableCounters& counters) {
+  static auto& m_failures =
+      metrics::Registry::global().counter("snapshot.failures");
+  static auto& m_compactions =
+      metrics::Registry::global().counter("wal.compactions");
   int attempts = std::max(1, options_.max_write_attempts);
   for (;;) {
     try {
@@ -191,7 +196,7 @@ void DurabilityManager::maybe_snapshot(
       // committed batch. Skip this interval and try again at the next one.
       warn(nullptr, std::string("snapshot skipped: ") + e.what());
       m_failures.add();
-      return;
+      return false;
     }
   }
   commits_since_snapshot_ = 0;
@@ -206,6 +211,7 @@ void DurabilityManager::maybe_snapshot(
     // them, so this is wasted space, not incorrectness.
     warn(nullptr, std::string("WAL compaction skipped: ") + e.what());
   }
+  return true;
 }
 
 }  // namespace gcsm

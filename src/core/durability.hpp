@@ -99,6 +99,14 @@ class DurabilityManager {
   void maybe_snapshot(const DynamicGraph& graph,
                       const durable::DurableCounters& counters);
 
+  // Forces the snapshot + WAL compaction regardless of the interval. Same
+  // failure contract as maybe_snapshot; returns false when the snapshot was
+  // skipped after exhausting retries (the WAL remains authoritative). Used
+  // by the multi-query engine when the query registry changes: batches
+  // committed under the old registry must never replay into the new one.
+  bool snapshot_now(const DynamicGraph& graph,
+                    const durable::DurableCounters& counters);
+
   std::uint64_t next_seq() const { return next_seq_; }
 
  private:

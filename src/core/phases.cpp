@@ -1,0 +1,243 @@
+#include "core/phases.hpp"
+
+#include "core/gpu_engine.hpp"
+#include "util/timer.hpp"
+#include "util/trace.hpp"
+
+namespace gcsm {
+
+const char* engine_kind_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kGcsm:
+      return "GCSM";
+    case EngineKind::kZeroCopy:
+      return "ZP";
+    case EngineKind::kUnifiedMemory:
+      return "UM";
+    case EngineKind::kNaiveDegree:
+      return "Naive";
+    case EngineKind::kVsgm:
+      return "VSGM";
+    case EngineKind::kCpu:
+      return "CPU";
+  }
+  return "?";
+}
+
+PipelineMetrics::PipelineMetrics(std::string prefix)
+    : prefix_(std::move(prefix)),
+      span_batch_(prefix_ + "pipeline.batch"),
+      span_update_(prefix_ + "pipeline.update"),
+      span_estimate_(prefix_ + "pipeline.estimate"),
+      span_pack_(prefix_ + "pipeline.pack"),
+      span_match_(prefix_ + "pipeline.match"),
+      span_reorg_(prefix_ + "pipeline.reorg"),
+      batches_(metrics::Registry::global().counter(prefix_ +
+                                                   "pipeline.batches")),
+      retries_(metrics::Registry::global().counter(prefix_ +
+                                                   "pipeline.retries")),
+      fallbacks_(metrics::Registry::global().counter(
+          prefix_ + "pipeline.cpu_fallbacks")),
+      degradations_(metrics::Registry::global().counter(
+          prefix_ + "pipeline.degradations")),
+      quarantined_(metrics::Registry::global().counter(
+          prefix_ + "pipeline.quarantined_records")),
+      faults_(metrics::Registry::global().counter(
+          prefix_ + "pipeline.faults_observed")),
+      cache_hits_(metrics::Registry::global().counter(prefix_ + "cache.hits")),
+      cache_misses_(metrics::Registry::global().counter(prefix_ +
+                                                        "cache.misses")),
+      zero_copy_bytes_(metrics::Registry::global().counter(
+          prefix_ + "cache.zero_copy_bytes")),
+      compute_ops_(metrics::Registry::global().counter(
+          prefix_ + "kernel.compute_ops")),
+      host_ops_(metrics::Registry::global().counter(prefix_ + "host.ops")),
+      est_walks_(metrics::Registry::global().counter(prefix_ +
+                                                     "estimator.walks")),
+      est_nodes_(metrics::Registry::global().counter(
+          prefix_ + "estimator.nodes_visited")),
+      est_ops_(metrics::Registry::global().counter(prefix_ + "estimator.ops")),
+      budget_(metrics::Registry::global().gauge(
+          prefix_ + "pipeline.effective_cache_budget_bytes")),
+      level_(metrics::Registry::global().gauge(
+          prefix_ + "pipeline.degradation_level")),
+      cached_(metrics::Registry::global().gauge(prefix_ +
+                                                "cache.cached_vertices")),
+      wall_(metrics::Registry::global().histogram(
+          prefix_ + "pipeline.batch_wall_ms")),
+      sim_(metrics::Registry::global().histogram(prefix_ +
+                                                 "pipeline.batch_sim_ms")),
+      update_ms_(metrics::Registry::global().histogram(
+          prefix_ + "pipeline.phase.update_ms")),
+      estimate_ms_(metrics::Registry::global().histogram(
+          prefix_ + "pipeline.phase.estimate_ms")),
+      pack_ms_(metrics::Registry::global().histogram(
+          prefix_ + "pipeline.phase.pack_ms")),
+      match_ms_(metrics::Registry::global().histogram(
+          prefix_ + "pipeline.phase.match_ms")),
+      reorg_ms_(metrics::Registry::global().histogram(
+          prefix_ + "pipeline.phase.reorg_ms")),
+      backoff_ms_(metrics::Registry::global().histogram(
+          prefix_ + "pipeline.backoff_ms")) {}
+
+void PipelineMetrics::note_estimate(const EstimateResult& est) const {
+  est_walks_.add(est.walks);
+  est_nodes_.add(est.nodes_visited);
+  est_ops_.add(est.ops);
+}
+
+void PipelineMetrics::note_degradation() const { degradations_.add(); }
+
+void PipelineMetrics::record_batch(const BatchReport& report) const {
+  batches_.add();
+  retries_.add(report.retries);
+  if (report.cpu_fallback) fallbacks_.add();
+  quarantined_.add(report.quarantine.total());
+  faults_.add(report.faults_observed);
+  // Hot-path cache/kernel traffic is mirrored per batch from the traffic
+  // counters — per-lookup metric updates would tax the fetch fast path.
+  cache_hits_.add(report.traffic.cache_hits);
+  cache_misses_.add(report.traffic.cache_misses);
+  zero_copy_bytes_.add(report.traffic.zero_copy_bytes);
+  compute_ops_.add(report.traffic.compute_ops);
+  host_ops_.add(report.traffic.host_ops);
+  budget_.set(static_cast<double>(report.effective_cache_budget));
+  level_.set(static_cast<double>(report.degradation_level));
+  cached_.set(static_cast<double>(report.cached_vertices));
+  wall_.observe(report.wall_total_ms());
+  sim_.observe(report.sim_total_s() * 1e3);
+  update_ms_.observe(report.wall_update_ms);
+  estimate_ms_.observe(report.wall_estimate_ms);
+  pack_ms_.observe(report.wall_pack_ms);
+  match_ms_.observe(report.wall_match_ms);
+  reorg_ms_.observe(report.wall_reorg_ms);
+  if (report.backoff_ms > 0.0) backoff_ms_.observe(report.backoff_ms);
+}
+
+void phase_update(DynamicGraph& graph, const EdgeBatch& batch,
+                  bool check_invariants, const PipelineMetrics& pm,
+                  BatchReport& report) {
+  const Timer t;
+  {
+    const trace::Span span(pm.span_update());
+    graph.apply_batch(batch);
+  }
+  report.wall_update_ms = t.millis();
+  if (check_invariants) graph.validate();
+}
+
+std::vector<VertexId> phase_estimate(EngineKind kind,
+                                     FrequencyEstimator& estimator,
+                                     const DynamicGraph& graph,
+                                     const EdgeBatch& batch, Rng& rng,
+                                     int query_diameter,
+                                     const gpusim::SimParams& sim,
+                                     const PipelineMetrics& pm,
+                                     BatchReport& report) {
+  std::vector<VertexId> cache_order;
+  if (kind == EngineKind::kGcsm) {
+    const trace::Span span(pm.span_estimate());
+    const Timer t;
+    const EstimateResult est = estimator.estimate(graph, batch, rng);
+    cache_order = select_by_frequency(est.frequency);
+    report.walks = est.walks;
+    report.wall_estimate_ms = t.millis();
+    report.sim_estimate_s =
+        static_cast<double>(est.ops) /
+        (sim.host_ops_per_sec_per_thread * sim.host_threads);
+    pm.note_estimate(est);
+  } else if (kind == EngineKind::kNaiveDegree) {
+    const trace::Span span(pm.span_estimate());
+    const Timer t;
+    cache_order = select_by_degree(graph);
+    report.wall_estimate_ms = t.millis();
+    report.sim_estimate_s =
+        static_cast<double>(graph.num_vertices()) /
+        (sim.host_ops_per_sec_per_thread * sim.host_threads);
+  } else if (kind == EngineKind::kVsgm) {
+    const trace::Span span(pm.span_estimate());
+    const Timer t;
+    cache_order = khop_vertices(graph, batch, query_diameter);
+    report.wall_estimate_ms = t.millis();
+    report.sim_estimate_s =
+        static_cast<double>(total_list_bytes(graph, cache_order)) /
+        (sim.host_mem_bandwidth_gbps * 1e9);
+  }
+  return cache_order;
+}
+
+void phase_pack(EngineKind kind, DcsrCache& cache, const DynamicGraph& graph,
+                const std::vector<VertexId>& order,
+                std::uint64_t effective_budget,
+                std::uint64_t configured_budget, gpusim::Device& device,
+                gpusim::TrafficCounters& counters, bool check_invariants,
+                const gpusim::SimParams& sim, const PipelineMetrics& pm,
+                BatchReport& report) {
+  const bool uses_cache = kind == EngineKind::kGcsm ||
+                          kind == EngineKind::kNaiveDegree ||
+                          kind == EngineKind::kVsgm;
+  if (!uses_cache) return;
+  const trace::Span span(pm.span_pack());
+  const Timer t;
+  cache.clear();
+  // VSGM semantically requires the full k-hop data on the device; a budget
+  // overflow is a genuine device-OOM (the reason the paper shrinks VSGM's
+  // batches). Degradation cannot help, so the configured (not the
+  // effective) budget is the bound.
+  if (kind == EngineKind::kVsgm) {
+    const std::uint64_t need = total_list_bytes(graph, order);
+    if (need > configured_budget) {
+      throw gpusim::DeviceOomError(need, configured_budget);
+    }
+  }
+  const gpusim::Traffic before = counters.snapshot();
+  cache.build(graph, order, effective_budget, device, counters);
+  if (check_invariants) cache.validate(&graph);
+  const gpusim::Traffic after = counters.snapshot();
+  // Simulated pack time: the DMA this build charged to `counters`.
+  gpusim::Traffic dma = after;
+  dma.dma_calls -= before.dma_calls;
+  dma.dma_bytes -= before.dma_bytes;
+  report.sim_pack_s = simulate_time(dma, sim).dma;
+  report.cached_vertices = cache.num_cached();
+  report.cache_bytes = cache.blob_bytes();
+  report.wall_pack_ms = t.millis();
+}
+
+void phase_match(EngineKind kind, MatchEngine& engine,
+                 const DynamicGraph& graph, const EdgeBatch& batch,
+                 AccessPolicy& policy, gpusim::TrafficCounters& counters,
+                 const MatchSink* sink, const gpusim::SimParams& sim,
+                 const PipelineMetrics& pm, BatchReport& report) {
+  const Timer t;
+  const trace::Span span(pm.span_match());
+  const gpusim::Traffic before = counters.snapshot();
+  report.stats = engine.match_batch(graph, batch, policy, counters, sink);
+  report.wall_match_ms = t.millis();
+  const gpusim::Traffic after = counters.snapshot();
+  // Kernel-phase simulated time: everything but the DMA already charged
+  // before the call (the pack blob's transfer when counters are shared).
+  gpusim::Traffic kernel = after;
+  kernel.dma_calls -= before.dma_calls;
+  kernel.dma_bytes -= before.dma_bytes;
+  const gpusim::SimTime st = simulate_time(kernel, sim);
+  report.sim_match_s =
+      kind == EngineKind::kCpu ? st.host : st.kernel() + st.dma;
+}
+
+void phase_reorg(DynamicGraph& graph, bool check_invariants,
+                 const gpusim::SimParams& sim, const PipelineMetrics& pm,
+                 BatchReport& report) {
+  const Timer t;
+  DynamicGraph::ReorgStats reorg;
+  {
+    const trace::Span span(pm.span_reorg());
+    reorg = graph.reorganize();
+  }
+  report.wall_reorg_ms = t.millis();
+  if (check_invariants) graph.validate();
+  report.sim_reorg_s = static_cast<double>(reorg.entries) * sizeof(VertexId) /
+                       (sim.host_mem_bandwidth_gbps * 1e9);
+}
+
+}  // namespace gcsm

@@ -13,24 +13,6 @@
 
 namespace gcsm {
 
-const char* engine_kind_name(EngineKind kind) {
-  switch (kind) {
-    case EngineKind::kGcsm:
-      return "GCSM";
-    case EngineKind::kZeroCopy:
-      return "ZP";
-    case EngineKind::kUnifiedMemory:
-      return "UM";
-    case EngineKind::kNaiveDegree:
-      return "Naive";
-    case EngineKind::kVsgm:
-      return "VSGM";
-    case EngineKind::kCpu:
-      return "CPU";
-  }
-  return "?";
-}
-
 Pipeline::Pipeline(const CsrGraph& initial, QueryGraph query,
                    PipelineOptions options)
     : options_(options),
@@ -41,7 +23,8 @@ Pipeline::Pipeline(const CsrGraph& initial, QueryGraph query,
       estimator_(engine_.query(), options.estimator),
       rng_(options.seed),
       faults_(options.fault_injector),
-      durability_(options.durability, options.fault_injector) {
+      durability_(options.durability, options.fault_injector),
+      metrics_(options.metric_prefix) {
   device_.set_fault_injector(faults_);
   executor_.set_fault_injector(faults_);
   executor_.set_watchdog_timeout_ms(options_.recovery.watchdog_timeout_ms);
@@ -137,123 +120,37 @@ void Pipeline::run_attempt(const EdgeBatch& batch, const MatchSink* sink,
   const gpusim::SimParams& sim = options_.sim;
 
   // Step 1: dynamic graph maintenance on the CPU.
-  Timer t;
-  {
-    const trace::Span span("pipeline.update");
-    graph_.apply_batch(batch);
-  }
-  report.wall_update_ms = t.millis();
-  if (options_.check_invariants) graph_.validate();
+  phase_update(graph_, batch, options_.check_invariants, metrics_, report);
 
-  // Step 2: frequency estimation (GCSM only).
-  std::vector<VertexId> cache_order;
-  if (kind == EngineKind::kGcsm) {
-    const trace::Span span("pipeline.estimate");
-    t.reset();
-    const EstimateResult est = estimator_.estimate(graph_, batch, rng_);
-    cache_order = select_by_frequency(est.frequency);
-    report.walks = est.walks;
-    report.wall_estimate_ms = t.millis();
-    report.sim_estimate_s =
-        static_cast<double>(est.ops) /
-        (sim.host_ops_per_sec_per_thread * sim.host_threads);
-    static auto& m_walks =
-        metrics::Registry::global().counter("estimator.walks");
-    static auto& m_nodes =
-        metrics::Registry::global().counter("estimator.nodes_visited");
-    static auto& m_ops = metrics::Registry::global().counter("estimator.ops");
-    m_walks.add(est.walks);
-    m_nodes.add(est.nodes_visited);
-    m_ops.add(est.ops);
-  } else if (kind == EngineKind::kNaiveDegree) {
-    const trace::Span span("pipeline.estimate");
-    t.reset();
-    cache_order = select_by_degree(graph_);
-    report.wall_estimate_ms = t.millis();
-    report.sim_estimate_s =
-        static_cast<double>(graph_.num_vertices()) /
-        (sim.host_ops_per_sec_per_thread * sim.host_threads);
-  } else if (kind == EngineKind::kVsgm) {
-    const trace::Span span("pipeline.estimate");
-    t.reset();
-    cache_order = khop_vertices(graph_, batch, engine_.query().diameter());
-    report.wall_estimate_ms = t.millis();
-    report.sim_estimate_s =
-        static_cast<double>(total_list_bytes(graph_, cache_order)) /
-        (sim.host_mem_bandwidth_gbps * 1e9);
-  }
+  // Step 2: frequency estimation (GCSM; degree / k-hop for the baselines).
+  const std::vector<VertexId> cache_order =
+      phase_estimate(kind, estimator_, graph_, batch, rng_,
+                     engine_.query().diameter(), sim, metrics_, report);
 
   // Step 3: pack the selected lists as DCSR and DMA to the device.
-  const bool uses_cache = kind == EngineKind::kGcsm ||
-                          kind == EngineKind::kNaiveDegree ||
-                          kind == EngineKind::kVsgm;
-  if (uses_cache) {
-    const trace::Span span("pipeline.pack");
-    t.reset();
-    cache_.clear();
-    // VSGM semantically requires the full k-hop data on the device; a
-    // budget overflow is a genuine device-OOM (the reason the paper shrinks
-    // VSGM's batches). Degradation cannot help, so the configured (not the
-    // effective) budget is the bound.
-    if (kind == EngineKind::kVsgm) {
-      const std::uint64_t need = total_list_bytes(graph_, cache_order);
-      if (need > options_.cache_budget_bytes) {
-        throw gpusim::DeviceOomError(need, options_.cache_budget_bytes);
-      }
-    }
-    cache_.build(graph_, cache_order, effective_cache_budget(), device_,
-                 counters);
-    if (options_.check_invariants) cache_.validate(&graph_);
-    report.cached_vertices = cache_.num_cached();
-    report.cache_bytes = cache_.blob_bytes();
-    report.wall_pack_ms = t.millis();
-  }
+  phase_pack(kind, cache_, graph_, cache_order, effective_cache_budget(),
+             options_.cache_budget_bytes, device_, counters,
+             options_.check_invariants, sim, metrics_, report);
 
   // Step 4: incremental matching.
-  t.reset();
-  {
-    const trace::Span span("pipeline.match");
-    const gpusim::Traffic before = counters.snapshot();
-    if (kind == EngineKind::kUnifiedMemory) {
-      report.stats =
-          engine_.match_batch(graph_, batch, *um_policy_, counters, sink);
-    } else {
-      auto policy = make_policy(kind);
-      report.stats =
-          engine_.match_batch(graph_, batch, *policy, counters, sink);
-    }
-    report.wall_match_ms = t.millis();
-    const gpusim::Traffic after = counters.snapshot();
-    // Kernel-phase simulated time: everything but the pack DMA.
-    gpusim::Traffic kernel = after;
-    kernel.dma_calls -= before.dma_calls;
-    kernel.dma_bytes -= before.dma_bytes;
-    const gpusim::SimTime st = simulate_time(kernel, sim);
-    report.sim_match_s =
-        kind == EngineKind::kCpu ? st.host : st.kernel() + st.dma;
-    const gpusim::SimTime pack = simulate_time(before, sim);
-    report.sim_pack_s = pack.dma;
+  if (kind == EngineKind::kUnifiedMemory) {
+    phase_match(kind, engine_, graph_, batch, *um_policy_, counters, sink,
+                sim, metrics_, report);
+  } else {
+    auto policy = make_policy(kind);
+    phase_match(kind, engine_, graph_, batch, *policy, counters, sink, sim,
+                metrics_, report);
   }
 
   // Step 5: reorganize the touched lists on the CPU.
-  t.reset();
-  DynamicGraph::ReorgStats reorg;
-  {
-    const trace::Span span("pipeline.reorg");
-    reorg = graph_.reorganize();
-  }
-  report.wall_reorg_ms = t.millis();
-  if (options_.check_invariants) graph_.validate();
-  report.sim_reorg_s =
-      static_cast<double>(reorg.entries) * sizeof(VertexId) /
-      (sim.host_mem_bandwidth_gbps * 1e9);
+  phase_reorg(graph_, options_.check_invariants, sim, metrics_, report);
 
   report.traffic = counters.snapshot();
 }
 
 BatchReport Pipeline::process_batch(const EdgeBatch& batch,
                                     const MatchSink* sink) {
-  const trace::Span batch_span("pipeline.batch");
+  const trace::Span batch_span(metrics_.span_batch());
   BatchReport report;
   const RecoveryOptions& rec = options_.recovery;
   const std::uint64_t faults_before =
@@ -337,7 +234,7 @@ BatchReport Pipeline::process_batch(const EdgeBatch& batch,
       if (!use_cpu &&
           effective_cache_budget() > rec.min_cache_budget_bytes) {
         ++degradation_level_;
-        metrics::Registry::global().counter("pipeline.degradations").add();
+        metrics_.note_degradation();
         clean_device_batches_ = 0;
         ++report.retries;
       } else {
@@ -396,61 +293,12 @@ BatchReport Pipeline::process_batch(const EdgeBatch& batch,
     }
   }
   cumulative_ = next;
-  record_batch_metrics(report);
+  metrics_.record_batch(report);
   // Snapshot + WAL compaction (step 4) runs after the commit, so a crash
   // inside it can only lose the snapshot, never the batch.
   if (wal_seq != 0) durability_.maybe_snapshot(graph_, next);
   report.metrics = metrics::Registry::global().snapshot();
   return report;
-}
-
-void Pipeline::record_batch_metrics(const BatchReport& report) {
-  metrics::Registry& reg = metrics::Registry::global();
-  static auto& m_batches = reg.counter("pipeline.batches");
-  static auto& m_retries = reg.counter("pipeline.retries");
-  static auto& m_fallbacks = reg.counter("pipeline.cpu_fallbacks");
-  static auto& m_quarantined = reg.counter("pipeline.quarantined_records");
-  static auto& m_faults = reg.counter("pipeline.faults_observed");
-  static auto& m_cache_hits = reg.counter("cache.hits");
-  static auto& m_cache_misses = reg.counter("cache.misses");
-  static auto& m_zero_copy_bytes = reg.counter("cache.zero_copy_bytes");
-  static auto& m_compute_ops = reg.counter("kernel.compute_ops");
-  static auto& m_host_ops = reg.counter("host.ops");
-  static auto& g_budget = reg.gauge("pipeline.effective_cache_budget_bytes");
-  static auto& g_level = reg.gauge("pipeline.degradation_level");
-  static auto& g_cached = reg.gauge("cache.cached_vertices");
-  static auto& h_wall = reg.histogram("pipeline.batch_wall_ms");
-  static auto& h_sim = reg.histogram("pipeline.batch_sim_ms");
-  static auto& h_update = reg.histogram("pipeline.phase.update_ms");
-  static auto& h_estimate = reg.histogram("pipeline.phase.estimate_ms");
-  static auto& h_pack = reg.histogram("pipeline.phase.pack_ms");
-  static auto& h_match = reg.histogram("pipeline.phase.match_ms");
-  static auto& h_reorg = reg.histogram("pipeline.phase.reorg_ms");
-  static auto& h_backoff = reg.histogram("pipeline.backoff_ms");
-
-  m_batches.add();
-  m_retries.add(report.retries);
-  if (report.cpu_fallback) m_fallbacks.add();
-  m_quarantined.add(report.quarantine.total());
-  m_faults.add(report.faults_observed);
-  // Hot-path cache/kernel traffic is mirrored per batch from the traffic
-  // counters — per-lookup metric updates would tax the fetch fast path.
-  m_cache_hits.add(report.traffic.cache_hits);
-  m_cache_misses.add(report.traffic.cache_misses);
-  m_zero_copy_bytes.add(report.traffic.zero_copy_bytes);
-  m_compute_ops.add(report.traffic.compute_ops);
-  m_host_ops.add(report.traffic.host_ops);
-  g_budget.set(static_cast<double>(report.effective_cache_budget));
-  g_level.set(static_cast<double>(report.degradation_level));
-  g_cached.set(static_cast<double>(report.cached_vertices));
-  h_wall.observe(report.wall_total_ms());
-  h_sim.observe(report.sim_total_s() * 1e3);
-  h_update.observe(report.wall_update_ms);
-  h_estimate.observe(report.wall_estimate_ms);
-  h_pack.observe(report.wall_pack_ms);
-  h_match.observe(report.wall_match_ms);
-  h_reorg.observe(report.wall_reorg_ms);
-  if (report.backoff_ms > 0.0) h_backoff.observe(report.backoff_ms);
 }
 
 std::uint64_t Pipeline::count_current_embeddings() {

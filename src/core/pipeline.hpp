@@ -1,7 +1,9 @@
 // The end-to-end GCSM pipeline (paper Fig. 3) and every baseline engine
 // behind one interface.
 //
-// For each batch ΔE_k the pipeline runs the paper's five steps:
+// For each batch ΔE_k the pipeline runs the paper's five steps (the phase
+// bodies live in core/phases.hpp, shared with the multi-query serving engine
+// in src/server/):
 //   1. append ΔE_k to the dynamic graph on the CPU;
 //   2. random walks estimate per-vertex access frequency (GCSM only);
 //   3. the frequent vertices' lists are DCSR-packed and DMA'd to the device
@@ -35,6 +37,7 @@
 #include "core/dcsr_cache.hpp"
 #include "core/durability.hpp"
 #include "core/frequency_estimator.hpp"
+#include "core/phases.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/simt_executor.hpp"
 #include "graph/dynamic_graph.hpp"
@@ -44,46 +47,6 @@
 #include "util/rng.hpp"
 
 namespace gcsm {
-
-enum class EngineKind {
-  kGcsm,           // frequency-estimated cache + zero-copy fallback
-  kZeroCopy,       // baseline ZP: everything over PCIe in cache lines
-  kUnifiedMemory,  // baseline UM: page-granular unified memory
-  kNaiveDegree,    // baseline Naive: degree-ordered cache
-  kVsgm,           // baseline VSGM: k-hop DMA precopy
-  kCpu,            // CPU baseline: host threads, no device
-};
-
-const char* engine_kind_name(EngineKind kind);
-
-// Knobs of the transactional retry / degradation ladder. The defaults favor
-// forward progress: a handful of device retries, then a CPU re-run.
-struct RecoveryOptions {
-  // Attempts on the configured engine before escalating (>= 1; the first
-  // run counts as one attempt).
-  int max_attempts = 3;
-  // Attempts granted to the CPU fallback once escalated.
-  int max_cpu_attempts = 4;
-  // Escalate to the CPU engine when device attempts are exhausted. With
-  // this off, the last error is rethrown instead.
-  bool cpu_fallback = true;
-  // Exponential backoff between attempts; 0 disables sleeping (tests).
-  double backoff_initial_ms = 1.0;
-  double backoff_multiplier = 2.0;
-  double backoff_max_ms = 50.0;
-  // Device-OOM degradation: each OOM halves the effective cache budget,
-  // never below this floor; once at the floor, OOM escalates like an
-  // exhausted retry.
-  std::uint64_t min_cache_budget_bytes = 64ull << 10;
-  // After this many consecutive clean device batches, the budget doubles
-  // back toward the configured value (one step at a time).
-  int heal_after_clean_batches = 8;
-  // Screen incoming batches and quarantine malformed records instead of
-  // letting apply_batch throw on them.
-  bool sanitize_batches = true;
-  // Watchdog deadline for hung kernels (forwarded to the executor).
-  double watchdog_timeout_ms = 25.0;
-};
 
 struct PipelineOptions {
   EngineKind kind = EngineKind::kGcsm;
@@ -107,61 +70,11 @@ struct PipelineOptions {
   // and DMA, kernel launch/hang, cache build, batch apply, batch
   // corruption). Non-owning; must outlive the pipeline. nullptr = disarmed.
   FaultInjector* fault_injector = nullptr;
-};
-
-struct BatchReport {
-  MatchStats stats;
-  gpusim::Traffic traffic;
-
-  // Wall-clock phase times (milliseconds).
-  double wall_update_ms = 0.0;
-  double wall_estimate_ms = 0.0;  // Step 2 (FE in Table II)
-  double wall_pack_ms = 0.0;      // Step 3 (DC in Table II)
-  double wall_match_ms = 0.0;     // Step 4
-  double wall_reorg_ms = 0.0;     // Step 5 (Table III)
-
-  // Simulated phase times (seconds) from the cost model; the matching phase
-  // is split as in Fig. 13's breakdown.
-  double sim_estimate_s = 0.0;
-  double sim_pack_s = 0.0;  // DMA of the DCSR blob
-  double sim_match_s = 0.0;
-  double sim_reorg_s = 0.0;
-
-  double sim_total_s() const {
-    return sim_estimate_s + sim_pack_s + sim_match_s + sim_reorg_s;
-  }
-  double wall_total_ms() const {
-    return wall_update_ms + wall_estimate_ms + wall_pack_ms + wall_match_ms +
-           wall_reorg_ms;
-  }
-
-  // Cache diagnostics.
-  std::uint64_t cached_vertices = 0;
-  std::uint64_t cache_bytes = 0;
-  std::uint64_t walks = 0;
-
-  // Robustness diagnostics (phase times and traffic reflect the attempt
-  // that succeeded; these record what it took to get there).
-  std::uint32_t retries = 0;            // recovery attempts beyond the first
-  std::uint32_t degradation_level = 0;  // budget halvings in effect
-  std::uint64_t effective_cache_budget = 0;  // budget used by this batch
-  bool cpu_fallback = false;            // batch completed on the CPU engine
-  double backoff_ms = 0.0;              // total backoff slept for this batch
-  std::uint64_t faults_observed = 0;    // injector fires during this batch
-  QuarantineReport quarantine;          // malformed records screened out
-  std::uint64_t wal_seq = 0;            // WAL sequence (0 = not durably logged)
-
-  // Process-wide metrics after this batch (docs/OBSERVABILITY.md): the
-  // cumulative registry state, so deltas between consecutive reports
-  // attribute activity to one batch.
-  metrics::Snapshot metrics;
-
-  double cache_hit_rate() const {
-    const auto total = traffic.cache_hits + traffic.cache_misses;
-    return total == 0 ? 0.0
-                      : static_cast<double>(traffic.cache_hits) /
-                            static_cast<double>(total);
-  }
+  // Metric/trace scope for this engine instance (e.g. "q3." yields
+  // "q3.pipeline.match_ms"). Empty keeps the historical process-wide names,
+  // so single-pipeline deployments are unchanged. Two engines sharing a
+  // prefix interleave into the same series, exactly like before.
+  std::string metric_prefix;
 };
 
 class Pipeline {
@@ -205,10 +118,6 @@ class Pipeline {
   void run_attempt(const EdgeBatch& batch, const MatchSink* sink,
                    bool use_cpu, BatchReport& report);
 
-  // Folds the finished batch into the process-wide metrics registry
-  // (per-batch granularity so the fetch hot path stays untouched).
-  static void record_batch_metrics(const BatchReport& report);
-
   PipelineOptions options_;
   DynamicGraph graph_;
   gpusim::Device device_;
@@ -220,6 +129,7 @@ class Pipeline {
   Rng rng_;
   FaultInjector* faults_ = nullptr;
   DurabilityManager durability_;
+  PipelineMetrics metrics_;
   durable::DurableCounters cumulative_;
   RecoveredState recovery_info_;
   bool replaying_ = false;  // recovery replay: no sink, no re-logging

@@ -1,0 +1,542 @@
+#include "server/multi_query_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+#include "core/gpu_engine.hpp"
+#include "util/durable_io.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+#include "util/timer.hpp"
+#include "util/trace.hpp"
+
+namespace gcsm::server {
+
+MultiQueryEngine::MultiQueryEngine(const CsrGraph& initial,
+                                   MultiQueryOptions options)
+    : options_(std::move(options)),
+      graph_(initial),
+      device_(options_.sim),
+      faults_(options_.fault_injector),
+      durability_(options_.durability, options_.fault_injector),
+      metrics_(options_.metric_prefix),
+      match_pool_(options_.match_parallelism),
+      seed_root_(options_.seed) {
+  device_.set_fault_injector(faults_);
+  graph_.set_fault_injector(faults_);
+  if (!options_.durability.enabled()) return;
+  registry_path_ = options_.durability.wal_dir + "/queries.reg";
+
+  if (!options_.durability.recover_on_start) {
+    // Fresh start: scrub durable state (recover() truncates the WAL and
+    // removes the snapshot) including the registry image.
+    recovery_info_ = durability_.recover();
+    std::remove(registry_path_.c_str());
+    return;
+  }
+
+  // The registry restores FIRST: replayed batches must run against exactly
+  // the query set they were committed under (a registry change forces a
+  // snapshot, so the WAL can only hold batches of the current set).
+  if (const auto bytes = io::read_file_if_exists(registry_path_)) {
+    std::string why;
+    auto reg = QueryRegistry::decode(*bytes, &why);
+    if (!reg.has_value()) {
+      throw Error(ErrorCode::kRecovery,
+                  "registry image " + registry_path_ + " damaged: " + why);
+    }
+    registry_ = std::move(*reg);
+    for (const RegisteredQuery& entry : registry_.entries()) {
+      states_.push_back(make_state(entry));
+    }
+  }
+
+  recovery_info_ = durability_.recover();
+  if (recovery_info_.snapshot_loaded) {
+    graph_.restore(recovery_info_.graph);
+    if (options_.check_invariants) graph_.validate();
+    cumulative_ = recovery_info_.counters;
+  }
+  if (!recovery_info_.replay.empty()) {
+    if (states_.empty()) {
+      throw Error(ErrorCode::kRecovery,
+                  "WAL holds committed batches but no query is registered");
+    }
+    // Deterministic replay through the restored query set. Sinks are not
+    // attached yet, so no subscriber callback fires twice; faults are
+    // suspended and `replaying_` prevents re-logging.
+    const FaultSuspendGuard suspend(faults_);
+    replaying_ = true;
+    try {
+      for (const auto& [seq, batch] : recovery_info_.replay) {
+        process_batch(batch);
+        cumulative_.last_seq = seq;
+      }
+    } catch (...) {
+      replaying_ = false;
+      throw;
+    }
+    replaying_ = false;
+  }
+  if (recovery_info_.have_expected && cumulative_ != recovery_info_.expected) {
+    throw Error(
+        ErrorCode::kRecovery,
+        "recovery replay does not reproduce the committed counters "
+        "(batches " +
+            std::to_string(cumulative_.batches_committed) + " vs " +
+            std::to_string(recovery_info_.expected.batches_committed) +
+            ", signed " + std::to_string(cumulative_.cum_signed) + " vs " +
+            std::to_string(recovery_info_.expected.cum_signed) + ")");
+  }
+}
+
+std::uint64_t MultiQueryEngine::effective_cache_budget() const {
+  const std::uint64_t shrunk =
+      options_.cache_budget_bytes >> degradation_level_;
+  return std::max(shrunk, options_.recovery.min_cache_budget_bytes);
+}
+
+std::unique_ptr<MultiQueryEngine::QueryState> MultiQueryEngine::make_state(
+    const RegisteredQuery& entry) {
+  auto qs = std::make_unique<QueryState>();
+  qs->id = entry.id;
+  qs->weight = entry.weight;
+  qs->executor = std::make_unique<gpusim::SimtExecutor>(options_.workers,
+                                                        options_.schedule);
+  qs->executor->set_fault_injector(faults_);
+  qs->executor->set_watchdog_timeout_ms(
+      options_.recovery.watchdog_timeout_ms);
+  qs->engine =
+      std::make_unique<MatchEngine>(entry.query, *qs->executor,
+                                    options_.grain);
+  qs->estimator = std::make_unique<FrequencyEstimator>(qs->engine->query(),
+                                                       options_.estimator);
+  if (options_.kind == EngineKind::kUnifiedMemory) {
+    // Same resident-set clamp as the single-query Pipeline: the page cache
+    // must not silently swallow a scaled-down graph whole.
+    gpusim::SimParams um_params = options_.sim;
+    um_params.um_page_cache_bytes =
+        std::min<std::uint64_t>(um_params.um_page_cache_bytes,
+                                options_.cache_budget_bytes);
+    qs->um_policy = std::make_unique<UnifiedMemoryPolicy>(graph_, um_params);
+  }
+  qs->metrics = std::make_unique<PipelineMetrics>(
+      options_.metric_prefix + "q" + std::to_string(entry.id) + ".");
+  // Independent deterministic stream per query id, so registration order
+  // and the shared engine's own draws never shift a query's walks.
+  qs->rng = seed_root_.split(entry.id);
+  return qs;
+}
+
+MultiQueryEngine::QueryState* MultiQueryEngine::state_for(QueryId id) {
+  for (auto& qs : states_) {
+    if (qs->id == id) return qs.get();
+  }
+  return nullptr;
+}
+
+void MultiQueryEngine::persist_registry() {
+  if (!options_.durability.enabled()) return;
+  if (cumulative_.batches_committed > 0) {
+    // Compact batches committed under the previous registry into a snapshot
+    // so they can never replay into the new one.
+    if (!durability_.snapshot_now(graph_, cumulative_)) {
+      throw Error(ErrorCode::kSnapshotWrite,
+                  "registry change needs a snapshot and the write failed");
+    }
+  }
+  io::atomic_write_file(registry_path_, registry_.encode(),
+                        options_.durability.fsync, faults_);
+}
+
+QueryId MultiQueryEngine::register_query(QueryGraph query, MatchSink sink,
+                                         double weight) {
+  const QueryId id = registry_.add(std::move(query), weight);
+  try {
+    states_.push_back(make_state(*registry_.find(id)));
+    states_.back()->sink = std::move(sink);
+    persist_registry();
+  } catch (...) {
+    if (!states_.empty() && states_.back()->id == id) states_.pop_back();
+    registry_.remove(id);
+    throw;
+  }
+  return id;
+}
+
+bool MultiQueryEngine::unregister_query(QueryId id) {
+  const RegisteredQuery* entry = registry_.find(id);
+  if (entry == nullptr) return false;
+  RegisteredQuery saved = *entry;
+  registry_.remove(id);
+  std::unique_ptr<QueryState> saved_state;
+  for (auto it = states_.begin(); it != states_.end(); ++it) {
+    if ((*it)->id == id) {
+      saved_state = std::move(*it);
+      states_.erase(it);
+      break;
+    }
+  }
+  try {
+    persist_registry();
+  } catch (...) {
+    registry_.restore(std::move(saved));
+    auto it = states_.begin();
+    while (it != states_.end() && (*it)->id < id) ++it;
+    states_.insert(it, std::move(saved_state));
+    throw;
+  }
+  return true;
+}
+
+void MultiQueryEngine::attach_sink(QueryId id, MatchSink sink) {
+  QueryState* qs = state_for(id);
+  if (qs == nullptr) {
+    throw Error(ErrorCode::kConfig,
+                "unknown query id " + std::to_string(id));
+  }
+  qs->sink = std::move(sink);
+}
+
+void MultiQueryEngine::run_shared_attempt(const EdgeBatch& batch,
+                                          bool drop_cache,
+                                          BatchReport& shared) {
+  gpusim::TrafficCounters& counters = device_.counters();
+  counters.reset();
+  const gpusim::SimParams& sim = options_.sim;
+  // A retried attempt starts from clean per-attempt fields.
+  shared.wall_update_ms = 0.0;
+  shared.wall_estimate_ms = 0.0;
+  shared.wall_pack_ms = 0.0;
+  shared.sim_estimate_s = 0.0;
+  shared.sim_pack_s = 0.0;
+  shared.walks = 0;
+  shared.cached_vertices = 0;
+  shared.cache_bytes = 0;
+
+  // Step 1: dynamic graph maintenance — once for every query.
+  phase_update(graph_, batch, options_.check_invariants, metrics_, shared);
+
+  const bool uses_cache = options_.kind == EngineKind::kGcsm ||
+                          options_.kind == EngineKind::kNaiveDegree ||
+                          options_.kind == EngineKind::kVsgm;
+  if (drop_cache || !uses_cache) return;
+
+  // Step 2: ONE cross-query estimation. GCSM combines per-query random-walk
+  // estimates by weight into a single frequency vector; the baselines'
+  // orders are query-independent (degree) or take the worst case over the
+  // registered patterns (VSGM's k = max diameter).
+  std::vector<VertexId> order;
+  {
+    const trace::Span span(metrics_.span_estimate());
+    const Timer t;
+    if (options_.kind == EngineKind::kGcsm) {
+      std::vector<double> combined(
+          static_cast<std::size_t>(graph_.num_vertices()), 0.0);
+      std::uint64_t total_ops = 0;
+      for (auto& qsp : states_) {
+        QueryState& qs = *qsp;
+        const EstimateResult est =
+            qs.estimator->estimate(graph_, batch, qs.rng);
+        qs.metrics->note_estimate(est);
+        shared.walks += est.walks;
+        total_ops += est.ops;
+        const std::size_t m =
+            std::min(combined.size(), est.frequency.size());
+        for (std::size_t v = 0; v < m; ++v) {
+          combined[v] += qs.weight * est.frequency[v];
+        }
+      }
+      order = select_by_frequency(combined);
+      shared.sim_estimate_s =
+          static_cast<double>(total_ops) /
+          (sim.host_ops_per_sec_per_thread * sim.host_threads);
+    } else if (options_.kind == EngineKind::kNaiveDegree) {
+      order = select_by_degree(graph_);
+      shared.sim_estimate_s =
+          static_cast<double>(graph_.num_vertices()) /
+          (sim.host_ops_per_sec_per_thread * sim.host_threads);
+    } else {  // kVsgm
+      std::uint32_t hops = 0;
+      for (const auto& qsp : states_) {
+        hops = std::max(hops, qsp->engine->query().diameter());
+      }
+      order = khop_vertices(graph_, batch, hops);
+      shared.sim_estimate_s =
+          static_cast<double>(total_list_bytes(graph_, order)) /
+          (sim.host_mem_bandwidth_gbps * 1e9);
+    }
+    shared.wall_estimate_ms = t.millis();
+  }
+
+  // Step 3: ONE DCSR pack + DMA under the shared (possibly degraded) budget.
+  phase_pack(options_.kind, cache_, graph_, order, effective_cache_budget(),
+             options_.cache_budget_bytes, device_, counters,
+             options_.check_invariants, sim, metrics_, shared);
+}
+
+void MultiQueryEngine::match_one(QueryState& qs, const EdgeBatch& batch,
+                                 BatchReport& qr) {
+  const RecoveryOptions& rec = options_.recovery;
+  const gpusim::SimParams& sim = options_.sim;
+  bool use_cpu = options_.kind == EngineKind::kCpu;
+  int attempts_left = std::max(1, rec.max_attempts);
+  double backoff_ms = rec.backoff_initial_ms;
+  const MatchSink* sink = (qs.sink && !replaying_) ? &qs.sink : nullptr;
+  for (;;) {
+    const EngineKind kind = use_cpu ? EngineKind::kCpu : options_.kind;
+    // Like the Pipeline, kernel fault sites stay armed only on device
+    // attempts; the CPU path is genuinely more reliable.
+    qs.executor->set_fault_injector(use_cpu ? nullptr : faults_);
+    try {
+      qr.stats = MatchStats{};
+      gpusim::TrafficCounters qcounters;
+      std::unique_ptr<AccessPolicy> owned;
+      AccessPolicy* policy = nullptr;
+      switch (kind) {
+        case EngineKind::kCpu:
+          owned = std::make_unique<HostPolicy>(graph_);
+          break;
+        case EngineKind::kZeroCopy:
+          owned = std::make_unique<ZeroCopyPolicy>(graph_, sim);
+          break;
+        case EngineKind::kUnifiedMemory:
+          policy = qs.um_policy.get();
+          break;
+        case EngineKind::kGcsm:
+        case EngineKind::kNaiveDegree:
+        case EngineKind::kVsgm:
+          owned = std::make_unique<CachedPolicy>(graph_, cache_, sim);
+          break;
+      }
+      if (policy == nullptr) policy = owned.get();
+      phase_match(kind, *qs.engine, graph_, batch, *policy, qcounters, sink,
+                  sim, *qs.metrics, qr);
+      qr.traffic = qcounters.snapshot();
+      break;
+    } catch (const Error& e) {
+      // The match phase is read-only on the shared graph, so no rollback is
+      // needed — a failed attempt simply re-runs this one query. Device OOM
+      // here counts as retryable for the query (the shared budget ladder
+      // owns capacity decisions).
+      const bool retryable =
+          e.transient() || e.code() == ErrorCode::kDeviceOom;
+      if (!retryable) throw;
+      ++qr.retries;
+      --attempts_left;
+      if (attempts_left <= 0) {
+        if (!use_cpu && rec.cpu_fallback) {
+          use_cpu = true;
+          attempts_left = std::max(1, rec.max_cpu_attempts);
+          qr.cpu_fallback = true;
+        } else {
+          throw;
+        }
+      }
+      if (backoff_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_ms));
+        qr.backoff_ms += backoff_ms;
+        backoff_ms = std::min(backoff_ms * rec.backoff_multiplier,
+                              rec.backoff_max_ms);
+      }
+    }
+  }
+  qr.degradation_level = degradation_level_;
+  qr.effective_cache_budget = effective_cache_budget();
+  qs.metrics->record_batch(qr);
+}
+
+ServerBatchReport MultiQueryEngine::process_batch(const EdgeBatch& batch) {
+  if (registry_.empty()) {
+    throw Error(ErrorCode::kConfig,
+                "no query registered; register_query before process_batch");
+  }
+  const trace::Span batch_span(metrics_.span_batch());
+  ServerBatchReport out;
+  BatchReport& shared = out.shared;
+  const RecoveryOptions& rec = options_.recovery;
+  const std::uint64_t faults_before =
+      faults_ != nullptr ? faults_->fired_count() : 0;
+
+  // Ingestion: corrupt (fault site), then screen — once for all queries.
+  EdgeBatch owned;
+  const EdgeBatch* use = &batch;
+  if (faults_ != nullptr) {
+    owned = batch;
+    inject_batch_corruption(owned, faults_);
+    use = &owned;
+  }
+  if (rec.sanitize_batches) {
+    QuarantineReport quarantine;
+    EdgeBatch clean = sanitize_batch(graph_, *use, quarantine);
+    if (!quarantine.empty()) {
+      owned = std::move(clean);
+      use = &owned;
+    }
+    shared.quarantine = std::move(quarantine);
+  }
+
+  // Durable logging: ONE WAL record per batch regardless of query count.
+  std::uint64_t wal_seq = 0;
+  if (options_.durability.enabled() && !replaying_) {
+    wal_seq = durability_.begin_batch(*use);
+    shared.wal_seq = wal_seq;
+  }
+
+  const DynamicGraph::Snapshot snap = graph_.snapshot_for(*use);
+  auto rollback = [&] {
+    graph_.restore(snap);
+    cache_.clear();
+    if (options_.check_invariants) graph_.validate();
+  };
+
+  // Shared phases 1-3 under the shared recovery ladder. The terminal
+  // escalation is not a CPU re-run (matching has not happened yet) but
+  // dropping the cache: the batch is served zero-copy, which cannot change
+  // any query's counts.
+  bool drop_cache = false;
+  int attempts_left = std::max(1, rec.max_attempts);
+  double backoff_ms = rec.backoff_initial_ms;
+  auto retry_or_escalate = [&](const std::exception_ptr& error) {
+    ++shared.retries;
+    --attempts_left;
+    if (attempts_left <= 0) {
+      if (!drop_cache && rec.cpu_fallback) {
+        drop_cache = true;
+        out.cache_dropped = true;
+        attempts_left = std::max(1, rec.max_cpu_attempts);
+      } else {
+        std::rethrow_exception(error);
+      }
+    }
+    if (backoff_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+      shared.backoff_ms += backoff_ms;
+      backoff_ms = std::min(backoff_ms * rec.backoff_multiplier,
+                            rec.backoff_max_ms);
+    }
+  };
+
+  for (;;) {
+    try {
+      run_shared_attempt(*use, drop_cache, shared);
+      break;
+    } catch (const gpusim::DeviceOomError&) {
+      rollback();
+      if (options_.kind == EngineKind::kVsgm) {
+        // Semantic OOM: every registered query needs the k-hop data
+        // resident; shrinking cannot help.
+        throw;
+      }
+      if (!drop_cache &&
+          effective_cache_budget() > rec.min_cache_budget_bytes) {
+        ++degradation_level_;
+        metrics_.note_degradation();
+        clean_device_batches_ = 0;
+        ++shared.retries;
+      } else {
+        retry_or_escalate(std::current_exception());
+      }
+    } catch (const Error& e) {
+      rollback();
+      if (!e.transient()) throw;
+      retry_or_escalate(std::current_exception());
+    } catch (...) {
+      rollback();
+      throw;
+    }
+  }
+
+  // Phase 4: fan the match out across the registered queries. Each query
+  // runs on a pool thread with its own executor, counters, and metric
+  // scope; the graph and cache are read-only here, so the only shared
+  // mutable state is thread-safe (metrics, traces, the fault injector).
+  const std::size_t n = states_.size();
+  out.queries.resize(n);
+  std::vector<std::exception_ptr> errors(n);
+  match_pool_.parallel_for(
+      n, 1, [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t i = begin; i < end; ++i) {
+          out.queries[i].id = states_[i]->id;
+          out.queries[i].name = states_[i]->engine->query().name();
+          try {
+            match_one(*states_[i], *use, out.queries[i].report);
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        }
+      });
+  for (std::size_t i = 0; i < n; ++i) {
+    if (errors[i] != nullptr) {
+      // A query failed past its whole per-query ladder: the batch fails as
+      // a unit (memory must agree with the durable log). Sink callbacks
+      // other queries already made cannot be retracted — the same caveat
+      // as the single-query commit protocol (docs/ROBUSTNESS.md).
+      rollback();
+      std::rethrow_exception(errors[i]);
+    }
+  }
+
+  // Phase 5: reorganize once.
+  phase_reorg(graph_, options_.check_invariants, options_.sim, metrics_,
+              shared);
+  shared.traffic = device_.counters().snapshot();
+
+  // The shared budget heals on clean streaks, exactly like the Pipeline.
+  if (!out.cache_dropped && degradation_level_ > 0) {
+    if (shared.retries != 0) {
+      clean_device_batches_ = 0;
+    } else if (++clean_device_batches_ >=
+               std::max(1, rec.heal_after_clean_batches)) {
+      --degradation_level_;
+      clean_device_batches_ = 0;
+    }
+  }
+
+  shared.degradation_level = degradation_level_;
+  shared.effective_cache_budget = effective_cache_budget();
+  if (faults_ != nullptr) {
+    shared.faults_observed = faults_->fired_count() - faults_before;
+  }
+  for (const QueryReport& q : out.queries) shared.stats += q.report.stats;
+
+  // Commit ONE marker carrying the aggregate counters across queries.
+  durable::DurableCounters next = cumulative_;
+  next.batches_committed += 1;
+  next.cum_signed += shared.stats.signed_embeddings;
+  next.cum_positive += shared.stats.positive;
+  next.cum_negative += shared.stats.negative;
+  if (wal_seq != 0) {
+    next.last_seq = wal_seq;
+    try {
+      durability_.commit_batch(wal_seq, next);
+    } catch (...) {
+      rollback();
+      throw;
+    }
+  }
+  cumulative_ = next;
+  metrics_.record_batch(shared);
+  if (wal_seq != 0) durability_.maybe_snapshot(graph_, next);
+  shared.metrics = metrics::Registry::global().snapshot();
+  return out;
+}
+
+std::uint64_t MultiQueryEngine::count_current_embeddings(QueryId id) {
+  QueryState* qs = state_for(id);
+  if (qs == nullptr) {
+    throw Error(ErrorCode::kConfig,
+                "unknown query id " + std::to_string(id));
+  }
+  const FaultSuspendGuard suspend(faults_);
+  gpusim::TrafficCounters scratch;
+  HostPolicy policy(graph_);
+  return qs->engine->match_full(graph_, policy, scratch).positive;
+}
+
+}  // namespace gcsm::server

@@ -1,0 +1,194 @@
+// Multi-query serving engine: one dynamic graph, one (simulated) device,
+// one DCSR cache — many standing queries (docs/MULTI_QUERY.md).
+//
+// The single-query Pipeline runs the paper's five phases per batch for one
+// pattern. A production deployment serves many concurrent subscriptions over
+// the same stream, and three of the five phases are query-independent or
+// shareable:
+//
+//   shared, once per batch            per registered query
+//   ------------------------------    ---------------------------------
+//   1. apply ΔE_k to the graph        4. incremental delta-match, fanned
+//   2. ONE frequency estimation          out on a util::ThreadPool (each
+//      (per-query walk estimates         query owns its executor, metrics
+//      combined by weight)               scope "q<id>.", optional sink)
+//   3. ONE DCSR pack + DMA under
+//      the shared budget
+//   5. reorganize touched lists
+//
+// Cache arbitration: per-query estimates are weight-normalized and summed
+// into one frequency vector; select_by_frequency orders the combined vector
+// and the one cache build packs greedily under the shared budget, so the
+// existing OOM degradation ladder (halve budget, heal on clean streaks)
+// arbitrates budget across ALL queries at once. Because a cache miss falls
+// back to zero-copy, cache content never changes match counts — per-query
+// counts are bit-identical to N independent single-query Pipelines
+// (tests/multi_query_test.cpp proves it, with and without injected faults).
+//
+// Recovery composes with the existing ladder: shared-phase failures roll
+// the graph back and retry (device OOM shrinks the shared budget; exhausted
+// retries drop the cache and serve zero-copy); per-query match failures
+// retry and CPU-fall-back for that query alone. Durability logs each batch
+// ONCE, commits the aggregate counters, and persists the registry next to
+// the WAL — a registry change forces a snapshot + WAL compaction so batches
+// committed under the old query set can never replay into the new one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/access_policy.hpp"
+#include "core/cpu_engine.hpp"
+#include "core/dcsr_cache.hpp"
+#include "core/durability.hpp"
+#include "core/frequency_estimator.hpp"
+#include "core/phases.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/simt_executor.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "graph/update_stream.hpp"
+#include "server/query_registry.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gcsm::server {
+
+struct MultiQueryOptions {
+  EngineKind kind = EngineKind::kGcsm;
+  gpusim::SimParams sim;
+  // Shared device cache budget arbitrated across every registered query.
+  std::uint64_t cache_budget_bytes = 256ull << 20;
+  EstimatorOptions estimator;
+  std::size_t workers = 0;  // simulated blocks / host threads per query
+  std::size_t grain = 2;
+  gpusim::Schedule schedule = gpusim::Schedule::kWorkStealing;
+  std::uint64_t seed = 7;
+  bool check_invariants = GCSM_CHECKS_ENABLED != 0;
+  RecoveryOptions recovery;
+  // One WAL for the whole engine; the registry is persisted beside it.
+  DurabilityOptions durability;
+  FaultInjector* fault_injector = nullptr;
+  // Scope of the SHARED phases' metrics/traces. Per-query series live under
+  // metric_prefix + "q<id>." (e.g. "q3.pipeline.match_ms" with the default
+  // empty prefix).
+  std::string metric_prefix;
+  // Host threads fanning the match phase out across queries (0 = auto).
+  // Each query's match additionally uses its own executor with `workers`
+  // simulated blocks.
+  std::size_t match_parallelism = 0;
+};
+
+struct QueryReport {
+  QueryId id = 0;
+  std::string name;
+  // stats / match times / traffic / retries / cpu_fallback are per query;
+  // shared-phase fields stay zero here.
+  BatchReport report;
+};
+
+struct ServerBatchReport {
+  // Shared-phase attribution: update/estimate/pack/reorg times, pack
+  // traffic, quarantine, WAL seq, shared retries and the degradation state.
+  // stats is the AGGREGATE across queries (what the commit marker records);
+  // walks is the total across per-query estimates.
+  BatchReport shared;
+  // Registration order (ascending QueryId).
+  std::vector<QueryReport> queries;
+  // The shared ladder's terminal degradation fired: this batch was served
+  // zero-copy with no cache build.
+  bool cache_dropped = false;
+};
+
+class MultiQueryEngine {
+ public:
+  // With durability enabled and recover_on_start set, the constructor
+  // restores the registry image, then the graph snapshot, then replays
+  // committed WAL batches through the restored query set (sinks are not yet
+  // attached, so no subscriber callback fires twice). The same integrity
+  // gate as Pipeline applies: replay must reproduce the committed aggregate
+  // counters exactly or Error(kRecovery) is thrown.
+  MultiQueryEngine(const CsrGraph& initial, MultiQueryOptions options);
+
+  // Registers a standing query. `sink` (optional) receives this query's
+  // embeddings; `weight` is its share in cache arbitration. With durability
+  // on, the change is persisted before returning (forcing a snapshot + WAL
+  // compaction when batches were committed since the last one).
+  QueryId register_query(QueryGraph query, MatchSink sink = {},
+                         double weight = 1.0);
+  // Unregisters; false when unknown. Durable like register_query.
+  bool unregister_query(QueryId id);
+  // (Re-)attaches a subscriber callback, e.g. after recovery restored the
+  // registry sink-less. Pass {} to detach.
+  void attach_sink(QueryId id, MatchSink sink);
+
+  const QueryRegistry& registry() const { return registry_; }
+
+  // One update batch through all five phases; throws Error(kConfig) when no
+  // query is registered. Not thread-safe: one batch in flight at a time
+  // (the engine parallelizes internally).
+  ServerBatchReport process_batch(const EdgeBatch& batch);
+
+  // Full static embedding count of the current graph for one registered
+  // query (diagnostic; fault injection suspended).
+  std::uint64_t count_current_embeddings(QueryId id);
+
+  const DynamicGraph& graph() const { return graph_; }
+  gpusim::Device& device() { return device_; }
+  const MultiQueryOptions& options() const { return options_; }
+  std::uint64_t effective_cache_budget() const;
+  std::uint32_t degradation_level() const { return degradation_level_; }
+  const durable::DurableCounters& cumulative() const { return cumulative_; }
+  const RecoveredState& recovery_info() const { return recovery_info_; }
+  const std::string& registry_path() const { return registry_path_; }
+
+ private:
+  // Everything one standing query owns: its own executor (so matches fan
+  // out without sharing a pool), estimator, RNG stream, metric scope, and
+  // optional sink.
+  struct QueryState {
+    QueryId id = 0;
+    double weight = 1.0;
+    std::unique_ptr<gpusim::SimtExecutor> executor;
+    std::unique_ptr<MatchEngine> engine;
+    std::unique_ptr<FrequencyEstimator> estimator;
+    std::unique_ptr<UnifiedMemoryPolicy> um_policy;  // kUnifiedMemory only
+    std::unique_ptr<PipelineMetrics> metrics;        // "q<id>." scope
+    Rng rng;
+    MatchSink sink;
+  };
+
+  std::unique_ptr<QueryState> make_state(const RegisteredQuery& entry);
+  QueryState* state_for(QueryId id);
+  // Persists the registry image; with committed batches outstanding, forces
+  // the snapshot + compaction first. Throws on failure (the in-memory
+  // mutation is rolled back by the caller).
+  void persist_registry();
+  // Phases 1-3 (one transactional attempt). `drop_cache` skips estimate +
+  // pack: the terminal degradation of the shared ladder.
+  void run_shared_attempt(const EdgeBatch& batch, bool drop_cache,
+                          BatchReport& shared);
+  // Phase 4 for one query, with the per-query retry/CPU-fallback ladder.
+  void match_one(QueryState& qs, const EdgeBatch& batch, BatchReport& qr);
+
+  MultiQueryOptions options_;
+  DynamicGraph graph_;
+  gpusim::Device device_;
+  DcsrCache cache_;
+  FaultInjector* faults_ = nullptr;
+  DurabilityManager durability_;
+  PipelineMetrics metrics_;  // shared-phase scope
+  QueryRegistry registry_;
+  std::string registry_path_;  // empty when durability is off
+  std::vector<std::unique_ptr<QueryState>> states_;  // registration order
+  ThreadPool match_pool_;
+  Rng seed_root_;  // split per QueryId for deterministic per-query streams
+  durable::DurableCounters cumulative_;
+  RecoveredState recovery_info_;
+  bool replaying_ = false;
+  std::uint32_t degradation_level_ = 0;
+  int clean_device_batches_ = 0;
+};
+
+}  // namespace gcsm::server

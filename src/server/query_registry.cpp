@@ -1,0 +1,156 @@
+#include "server/query_registry.hpp"
+
+#include <bit>
+#include <cmath>
+#include <utility>
+
+#include "util/durable_io.hpp"
+#include "util/error.hpp"
+
+namespace gcsm::server {
+namespace {
+
+constexpr char kMagic[4] = {'G', 'Q', 'R', 'Y'};
+constexpr std::uint32_t kVersion = 1;
+
+// Bounds for decode-time allocation checks: a damaged length field must not
+// turn into a giant allocation.
+constexpr std::uint64_t kMaxEntries = 1u << 20;
+constexpr std::uint64_t kMaxNameBytes = 1u << 16;
+
+}  // namespace
+
+QueryId QueryRegistry::add(QueryGraph query, double weight) {
+  if (!(weight > 0.0) || !std::isfinite(weight)) {
+    throw Error(ErrorCode::kConfig,
+                "query weight must be positive and finite, got " +
+                    std::to_string(weight));
+  }
+  const QueryId id = next_id_++;
+  entries_.push_back(RegisteredQuery{id, weight, std::move(query)});
+  return id;
+}
+
+bool QueryRegistry::remove(QueryId id) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->id == id) {
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void QueryRegistry::restore(RegisteredQuery entry) {
+  if (entry.id == 0 || entry.id >= next_id_ || find(entry.id) != nullptr) {
+    throw Error(ErrorCode::kConfig,
+                "cannot restore query id " + std::to_string(entry.id));
+  }
+  auto it = entries_.begin();
+  while (it != entries_.end() && it->id < entry.id) ++it;
+  entries_.insert(it, std::move(entry));
+}
+
+const RegisteredQuery* QueryRegistry::find(QueryId id) const {
+  for (const RegisteredQuery& e : entries_) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+std::string QueryRegistry::encode() const {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  io::put_u32(out, kVersion);
+  io::put_u32(out, next_id_);
+  io::put_u64(out, entries_.size());
+  for (const RegisteredQuery& e : entries_) {
+    io::put_u32(out, e.id);
+    io::put_u64(out, std::bit_cast<std::uint64_t>(e.weight));
+    io::put_bytes(out, e.query.name());
+    io::put_u32(out, e.query.num_vertices());
+    for (std::uint32_t v = 0; v < e.query.num_vertices(); ++v) {
+      io::put_u32(out, static_cast<std::uint32_t>(e.query.label(v)));
+    }
+    io::put_u64(out, e.query.edges().size());
+    for (const QueryEdge& edge : e.query.edges()) {
+      io::put_u32(out, edge.a);
+      io::put_u32(out, edge.b);
+    }
+  }
+  io::put_u32(out, io::crc32c(out));
+  return out;
+}
+
+std::optional<QueryRegistry> QueryRegistry::decode(std::string_view bytes,
+                                                   std::string* why) {
+  auto fail = [&](const std::string& reason) -> std::optional<QueryRegistry> {
+    if (why != nullptr) *why = reason;
+    return std::nullopt;
+  };
+  if (bytes.size() < sizeof(kMagic) + 2 * sizeof(std::uint32_t)) {
+    return fail("registry image truncated");
+  }
+  if (bytes.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
+    return fail("bad registry magic");
+  }
+  const std::string_view body = bytes.substr(0, bytes.size() - 4);
+  io::ByteReader crc_reader(bytes.substr(bytes.size() - 4));
+  if (io::crc32c(body) != crc_reader.get_u32()) {
+    return fail("registry CRC mismatch");
+  }
+
+  io::ByteReader r(body.substr(sizeof(kMagic)));
+  const std::uint32_t version = r.get_u32();
+  if (version != kVersion) {
+    return fail("unsupported registry version " + std::to_string(version));
+  }
+  QueryRegistry reg;
+  reg.next_id_ = r.get_u32();
+  const std::uint64_t count = r.get_u64();
+  if (count > kMaxEntries) return fail("registry entry count implausible");
+  for (std::uint64_t i = 0; i < count; ++i) {
+    RegisteredQuery e;
+    e.id = r.get_u32();
+    e.weight = std::bit_cast<double>(r.get_u64());
+    const std::string_view name = r.get_bytes();
+    if (name.size() > kMaxNameBytes) return fail("query name implausible");
+    const std::uint32_t n = r.get_u32();
+    if (n > kMaxQueryVertices) return fail("query vertex count implausible");
+    std::vector<Label> labels(n);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      labels[v] = static_cast<Label>(r.get_u32());
+    }
+    const std::uint64_t num_edges = r.get_u64();
+    if (num_edges > kMaxQueryVertices * kMaxQueryVertices) {
+      return fail("query edge count implausible");
+    }
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    edges.reserve(num_edges);
+    for (std::uint64_t k = 0; k < num_edges; ++k) {
+      const std::uint32_t a = r.get_u32();
+      const std::uint32_t b = r.get_u32();
+      edges.emplace_back(a, b);
+    }
+    if (!r.ok()) return fail("registry image truncated mid-entry");
+    if (!(e.weight > 0.0) || !std::isfinite(e.weight)) {
+      return fail("query weight damaged");
+    }
+    try {
+      e.query = QueryGraph::from_edges(n, edges, std::move(labels),
+                                       std::string(name));
+    } catch (const std::exception& ex) {
+      return fail(std::string("query graph rejected: ") + ex.what());
+    }
+    if (e.id == 0 || e.id >= reg.next_id_) {
+      return fail("query id out of range");
+    }
+    reg.entries_.push_back(std::move(e));
+  }
+  if (!r.ok() || r.remaining() != 0) {
+    return fail("registry image has trailing or missing bytes");
+  }
+  return reg;
+}
+
+}  // namespace gcsm::server

@@ -1,0 +1,69 @@
+// The set of standing query patterns a MultiQueryEngine serves.
+//
+// Each registration gets a process-stable QueryId (monotonic, never reused
+// within one registry lifetime) and a weight used by the cross-query cache
+// arbitration: per-query frequency estimates are combined as a
+// weight-normalized sum before the single shared top-k cache build, so a
+// heavy subscriber can claim a proportionally larger share of the device
+// cache budget.
+//
+// The registry is durable alongside the WAL (docs/MULTI_QUERY.md): encode()
+// produces a versioned, CRC-checked byte image ("GQRY") the engine writes
+// atomically on every mutation, and decode() restores it at recovery so
+// replayed batches run against exactly the query set they were committed
+// under. MatchSinks are deliberately NOT part of the durable image — they
+// are process-local callbacks a restarted subscriber re-attaches.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "query/query_graph.hpp"
+
+namespace gcsm::server {
+
+using QueryId = std::uint32_t;
+
+struct RegisteredQuery {
+  QueryId id = 0;
+  double weight = 1.0;  // relative share in the combined frequency estimate
+  QueryGraph query;
+};
+
+class QueryRegistry {
+ public:
+  // Registers `query` under the next free id (returned). Weights must be
+  // positive and finite; throws Error(kConfig) otherwise.
+  QueryId add(QueryGraph query, double weight = 1.0);
+
+  // Removes the registration; false when the id is unknown. Ids are never
+  // reused afterwards.
+  bool remove(QueryId id);
+
+  // Re-inserts an entry previously obtained from this registry (rollback of
+  // a failed durable remove). The id must be free and below the high-water
+  // mark; throws Error(kConfig) otherwise.
+  void restore(RegisteredQuery entry);
+
+  const RegisteredQuery* find(QueryId id) const;
+  // Registration order (ascending id).
+  const std::vector<RegisteredQuery>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  // Versioned durable image: "GQRY" magic, format version, next id, then
+  // per entry {id, weight, name, labels, edges}; trailing CRC32C.
+  std::string encode() const;
+  // nullopt on damage, with a human-readable reason in *why.
+  static std::optional<QueryRegistry> decode(std::string_view bytes,
+                                             std::string* why);
+
+ private:
+  std::vector<RegisteredQuery> entries_;
+  QueryId next_id_ = 1;
+};
+
+}  // namespace gcsm::server

@@ -16,18 +16,32 @@ CliArgs::CliArgs(int argc, char** argv) {
     }
     a = a.substr(2);
     const auto eq = a.find('=');
+    std::string name;
+    std::string value;
     if (eq != std::string::npos) {
-      flags_[a.substr(0, eq)] = a.substr(eq + 1);
+      name = a.substr(0, eq);
+      value = a.substr(eq + 1);
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      flags_[a] = argv[++i];
+      name = a;
+      value = argv[++i];
     } else {
-      flags_[a] = "";  // boolean flag
+      name = a;  // boolean flag
     }
+    flags_[name] = value;
+    occurrences_.emplace_back(std::move(name), std::move(value));
   }
 }
 
 bool CliArgs::has(const std::string& name) const {
   return flags_.count(name) != 0;
+}
+
+std::vector<std::string> CliArgs::get_all(const std::string& name) const {
+  std::vector<std::string> values;
+  for (const auto& [flag, value] : occurrences_) {
+    if (flag == name) values.push_back(value);
+  }
+  return values;
 }
 
 std::string CliArgs::get(const std::string& name,

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace gcsm {
@@ -24,11 +25,17 @@ class CliArgs {
   double get_double(const std::string& name, double def) const;
   bool get_bool(const std::string& name, bool def = false) const;
 
+  // Every value given for a repeated flag, in command-line order (the
+  // scalar getters above keep their last-one-wins behavior). Empty when the
+  // flag never appeared. Used by csm_cli's repeated --query.
+  std::vector<std::string> get_all(const std::string& name) const;
+
   // Non-flag positional arguments, in order.
   const std::vector<std::string>& positional() const { return positional_; }
 
  private:
   std::map<std::string, std::string> flags_;
+  std::vector<std::pair<std::string, std::string>> occurrences_;  // in order
   std::vector<std::string> positional_;
 };
 

@@ -1,0 +1,562 @@
+// Multi-query serving engine suite (docs/MULTI_QUERY.md).
+//
+// The contract under test: a MultiQueryEngine serving N registered patterns
+// from ONE graph / ONE device / ONE cache produces per-query match counts
+// BIT-IDENTICAL to N independent single-query Pipelines fed the same stream
+// — with and without injected faults, across register/unregister mid-stream,
+// and across a kill-and-recover restart with durability on. The sharing is
+// real: one frequency estimation and one cache build per batch regardless
+// of query count, asserted via the `cache.builds` counter.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/reference_matcher.hpp"
+#include "graph/generators.hpp"
+#include "graph/update_stream.hpp"
+#include "query/patterns.hpp"
+#include "server/multi_query_engine.hpp"
+#include "server/query_registry.hpp"
+#include "util/durable_io.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+#include "util/metrics.hpp"
+
+namespace gcsm {
+namespace {
+
+using server::MultiQueryEngine;
+using server::MultiQueryOptions;
+using server::QueryId;
+using server::QueryRegistry;
+using server::RegisteredQuery;
+using server::ServerBatchReport;
+
+struct StreamFixture {
+  explicit StreamFixture(int seed, VertexId n = 400, std::size_t batch = 64,
+                         std::size_t pool = 512) {
+    Rng rng(seed);
+    base = generate_barabasi_albert(n, 4, 2, rng);
+    UpdateStreamOptions opt;
+    opt.pool_edge_count = pool;
+    opt.batch_size = batch;
+    opt.seed = seed + 1;
+    stream = make_update_stream(base, opt);
+  }
+  CsrGraph base;
+  UpdateStream stream;
+};
+
+// The three standing patterns most of the suite serves together.
+std::vector<QueryGraph> three_patterns() {
+  std::vector<QueryGraph> qs;
+  qs.push_back(make_triangle());
+  qs.push_back(make_fig1_diamond());
+  qs.push_back(make_path(4));
+  return qs;
+}
+
+MultiQueryOptions multi_options(EngineKind kind) {
+  MultiQueryOptions opt;
+  opt.kind = kind;
+  opt.workers = 2;
+  opt.cache_budget_bytes = 4 << 20;
+  opt.estimator.num_walks = 512;
+  opt.recovery.backoff_initial_ms = 0.0;  // no sleeping in tests
+  opt.recovery.watchdog_timeout_ms = 2.0;
+  opt.check_invariants = true;
+  return opt;
+}
+
+PipelineOptions single_options(EngineKind kind) {
+  PipelineOptions opt;
+  opt.kind = kind;
+  opt.workers = 2;
+  opt.cache_budget_bytes = 4 << 20;
+  opt.estimator.num_walks = 512;
+  opt.recovery.backoff_initial_ms = 0.0;
+  opt.recovery.watchdog_timeout_ms = 2.0;
+  opt.check_invariants = true;
+  return opt;
+}
+
+// Unique durable directory per call (same rationale as durability_test).
+std::string fresh_dir(const std::string& tag) {
+  static int counter = 0;
+  const std::string dir = std::string(::testing::TempDir()) + "gcsm_mq_" +
+                          tag + "_" + std::to_string(counter++);
+  std::filesystem::remove_all(dir);
+  io::ensure_dir(dir);
+  return dir;
+}
+
+void expect_counts(const durable::DurableCounters& got,
+                   const durable::DurableCounters& want) {
+  EXPECT_EQ(got.batches_committed, want.batches_committed);
+  EXPECT_EQ(got.cum_signed, want.cum_signed);
+  EXPECT_EQ(got.cum_positive, want.cum_positive);
+  EXPECT_EQ(got.cum_negative, want.cum_negative);
+}
+
+// Asserts one engine batch against the N reference pipelines, query by
+// query, and returns the engine report.
+ServerBatchReport expect_batch_bit_identical(
+    MultiQueryEngine& engine, std::vector<std::unique_ptr<Pipeline>>& refs,
+    const EdgeBatch& batch, std::size_t k) {
+  const ServerBatchReport got = engine.process_batch(batch);
+  EXPECT_EQ(got.queries.size(), refs.size());
+  std::int64_t sum_signed = 0;
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    const BatchReport want = refs[i]->process_batch(batch);
+    EXPECT_EQ(got.queries[i].report.stats.signed_embeddings,
+              want.stats.signed_embeddings)
+        << "query " << i << " diverged at batch " << k;
+    EXPECT_EQ(got.queries[i].report.stats.positive, want.stats.positive)
+        << "query " << i << " batch " << k;
+    EXPECT_EQ(got.queries[i].report.stats.negative, want.stats.negative)
+        << "query " << i << " batch " << k;
+    sum_signed += got.queries[i].report.stats.signed_embeddings;
+  }
+  EXPECT_EQ(got.shared.stats.signed_embeddings, sum_signed)
+      << "aggregate is not the sum of per-query counts at batch " << k;
+  return got;
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity against independent pipelines.
+
+TEST(MultiQuery, BitIdenticalToThreeIndependentPipelines) {
+  const StreamFixture f(11);
+  const std::vector<QueryGraph> patterns = three_patterns();
+
+  MultiQueryEngine engine(f.stream.initial, multi_options(EngineKind::kGcsm));
+  std::vector<std::unique_ptr<Pipeline>> refs;
+  for (const QueryGraph& q : patterns) {
+    engine.register_query(q);
+    refs.push_back(std::make_unique<Pipeline>(
+        f.stream.initial, q, single_options(EngineKind::kGcsm)));
+  }
+
+  for (std::size_t k = 0; k < f.stream.num_batches(); ++k) {
+    expect_batch_bit_identical(engine, refs, f.stream.batches[k], k);
+  }
+  engine.graph().validate();
+  EXPECT_EQ(engine.graph().to_csr().edge_list(),
+            refs[0]->graph().to_csr().edge_list());
+}
+
+TEST(MultiQuery, BitIdenticalOnEveryEngineKind) {
+  const StreamFixture f(12, 250, 64, 256);
+  const std::vector<QueryGraph> patterns = {make_triangle(), make_path(4)};
+  for (const EngineKind kind :
+       {EngineKind::kGcsm, EngineKind::kZeroCopy, EngineKind::kUnifiedMemory,
+        EngineKind::kNaiveDegree, EngineKind::kVsgm, EngineKind::kCpu}) {
+    MultiQueryEngine engine(f.stream.initial, multi_options(kind));
+    std::vector<std::unique_ptr<Pipeline>> refs;
+    for (const QueryGraph& q : patterns) {
+      engine.register_query(q);
+      refs.push_back(std::make_unique<Pipeline>(f.stream.initial, q,
+                                                single_options(kind)));
+    }
+    for (std::size_t k = 0; k < 3; ++k) {
+      expect_batch_bit_identical(engine, refs, f.stream.batches[k], k);
+    }
+  }
+}
+
+// Different weights change cache arbitration (which vertices get cached),
+// never counts: a cache miss falls back to zero-copy.
+TEST(MultiQuery, WeightsAffectArbitrationNotCounts) {
+  const StreamFixture f(13, 250, 64, 256);
+  MultiQueryOptions opt = multi_options(EngineKind::kGcsm);
+
+  MultiQueryEngine heavy(f.stream.initial, opt);
+  heavy.register_query(make_triangle(), {}, 100.0);
+  heavy.register_query(make_path(4), {}, 0.01);
+  MultiQueryEngine even(f.stream.initial, opt);
+  even.register_query(make_triangle(), {}, 1.0);
+  even.register_query(make_path(4), {}, 1.0);
+
+  for (std::size_t k = 0; k < 4; ++k) {
+    const ServerBatchReport a = heavy.process_batch(f.stream.batches[k]);
+    const ServerBatchReport b = even.process_batch(f.stream.batches[k]);
+    for (std::size_t i = 0; i < a.queries.size(); ++i) {
+      EXPECT_EQ(a.queries[i].report.stats.signed_embeddings,
+                b.queries[i].report.stats.signed_embeddings)
+          << "weights changed counts at batch " << k;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// One shared estimation + one cache build per batch, regardless of N.
+
+TEST(MultiQuery, OneCacheBuildPerBatchRegardlessOfQueryCount) {
+  const StreamFixture f(14, 250, 64, 256);
+  metrics::Counter& builds =
+      metrics::Registry::global().counter("cache.builds");
+
+  MultiQueryEngine engine(f.stream.initial, multi_options(EngineKind::kGcsm));
+  for (const QueryGraph& q : three_patterns()) engine.register_query(q);
+
+  for (std::size_t k = 0; k < 4; ++k) {
+    const std::uint64_t before = builds.value();
+    const ServerBatchReport r = engine.process_batch(f.stream.batches[k]);
+    EXPECT_EQ(builds.value() - before, 1u)
+        << "expected exactly one shared cache build at batch " << k;
+    // All three per-query estimates ran and fed the shared build.
+    EXPECT_GT(r.shared.walks, 0u);
+    EXPECT_GT(r.shared.cached_vertices, 0u);
+  }
+}
+
+TEST(MultiQuery, PerQueryMetricScoping) {
+  const StreamFixture f(15, 250, 64, 256);
+  MultiQueryOptions opt = multi_options(EngineKind::kGcsm);
+  MultiQueryEngine engine(f.stream.initial, opt);
+  const QueryId a = engine.register_query(make_triangle());
+  const QueryId b = engine.register_query(make_path(4));
+
+  const ServerBatchReport r = engine.process_batch(f.stream.batches[0]);
+  const metrics::Snapshot& snap = r.shared.metrics;
+  // Per-query series live under "q<id>."; the shared phases keep the
+  // process-wide names (the empty default prefix).
+  EXPECT_GE(snap.counter_or("q" + std::to_string(a) + ".pipeline.batches"),
+            1u);
+  EXPECT_GE(snap.counter_or("q" + std::to_string(b) + ".pipeline.batches"),
+            1u);
+  EXPECT_GE(snap.counter_or("q" + std::to_string(a) + ".estimator.walks"),
+            1u);
+  EXPECT_GE(snap.counter_or("pipeline.batches"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry lifecycle.
+
+TEST(MultiQuery, RegisterAndUnregisterMidStream) {
+  const StreamFixture f(16);
+  MultiQueryEngine engine(f.stream.initial, multi_options(EngineKind::kGcsm));
+  const QueryId tri = engine.register_query(make_triangle());
+
+  std::vector<std::unique_ptr<Pipeline>> refs;
+  refs.push_back(std::make_unique<Pipeline>(
+      f.stream.initial, make_triangle(), single_options(EngineKind::kGcsm)));
+
+  for (std::size_t k = 0; k < 3; ++k) {
+    expect_batch_bit_identical(engine, refs, f.stream.batches[k], k);
+  }
+
+  // Register a second pattern mid-stream: its reference pipeline starts
+  // from the CURRENT graph state, exactly like a late subscriber would.
+  const QueryId dia = engine.register_query(make_fig1_diamond());
+  EXPECT_NE(dia, tri);
+  refs.push_back(std::make_unique<Pipeline>(engine.graph().to_csr(),
+                                            make_fig1_diamond(),
+                                            single_options(EngineKind::kGcsm)));
+  for (std::size_t k = 3; k < 6; ++k) {
+    expect_batch_bit_identical(engine, refs, f.stream.batches[k], k);
+  }
+
+  // Unregister the first: only the diamond keeps matching.
+  EXPECT_TRUE(engine.unregister_query(tri));
+  EXPECT_FALSE(engine.unregister_query(tri));  // ids are never reused
+  refs.erase(refs.begin());
+  for (std::size_t k = 6; k < 8; ++k) {
+    const ServerBatchReport got =
+        expect_batch_bit_identical(engine, refs, f.stream.batches[k], k);
+    ASSERT_EQ(got.queries.size(), 1u);
+    EXPECT_EQ(got.queries[0].id, dia);
+  }
+}
+
+TEST(MultiQuery, EmptyRegistryRejectsBatches) {
+  const StreamFixture f(17, 200, 32, 64);
+  MultiQueryEngine engine(f.stream.initial, multi_options(EngineKind::kCpu));
+  try {
+    engine.process_batch(f.stream.batches[0]);
+    FAIL() << "expected Error(kConfig)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kConfig);
+  }
+  const QueryId id = engine.register_query(make_triangle());
+  engine.process_batch(f.stream.batches[0]);
+  EXPECT_TRUE(engine.unregister_query(id));
+  EXPECT_THROW(engine.process_batch(f.stream.batches[1]), Error);
+}
+
+TEST(MultiQuery, SinksFireOnlyForTheirQuery) {
+  const StreamFixture f(18, 250, 64, 256);
+  MultiQueryEngine engine(f.stream.initial, multi_options(EngineKind::kGcsm));
+  std::int64_t tri_signed = 0;
+  std::int64_t path_signed = 0;
+  const QueryId tri = engine.register_query(
+      make_triangle(), [&](const MatchPlan&, std::span<const VertexId>,
+                           int sign) { tri_signed += sign; });
+  engine.register_query(make_path(4),
+                        [&](const MatchPlan&, std::span<const VertexId>,
+                            int sign) { path_signed += sign; });
+
+  std::int64_t want_tri = 0;
+  std::int64_t want_path = 0;
+  for (std::size_t k = 0; k < 4; ++k) {
+    const ServerBatchReport r = engine.process_batch(f.stream.batches[k]);
+    want_tri += r.queries[0].report.stats.signed_embeddings;
+    want_path += r.queries[1].report.stats.signed_embeddings;
+  }
+  EXPECT_EQ(tri_signed, want_tri);
+  EXPECT_EQ(path_signed, want_path);
+  // Signed deltas accumulated through the sink track the live count:
+  // initial + Σ signed == current full count.
+  const std::int64_t initial = static_cast<std::int64_t>(
+      reference_count_embeddings(f.stream.initial, make_triangle()));
+  EXPECT_EQ(static_cast<std::int64_t>(engine.count_current_embeddings(tri)),
+            initial + tri_signed);
+}
+
+// ---------------------------------------------------------------------------
+// Fault matrix: every site armed at p = 0.05, counts still bit-identical.
+
+TEST(MultiQuery, FaultMatrixBitIdenticalAcrossQueries) {
+  Rng rng(2026);
+  const CsrGraph base = generate_barabasi_albert(500, 4, 3, rng);
+  UpdateStreamOptions sopt;
+  sopt.pool_edge_count = 960;
+  sopt.batch_size = 16;
+  sopt.seed = 5;
+  const UpdateStream stream = make_update_stream(base, sopt);
+  ASSERT_EQ(stream.num_batches(), 60u);
+
+  const std::vector<QueryGraph> patterns = three_patterns();
+
+  FaultInjector inj(0xFA05);
+  inj.arm_all(0.05);
+  MultiQueryOptions faulty_opt = multi_options(EngineKind::kGcsm);
+  faulty_opt.fault_injector = &inj;
+  faulty_opt.recovery.max_attempts = 2;
+  faulty_opt.recovery.heal_after_clean_batches = 4;
+
+  MultiQueryEngine faulty(stream.initial, faulty_opt);
+  std::vector<std::unique_ptr<Pipeline>> clean;
+  for (const QueryGraph& q : patterns) {
+    faulty.register_query(q);
+    clean.push_back(std::make_unique<Pipeline>(
+        stream.initial, q, single_options(EngineKind::kGcsm)));
+  }
+
+  std::uint64_t total_retries = 0;
+  for (std::size_t k = 0; k < stream.num_batches(); ++k) {
+    const ServerBatchReport got =
+        expect_batch_bit_identical(faulty, clean, stream.batches[k], k);
+    total_retries += got.shared.retries;
+    for (const server::QueryReport& q : got.queries) {
+      total_retries += q.report.retries;
+    }
+  }
+  faulty.graph().validate();
+  EXPECT_EQ(faulty.graph().to_csr().edge_list(),
+            clean[0]->graph().to_csr().edge_list());
+  EXPECT_GT(inj.fired_count(), 0u);
+  EXPECT_GE(total_retries, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Durability: the registry and the counts survive kill-and-recover.
+
+TEST(MultiQuery, CleanRestartPreservesCountsAndRegistry) {
+  const StreamFixture f(19, 300, 32, 256);
+  const std::string dir = fresh_dir("restart");
+  MultiQueryOptions opt = multi_options(EngineKind::kGcsm);
+  opt.durability.wal_dir = dir;
+  opt.durability.snapshot_interval = 3;
+
+  // Uninterrupted non-durable reference over the full window.
+  MultiQueryOptions ref_opt = multi_options(EngineKind::kGcsm);
+  MultiQueryEngine ref(f.stream.initial, ref_opt);
+  ref.register_query(make_triangle(), {}, 1.0);
+  ref.register_query(make_fig1_diamond(), {}, 2.5);
+  durable::DurableCounters want;
+  for (std::size_t k = 0; k < 8; ++k) {
+    const ServerBatchReport r = ref.process_batch(f.stream.batches[k]);
+    want.batches_committed += 1;
+    want.cum_signed += r.shared.stats.signed_embeddings;
+    want.cum_positive += r.shared.stats.positive;
+    want.cum_negative += r.shared.stats.negative;
+  }
+
+  {
+    MultiQueryEngine a(f.stream.initial, opt);
+    a.register_query(make_triangle(), {}, 1.0);
+    a.register_query(make_fig1_diamond(), {}, 2.5);
+    for (std::size_t k = 0; k < 5; ++k) a.process_batch(f.stream.batches[k]);
+    // Destroyed here with no clean shutdown: the WAL + registry image are
+    // the only survivors, like a kill at a batch boundary.
+  }
+
+  MultiQueryOptions ropt = opt;
+  ropt.durability.recover_on_start = true;
+  MultiQueryEngine b(f.stream.initial, ropt);
+  ASSERT_EQ(b.registry().size(), 2u);
+  EXPECT_EQ(b.registry().entries()[0].query.name(),
+            make_triangle().name());
+  EXPECT_DOUBLE_EQ(b.registry().entries()[1].weight, 2.5);
+  EXPECT_EQ(b.cumulative().batches_committed, 5u);
+  for (std::size_t k = 5; k < 8; ++k) b.process_batch(f.stream.batches[k]);
+  expect_counts(b.cumulative(), want);
+  EXPECT_EQ(b.graph().to_csr().edge_list(),
+            ref.graph().to_csr().edge_list());
+}
+
+TEST(MultiQuery, CrashMidBatchRecoversBitIdentical) {
+  const StreamFixture f(20, 300, 32, 256);
+  const std::string dir = fresh_dir("crash");
+  const std::size_t kBatches = 6;
+
+  // Fault-free reference.
+  MultiQueryEngine ref(f.stream.initial, multi_options(EngineKind::kGcsm));
+  ref.register_query(make_triangle());
+  ref.register_query(make_path(4));
+  durable::DurableCounters want;
+  for (std::size_t k = 0; k < kBatches; ++k) {
+    const ServerBatchReport r = ref.process_batch(f.stream.batches[k]);
+    want.batches_committed += 1;
+    want.cum_signed += r.shared.stats.signed_embeddings;
+    want.cum_positive += r.shared.stats.positive;
+    want.cum_negative += r.shared.stats.negative;
+  }
+
+  // Crash on the 3rd crash.at probe (mid-WAL-write), then restart with
+  // recovery and drive the stream to completion.
+  FaultInjector inj(0xC4A5);
+  inj.arm(fault_site::kCrashAt, {0.0, 3, 8});
+  int crashes = 0;
+  durable::DurableCounters got;
+  for (int lives = 0; lives < 8; ++lives) {
+    MultiQueryOptions opt = multi_options(EngineKind::kGcsm);
+    opt.durability.wal_dir = dir;
+    opt.durability.snapshot_interval = 2;
+    opt.durability.recover_on_start = lives > 0;
+    opt.fault_injector = &inj;
+    try {
+      MultiQueryEngine engine(f.stream.initial, opt);
+      if (engine.registry().empty()) {
+        engine.register_query(make_triangle());
+        engine.register_query(make_path(4));
+      }
+      for (std::size_t k = engine.cumulative().batches_committed;
+           k < kBatches; ++k) {
+        engine.process_batch(f.stream.batches[k]);
+      }
+      got = engine.cumulative();
+      break;
+    } catch (const CrashError&) {
+      ++crashes;  // the engine died mid-write; loop restarts + recovers
+    }
+  }
+  EXPECT_GE(crashes, 1);
+  expect_counts(got, want);
+}
+
+// A registry change after committed batches forces a snapshot + WAL
+// compaction, so old-registry batches can never replay into the new set.
+TEST(MultiQuery, RegistryChangeAfterCommitsSurvivesRestart) {
+  const StreamFixture f(21, 300, 32, 256);
+  const std::string dir = fresh_dir("regchange");
+  MultiQueryOptions opt = multi_options(EngineKind::kGcsm);
+  opt.durability.wal_dir = dir;
+  opt.durability.snapshot_interval = 100;  // only the forced snapshot fires
+
+  durable::DurableCounters want;
+  {
+    MultiQueryEngine a(f.stream.initial, opt);
+    a.register_query(make_triangle());
+    for (std::size_t k = 0; k < 3; ++k) a.process_batch(f.stream.batches[k]);
+    a.register_query(make_fig1_diamond());  // forces snapshot + compaction
+    for (std::size_t k = 3; k < 5; ++k) a.process_batch(f.stream.batches[k]);
+    want = a.cumulative();
+  }
+
+  MultiQueryOptions ropt = opt;
+  ropt.durability.recover_on_start = true;
+  MultiQueryEngine b(f.stream.initial, ropt);
+  ASSERT_EQ(b.registry().size(), 2u);
+  EXPECT_TRUE(b.recovery_info().snapshot_loaded);
+  // Only post-change batches replay, through the two-query registry.
+  EXPECT_LE(b.recovery_info().replay.size(), 2u);
+  expect_counts(b.cumulative(), want);
+}
+
+// ---------------------------------------------------------------------------
+// QueryRegistry durable image.
+
+TEST(QueryRegistryImage, EncodeDecodeRoundTrip) {
+  QueryRegistry reg;
+  const QueryId a = reg.add(make_triangle(), 1.0);
+  const QueryId b = reg.add(with_round_robin_labels(make_fig1_diamond(), 3),
+                            2.25);
+  EXPECT_TRUE(reg.remove(a));  // a gap: ids are never reused
+  const QueryId c = reg.add(make_path(4), 0.5);
+  EXPECT_NE(b, c);
+
+  std::string why;
+  const auto decoded = QueryRegistry::decode(reg.encode(), &why);
+  ASSERT_TRUE(decoded.has_value()) << why;
+  ASSERT_EQ(decoded->size(), 2u);
+  const RegisteredQuery& db = decoded->entries()[0];
+  EXPECT_EQ(db.id, b);
+  EXPECT_DOUBLE_EQ(db.weight, 2.25);
+  EXPECT_EQ(db.query.name(), with_round_robin_labels(make_fig1_diamond(), 3)
+                                 .name());
+  EXPECT_EQ(db.query.num_vertices(),
+            make_fig1_diamond().num_vertices());
+  EXPECT_EQ(db.query.num_edges(), make_fig1_diamond().num_edges());
+  for (std::uint32_t v = 0; v < db.query.num_vertices(); ++v) {
+    EXPECT_EQ(db.query.label(v),
+              with_round_robin_labels(make_fig1_diamond(), 3).label(v));
+  }
+  // New ids in the decoded registry continue past the high-water mark.
+  QueryRegistry reborn = *decoded;
+  EXPECT_GT(reborn.add(make_triangle()), c);
+}
+
+TEST(QueryRegistryImage, DamageIsDetectedNotDeserialized) {
+  QueryRegistry reg;
+  reg.add(make_triangle(), 1.0);
+  const std::string image = reg.encode();
+  std::string why;
+
+  // Truncation at every prefix length must fail cleanly, never crash.
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    EXPECT_FALSE(
+        QueryRegistry::decode(std::string_view(image.data(), len), &why)
+            .has_value())
+        << "truncation to " << len << " bytes decoded";
+  }
+  // A flipped bit anywhere trips the CRC (or a bounds check).
+  for (std::size_t pos = 0; pos < image.size(); pos += 7) {
+    std::string bad = image;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x40);
+    EXPECT_FALSE(QueryRegistry::decode(bad, &why).has_value())
+        << "bit flip at " << pos << " decoded";
+  }
+  EXPECT_FALSE(QueryRegistry::decode("GQRXnot-a-registry", &why).has_value());
+  EXPECT_FALSE(why.empty());
+}
+
+TEST(QueryRegistryImage, RejectsNonPositiveWeights) {
+  QueryRegistry reg;
+  EXPECT_THROW(reg.add(make_triangle(), 0.0), Error);
+  EXPECT_THROW(reg.add(make_triangle(), -1.0), Error);
+  EXPECT_THROW(reg.add(make_triangle(),
+                       std::numeric_limits<double>::infinity()),
+               Error);
+  EXPECT_TRUE(reg.empty());
+}
+
+}  // namespace
+}  // namespace gcsm
