@@ -72,7 +72,7 @@ QueryGraph parse_query(const std::string& name, int labels) {
   } else if (name.rfind("star", 0) == 0) {
     q = make_star(static_cast<std::uint32_t>(std::stoi(name.substr(4))));
   } else {
-    throw std::invalid_argument("unknown query: " + name);
+    throw Error(ErrorCode::kConfig, "unknown query: " + name);
   }
   return labels > 1 ? with_round_robin_labels(q, labels) : q;
 }
@@ -91,7 +91,7 @@ EngineKind parse_engine(const std::string& name) {
   if (name == "naive") return EngineKind::kNaiveDegree;
   if (name == "vsgm") return EngineKind::kVsgm;
   if (name == "cpu") return EngineKind::kCpu;
-  throw std::invalid_argument("unknown engine: " + name);
+  throw Error(ErrorCode::kConfig, "unknown engine: " + name);
 }
 
 int usage() {

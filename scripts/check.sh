@@ -9,7 +9,8 @@
 #   asan-ubsan — AddressSanitizer + UBSan, invariant checks on
 #   tsan       — ThreadSanitizer
 #   checks     — plain build with GCSM_ENABLE_CHECKS=ON (GCSM_ASSERT hot-path
-#                asserts + batch-boundary validate() in Pipeline)
+#                asserts + batch-boundary validate() in Pipeline); also runs
+#                the gcsm_lint contract linter and the bench --json smoke
 #   tidy       — clang-tidy over src/ (skipped when clang-tidy is not
 #                installed; the .clang-tidy config is still the gate in
 #                environments that have it)
@@ -83,6 +84,13 @@ run_preset() {
   # Bench smoke + --json schema gate (docs/OBSERVABILITY.md): a reduced
   # fig08 run must emit a report that the schema checker accepts.
   if [ "${preset}" = "checks" ]; then
+    # Contract linter (docs/ANALYSIS.md "Static analysis"): registry-backed
+    # rules over src/ — raw metric/fault-site literals, doc drift, throws
+    # outside the gcsm::Error taxonomy, stray relaxed atomics, naked locks.
+    # Diagnostics are `file:line: rule: message`.
+    if ! run "build-${preset}/tools/gcsm_lint" .; then
+      failures+=("${preset}: gcsm_lint")
+    fi
     local report="build-${preset}/bench_smoke.json"
     if ! run "build-${preset}/bench/fig08_fr" --scale=0.05 --batches=1 \
          --json="${report}" > /dev/null; then

@@ -16,16 +16,19 @@ void DcsrCache::build(const DynamicGraph& graph,
                       const std::vector<VertexId>& vertices,
                       std::uint64_t byte_budget, gpusim::Device& device,
                       gpusim::TrafficCounters& counters) {
-  static auto& m_builds = metrics::Registry::global().counter("cache.builds");
+  static auto& m_builds = metrics::Registry::global().counter(metric::kCacheBuilds);
   static auto& m_failures =
-      metrics::Registry::global().counter("cache.build_failures");
+      metrics::Registry::global().counter(metric::kCacheBuildFailures);
   static auto& m_vertices =
-      metrics::Registry::global().counter("cache.built_vertices");
+      metrics::Registry::global().counter(metric::kCacheBuiltVertices);
   static auto& m_bytes =
-      metrics::Registry::global().counter("cache.built_bytes");
+      metrics::Registry::global().counter(metric::kCacheBuiltBytes);
   static auto& m_blob_gauge =
-      metrics::Registry::global().gauge("cache.blob_bytes");
-  const trace::Span span("cache.build");
+      metrics::Registry::global().gauge(metric::kCacheBlobBytes);
+  // The span shares the canonical fault-site name so a trace of a faulted
+  // run lines up with the injector's observations (and so gcsm_lint has a
+  // single spelling to hold the tree to).
+  const trace::Span span(fault_site::kCacheBuild);
   clear();
 
   if (FaultInjector* faults = device.fault_injector();

@@ -40,11 +40,11 @@ void DurabilityManager::ensure_writer() {
 
 RecoveredState DurabilityManager::recover() {
   static auto& m_replayed =
-      metrics::Registry::global().counter("recovery.replayed_batches");
+      metrics::Registry::global().counter(metric::kRecoveryReplayedBatches);
   static auto& m_dropped =
-      metrics::Registry::global().counter("recovery.dropped_uncommitted");
+      metrics::Registry::global().counter(metric::kRecoveryDroppedUncommitted);
   static auto& m_truncations =
-      metrics::Registry::global().counter("recovery.wal_tail_truncations");
+      metrics::Registry::global().counter(metric::kRecoveryWalTailTruncations);
   RecoveredState state;
   if (!options_.enabled()) return state;
 
@@ -179,9 +179,9 @@ void DurabilityManager::maybe_snapshot(
 bool DurabilityManager::snapshot_now(
     const DynamicGraph& graph, const durable::DurableCounters& counters) {
   static auto& m_failures =
-      metrics::Registry::global().counter("snapshot.failures");
+      metrics::Registry::global().counter(metric::kSnapshotFailures);
   static auto& m_compactions =
-      metrics::Registry::global().counter("wal.compactions");
+      metrics::Registry::global().counter(metric::kWalCompactions);
   int attempts = std::max(1, options_.max_write_attempts);
   for (;;) {
     try {

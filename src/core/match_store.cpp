@@ -1,11 +1,11 @@
 #include "core/match_store.hpp"
 
 #include <algorithm>
-#include <stdexcept>
 #include <string>
 #include <unordered_set>
 
 #include "util/check.hpp"
+#include "util/error.hpp"
 
 namespace gcsm {
 
@@ -61,7 +61,7 @@ std::vector<VertexId> MatchStore::canonicalize(
 
 void MatchStore::apply(std::span<const VertexId> embedding, int sign) {
   if (embedding.size() != query_.num_vertices()) {
-    throw std::invalid_argument("embedding size mismatch");
+    throw Error(ErrorCode::kConfig, "embedding size mismatch");
   }
   auto key = canonicalize(embedding);
   auto& count = subgraphs_[key];

@@ -33,52 +33,52 @@ PipelineMetrics::PipelineMetrics(std::string prefix)
       span_match_(prefix_ + "pipeline.match"),
       span_reorg_(prefix_ + "pipeline.reorg"),
       batches_(metrics::Registry::global().counter(prefix_ +
-                                                   "pipeline.batches")),
+                                                   metric::kPipelineBatches)),
       retries_(metrics::Registry::global().counter(prefix_ +
-                                                   "pipeline.retries")),
+                                                   metric::kPipelineRetries)),
       fallbacks_(metrics::Registry::global().counter(
-          prefix_ + "pipeline.cpu_fallbacks")),
+          prefix_ + metric::kPipelineCpuFallbacks)),
       degradations_(metrics::Registry::global().counter(
-          prefix_ + "pipeline.degradations")),
+          prefix_ + metric::kPipelineDegradations)),
       quarantined_(metrics::Registry::global().counter(
-          prefix_ + "pipeline.quarantined_records")),
+          prefix_ + metric::kPipelineQuarantinedRecords)),
       faults_(metrics::Registry::global().counter(
-          prefix_ + "pipeline.faults_observed")),
-      cache_hits_(metrics::Registry::global().counter(prefix_ + "cache.hits")),
+          prefix_ + metric::kPipelineFaultsObserved)),
+      cache_hits_(metrics::Registry::global().counter(prefix_ + metric::kCacheHits)),
       cache_misses_(metrics::Registry::global().counter(prefix_ +
-                                                        "cache.misses")),
+                                                        metric::kCacheMisses)),
       zero_copy_bytes_(metrics::Registry::global().counter(
-          prefix_ + "cache.zero_copy_bytes")),
+          prefix_ + metric::kCacheZeroCopyBytes)),
       compute_ops_(metrics::Registry::global().counter(
-          prefix_ + "kernel.compute_ops")),
-      host_ops_(metrics::Registry::global().counter(prefix_ + "host.ops")),
+          prefix_ + metric::kKernelComputeOps)),
+      host_ops_(metrics::Registry::global().counter(prefix_ + metric::kHostOps)),
       est_walks_(metrics::Registry::global().counter(prefix_ +
-                                                     "estimator.walks")),
+                                                     metric::kEstimatorWalks)),
       est_nodes_(metrics::Registry::global().counter(
-          prefix_ + "estimator.nodes_visited")),
-      est_ops_(metrics::Registry::global().counter(prefix_ + "estimator.ops")),
+          prefix_ + metric::kEstimatorNodesVisited)),
+      est_ops_(metrics::Registry::global().counter(prefix_ + metric::kEstimatorOps)),
       budget_(metrics::Registry::global().gauge(
-          prefix_ + "pipeline.effective_cache_budget_bytes")),
+          prefix_ + metric::kPipelineEffectiveCacheBudgetBytes)),
       level_(metrics::Registry::global().gauge(
-          prefix_ + "pipeline.degradation_level")),
+          prefix_ + metric::kPipelineDegradationLevel)),
       cached_(metrics::Registry::global().gauge(prefix_ +
-                                                "cache.cached_vertices")),
+                                                metric::kCacheCachedVertices)),
       wall_(metrics::Registry::global().histogram(
-          prefix_ + "pipeline.batch_wall_ms")),
+          prefix_ + metric::kPipelineBatchWallMs)),
       sim_(metrics::Registry::global().histogram(prefix_ +
-                                                 "pipeline.batch_sim_ms")),
+                                                 metric::kPipelineBatchSimMs)),
       update_ms_(metrics::Registry::global().histogram(
-          prefix_ + "pipeline.phase.update_ms")),
+          prefix_ + metric::kPipelineUpdateMs)),
       estimate_ms_(metrics::Registry::global().histogram(
-          prefix_ + "pipeline.phase.estimate_ms")),
+          prefix_ + metric::kPipelineEstimateMs)),
       pack_ms_(metrics::Registry::global().histogram(
-          prefix_ + "pipeline.phase.pack_ms")),
+          prefix_ + metric::kPipelinePackMs)),
       match_ms_(metrics::Registry::global().histogram(
-          prefix_ + "pipeline.phase.match_ms")),
+          prefix_ + metric::kPipelineMatchMs)),
       reorg_ms_(metrics::Registry::global().histogram(
-          prefix_ + "pipeline.phase.reorg_ms")),
+          prefix_ + metric::kPipelineReorgMs)),
       backoff_ms_(metrics::Registry::global().histogram(
-          prefix_ + "pipeline.backoff_ms")) {}
+          prefix_ + metric::kPipelineBackoffMs)) {}
 
 void PipelineMetrics::note_estimate(const EstimateResult& est) const {
   est_walks_.add(est.walks);

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "core/gpu_engine.hpp"
+#include "util/check.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 #include "util/timer.hpp"
@@ -103,7 +104,7 @@ std::unique_ptr<AccessPolicy> Pipeline::make_policy(EngineKind kind) {
     case EngineKind::kVsgm:
       return std::make_unique<CachedPolicy>(graph_, cache_, options_.sim);
   }
-  throw std::logic_error("unknown engine kind");
+  GCSM_CHECK(false, "unknown engine kind");
 }
 
 void Pipeline::run_attempt(const EdgeBatch& batch, const MatchSink* sink,

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
 #include "graph/generators.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace gcsm {
@@ -73,7 +73,7 @@ CsrGraph make_workload_graph(const std::string& name, double scale,
         std::clamp(18.0 + std::log2(std::max(scale, 0.05)), 10.0, 24.0));
     return generate_rmat(sc, 16, 0.45, 0.183, 0.183, num_labels, rng);
   }
-  throw std::invalid_argument("unknown workload: " + name);
+  throw Error(ErrorCode::kConfig, "unknown workload: " + name);
 }
 
 UpdateStreamOptions default_stream_options(const std::string& name,

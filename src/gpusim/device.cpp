@@ -3,6 +3,7 @@
 #include <cstring>
 #include <string>
 
+#include "util/error.hpp"
 #include "util/fault.hpp"
 #include "util/metrics.hpp"
 
@@ -56,10 +57,10 @@ Device::Device(SimParams params) : params_(params) {}
 
 DeviceBuffer Device::alloc(std::size_t bytes) {
   static auto& m_allocs =
-      metrics::Registry::global().counter("device.allocs");
+      metrics::Registry::global().counter(metric::kDeviceAllocs);
   static auto& m_alloc_bytes =
-      metrics::Registry::global().counter("device.alloc_bytes");
-  static auto& m_oom = metrics::Registry::global().counter("device.oom_errors");
+      metrics::Registry::global().counter(metric::kDeviceAllocBytes);
+  static auto& m_oom = metrics::Registry::global().counter(metric::kDeviceOomErrors);
   if (faults_ != nullptr && faults_->fires(fault_site::kDeviceAlloc)) {
     m_oom.add();
     throw DeviceOomError(bytes, available());
@@ -76,12 +77,12 @@ DeviceBuffer Device::alloc(std::size_t bytes) {
 
 void Device::dma_to_device(DeviceBuffer& dst, const void* src,
                            std::size_t bytes, TrafficCounters& counters) {
-  static auto& m_calls = metrics::Registry::global().counter("device.dma.calls");
-  static auto& m_bytes = metrics::Registry::global().counter("device.dma.bytes");
+  static auto& m_calls = metrics::Registry::global().counter(metric::kDeviceDmaCalls);
+  static auto& m_bytes = metrics::Registry::global().counter(metric::kDeviceDmaBytes);
   static auto& m_errors =
-      metrics::Registry::global().counter("device.dma.errors");
+      metrics::Registry::global().counter(metric::kDeviceDmaErrors);
   if (bytes > dst.size()) {
-    throw std::invalid_argument("dma_to_device: copy larger than buffer");
+    throw Error(ErrorCode::kConfig, "dma_to_device: copy larger than buffer");
   }
   if (faults_ != nullptr && faults_->fires(fault_site::kDeviceDma)) {
     m_errors.add();

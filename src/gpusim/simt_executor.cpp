@@ -43,16 +43,16 @@ void SimtExecutor::for_each_item(
     std::size_t n, std::size_t grain,
     const std::function<void(std::size_t, std::size_t)>& body) {
   static auto& m_launches =
-      metrics::Registry::global().counter("kernel.launches");
-  static auto& m_items = metrics::Registry::global().counter("kernel.items");
+      metrics::Registry::global().counter(metric::kKernelLaunches);
+  static auto& m_items = metrics::Registry::global().counter(metric::kKernelItems);
   static auto& m_steals =
-      metrics::Registry::global().counter("kernel.steal_chunks");
+      metrics::Registry::global().counter(metric::kKernelStealChunks);
   static auto& m_launch_errors =
-      metrics::Registry::global().counter("kernel.launch_errors");
+      metrics::Registry::global().counter(metric::kKernelLaunchErrors);
   static auto& m_timeouts =
-      metrics::Registry::global().counter("kernel.timeouts");
+      metrics::Registry::global().counter(metric::kKernelTimeouts);
   static auto& m_items_hist =
-      metrics::Registry::global().histogram("kernel.items_per_launch");
+      metrics::Registry::global().histogram(metric::kKernelItemsPerLaunch);
   if (n == 0) return;
   if (faults_ != nullptr) {
     if (faults_->fires(fault_site::kKernelLaunch)) {

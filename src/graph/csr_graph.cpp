@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <sstream>
-#include <stdexcept>
+
+#include "util/error.hpp"
 
 namespace gcsm {
 
@@ -11,7 +12,7 @@ CsrGraph CsrGraph::from_edges(VertexId num_vertices,
                               std::vector<Label> labels) {
   if (!labels.empty() &&
       static_cast<VertexId>(labels.size()) != num_vertices) {
-    throw std::invalid_argument("labels size must match num_vertices");
+    throw Error(ErrorCode::kConfig, "labels size must match num_vertices");
   }
 
   // Symmetrize, drop self loops, dedup.
@@ -20,7 +21,7 @@ CsrGraph CsrGraph::from_edges(VertexId num_vertices,
   for (const Edge& e : edges) {
     if (e.u == e.v) continue;
     if (e.u < 0 || e.v < 0 || e.u >= num_vertices || e.v >= num_vertices) {
-      throw std::out_of_range("edge endpoint out of range");
+      throw Error(ErrorCode::kConfig, "edge endpoint out of range");
     }
     dir.emplace_back(e.u, e.v);
     dir.emplace_back(e.v, e.u);

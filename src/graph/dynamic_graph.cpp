@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
-#include <stdexcept>
 #include <string>
 #include <unordered_set>
 
@@ -102,24 +101,23 @@ void DynamicGraph::note_touched(VertexId v) {
 
 void DynamicGraph::apply_batch(const EdgeBatch& batch) {
   static auto& m_batches =
-      metrics::Registry::global().counter("graph.batches_applied");
+      metrics::Registry::global().counter(metric::kGraphBatchesApplied);
   static auto& m_inserts =
-      metrics::Registry::global().counter("graph.edges_inserted");
+      metrics::Registry::global().counter(metric::kGraphEdgesInserted);
   static auto& m_tombstones =
-      metrics::Registry::global().counter("graph.edges_tombstoned");
+      metrics::Registry::global().counter(metric::kGraphEdgesTombstoned);
   static auto& m_new_vertices =
-      metrics::Registry::global().counter("graph.vertices_added");
-  if (has_pending_batch()) {
-    throw std::logic_error(
-        "apply_batch called with a pending batch; call reorganize() first");
-  }
+      metrics::Registry::global().counter(metric::kGraphVerticesAdded);
+  GCSM_CHECK(!has_pending_batch(),
+             "apply_batch called with a pending batch; call reorganize() "
+             "first");
   m_batches.add();
 
   // Step 2: new vertices, arrays sized to the average degree.
   const VertexId vertices_before = num_vertices();
   for (const auto& [v, label] : batch.new_vertex_labels) {
     if (v < num_vertices()) {
-      throw std::invalid_argument("new vertex id already exists");
+      throw Error(ErrorCode::kConfig, "new vertex id already exists");
     }
     while (num_vertices() <= v) {
       AdjList a;
@@ -151,7 +149,7 @@ void DynamicGraph::apply_batch(const EdgeBatch& batch) {
     const EdgeUpdate& e = batch.updates[idx];
     if (e.u < 0 || e.v < 0 || e.u >= num_vertices() ||
         e.v >= num_vertices()) {
-      throw std::out_of_range("update endpoint out of range");
+      throw Error(ErrorCode::kConfig, "update endpoint out of range");
     }
     if (e.sign > 0) {
       // Step 1: append to both directed lists.
@@ -166,7 +164,7 @@ void DynamicGraph::apply_batch(const EdgeBatch& batch) {
       inject_apply_fault(idx);
       const bool b = tombstone_in_prefix(e.v, e.u);
       if (!a || !b) {
-        throw std::invalid_argument("deletion of a non-live edge");
+        throw Error(ErrorCode::kConfig, "deletion of a non-live edge");
       }
       --live_edges_;
       m_tombstones.add();
@@ -199,10 +197,8 @@ DynamicGraph::Snapshot::ListCopy DynamicGraph::copy_list(VertexId v) const {
 
 DynamicGraph::Snapshot DynamicGraph::snapshot_for(
     const EdgeBatch& batch) const {
-  if (has_pending_batch()) {
-    throw std::logic_error(
-        "snapshot_for requires a reorganized graph (no pending batch)");
-  }
+  GCSM_CHECK(!has_pending_batch(),
+             "snapshot_for requires a reorganized graph (no pending batch)");
   Snapshot snap;
   snap.num_vertices = num_vertices();
   snap.live_edges = live_edges_;
@@ -272,10 +268,10 @@ void DynamicGraph::restore(const Snapshot& snap) {
 }
 
 DynamicGraph::ReorgStats DynamicGraph::reorganize() {
-  static auto& m_calls = metrics::Registry::global().counter("graph.reorg.calls");
-  static auto& m_lists = metrics::Registry::global().counter("graph.reorg.lists");
+  static auto& m_calls = metrics::Registry::global().counter(metric::kGraphReorgCalls);
+  static auto& m_lists = metrics::Registry::global().counter(metric::kGraphReorgLists);
   static auto& m_entries =
-      metrics::Registry::global().counter("graph.reorg.entries");
+      metrics::Registry::global().counter(metric::kGraphReorgEntries);
   ReorgStats stats;
   stats.lists = touched_.size();
   for (const VertexId v : touched_) {

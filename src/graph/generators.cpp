@@ -1,8 +1,9 @@
 #include "graph/generators.hpp"
 
 #include <algorithm>
-#include <stdexcept>
 #include <unordered_set>
+
+#include "util/error.hpp"
 
 namespace gcsm {
 
@@ -21,7 +22,7 @@ CsrGraph generate_barabasi_albert(VertexId num_vertices,
                                   std::uint32_t edges_per_vertex,
                                   std::uint32_t num_labels, Rng& rng) {
   if (num_vertices < 2 || edges_per_vertex == 0) {
-    throw std::invalid_argument("BA generator needs n >= 2, m >= 1");
+    throw Error(ErrorCode::kConfig, "BA generator needs n >= 2, m >= 1");
   }
   std::vector<Edge> edges;
   edges.reserve(static_cast<std::size_t>(num_vertices) * edges_per_vertex);
@@ -53,10 +54,10 @@ CsrGraph generate_rmat(std::uint32_t scale, std::uint32_t edge_factor,
                        double a, double b, double c, std::uint32_t num_labels,
                        Rng& rng) {
   if (scale == 0 || scale > 30) {
-    throw std::invalid_argument("rmat scale must be in [1, 30]");
+    throw Error(ErrorCode::kConfig, "rmat scale must be in [1, 30]");
   }
   if (a + b + c >= 1.0) {
-    throw std::invalid_argument("rmat probabilities must sum below 1");
+    throw Error(ErrorCode::kConfig, "rmat probabilities must sum below 1");
   }
   const VertexId n = static_cast<VertexId>(1u << scale);
   const EdgeCount m = static_cast<EdgeCount>(edge_factor) * n;
@@ -91,7 +92,7 @@ CsrGraph generate_community_ba(VertexId num_vertices,
                                double intra_prob, std::uint32_t num_labels,
                                Rng& rng) {
   if (num_vertices < 2 || edges_per_vertex == 0 || num_communities == 0) {
-    throw std::invalid_argument("community BA needs n >= 2, m >= 1, k >= 1");
+    throw Error(ErrorCode::kConfig, "community BA needs n >= 2, m >= 1, k >= 1");
   }
   // Vertices are assigned to communities round-robin so every prefix of the
   // construction contains members of each community.
@@ -147,7 +148,7 @@ CsrGraph generate_community_ba(VertexId num_vertices,
 CsrGraph generate_erdos_renyi(VertexId num_vertices, EdgeCount num_edges,
                               std::uint32_t num_labels, Rng& rng) {
   if (num_vertices < 2) {
-    throw std::invalid_argument("ER generator needs n >= 2");
+    throw Error(ErrorCode::kConfig, "ER generator needs n >= 2");
   }
   std::vector<Edge> edges;
   edges.reserve(num_edges);
@@ -175,7 +176,7 @@ CsrGraph generate_road_network(std::uint32_t rows, std::uint32_t cols,
                                double keep_prob, double diag_prob,
                                std::uint32_t num_labels, Rng& rng) {
   if (rows < 2 || cols < 2) {
-    throw std::invalid_argument("road network needs at least a 2x2 grid");
+    throw Error(ErrorCode::kConfig, "road network needs at least a 2x2 grid");
   }
   const auto n = static_cast<VertexId>(rows * cols);
   auto id = [cols](std::uint32_t r, std::uint32_t c) {

@@ -209,8 +209,8 @@ void write_snapshot_file(const std::string& path,
                          const DurableCounters& counters, bool sync,
                          FaultInjector* faults) {
   static auto& m_writes =
-      metrics::Registry::global().counter("snapshot.writes");
-  static auto& m_bytes = metrics::Registry::global().counter("snapshot.bytes");
+      metrics::Registry::global().counter(metric::kSnapshotWrites);
+  static auto& m_bytes = metrics::Registry::global().counter(metric::kSnapshotBytes);
   if (faults != nullptr && faults->fires(fault_site::kSnapshotWrite)) {
     // Fires before encoding reaches the disk; the previous snapshot file
     // is untouched, so a retry (or skipping the snapshot) is safe.

@@ -1,10 +1,10 @@
 #include "graph/update_stream.hpp"
 
 #include <algorithm>
-#include <stdexcept>
 #include <unordered_set>
 
 #include "graph/dynamic_graph.hpp"
+#include "util/error.hpp"
 #include "util/fault.hpp"
 
 namespace gcsm {
@@ -21,7 +21,7 @@ UpdateStream make_update_stream(const CsrGraph& graph,
   }
   pool = std::min<EdgeCount>(pool, all.size());
   if (pool == 0) {
-    throw std::invalid_argument("update stream pool is empty");
+    throw Error(ErrorCode::kConfig, "update stream pool is empty");
   }
 
   // Partial Fisher-Yates: the first `pool` entries become the pool.

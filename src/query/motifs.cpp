@@ -1,14 +1,15 @@
 #include "query/motifs.hpp"
 
 #include <set>
-#include <stdexcept>
 #include <string>
+
+#include "util/error.hpp"
 
 namespace gcsm {
 
 std::vector<QueryGraph> all_motifs(std::uint32_t size) {
   if (size < 2 || size > 6) {
-    throw std::invalid_argument("motif size must be in [2, 6]");
+    throw Error(ErrorCode::kConfig, "motif size must be in [2, 6]");
   }
   const std::uint32_t num_pairs = size * (size - 1) / 2;
   std::vector<QueryGraph> out;

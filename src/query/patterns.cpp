@@ -1,6 +1,7 @@
 #include "query/patterns.hpp"
 
-#include <stdexcept>
+
+#include "util/error.hpp"
 
 namespace gcsm {
 
@@ -70,7 +71,7 @@ QueryGraph make_pattern(int index) {
                                                    {6, 4}},
                                     {}, "Q6");
     default:
-      throw std::invalid_argument("pattern index must be in [1, 6]");
+      throw Error(ErrorCode::kConfig, "pattern index must be in [1, 6]");
   }
 }
 
@@ -102,7 +103,7 @@ QueryGraph make_path(std::uint32_t length) {
 }
 
 QueryGraph make_cycle(std::uint32_t length) {
-  if (length < 3) throw std::invalid_argument("cycle length must be >= 3");
+  if (length < 3) throw Error(ErrorCode::kConfig, "cycle length must be >= 3");
   std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
   for (std::uint32_t i = 0; i < length; ++i) {
     edges.emplace_back(i, (i + 1) % length);
@@ -112,7 +113,7 @@ QueryGraph make_cycle(std::uint32_t length) {
 
 QueryGraph make_clique(std::uint32_t size) {
   if (size < 2 || size > kMaxQueryVertices) {
-    throw std::invalid_argument("clique size must be in [2, 8]");
+    throw Error(ErrorCode::kConfig, "clique size must be in [2, 8]");
   }
   std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
   for (std::uint32_t i = 0; i < size; ++i) {

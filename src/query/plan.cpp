@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <sstream>
-#include <stdexcept>
+
+#include "util/check.hpp"
+#include "util/error.hpp"
 
 namespace gcsm {
 namespace {
@@ -50,7 +52,7 @@ std::vector<std::uint32_t> make_order(const QueryGraph& q, std::uint32_t a,
       }
     }
     if (best < 0) {
-      throw std::invalid_argument("query graph is not connected");
+      throw Error(ErrorCode::kConfig, "query graph is not connected");
     }
     order.push_back(static_cast<std::uint32_t>(best));
     matched[static_cast<std::uint32_t>(best)] = true;
@@ -65,7 +67,7 @@ std::uint32_t edge_id_between(const QueryGraph& q, std::uint32_t u,
   for (const QueryEdge& e : q.edges()) {
     if (e.a == a && e.b == b) return e.id;
   }
-  throw std::logic_error("no such query edge");
+  GCSM_CHECK(false, "no such query edge");
 }
 
 // Shared construction: the view of a constraint through query edge j in
@@ -75,7 +77,7 @@ MatchPlan build_plan(const QueryGraph& q, std::uint32_t seed_edge_id,
                      bool delta,
                      const std::vector<std::uint64_t>* weights = nullptr) {
   if (q.num_edges() == 0) {
-    throw std::invalid_argument("query has no edges");
+    throw Error(ErrorCode::kConfig, "query has no edges");
   }
   const QueryEdge seed = q.edges()[seed_edge_id];
 
@@ -102,9 +104,8 @@ MatchPlan build_plan(const QueryGraph& q, std::uint32_t seed_edge_id,
       c.view = (delta && j < seed_edge_id) ? ViewMode::kOld : ViewMode::kNew;
       level.constraints.push_back(c);
     }
-    if (level.constraints.empty()) {
-      throw std::logic_error("disconnected level in matching order");
-    }
+    GCSM_CHECK(!level.constraints.empty(),
+               "disconnected level in matching order");
     plan.levels.push_back(std::move(level));
   }
 
@@ -122,7 +123,7 @@ MatchPlan make_static_plan(const QueryGraph& q) {
 
 MatchPlan make_delta_plan(const QueryGraph& q, std::uint32_t edge_id) {
   if (edge_id >= q.num_edges()) {
-    throw std::out_of_range("delta plan edge id out of range");
+    throw Error(ErrorCode::kConfig, "delta plan edge id out of range");
   }
   return build_plan(q, edge_id, /*delta=*/true);
 }
@@ -131,10 +132,10 @@ MatchPlan make_delta_plan_weighted(
     const QueryGraph& q, std::uint32_t edge_id,
     const std::vector<std::uint64_t>& vertex_weights) {
   if (edge_id >= q.num_edges()) {
-    throw std::out_of_range("delta plan edge id out of range");
+    throw Error(ErrorCode::kConfig, "delta plan edge id out of range");
   }
   if (vertex_weights.size() != q.num_vertices()) {
-    throw std::invalid_argument("vertex_weights size mismatch");
+    throw Error(ErrorCode::kConfig, "vertex_weights size mismatch");
   }
   return build_plan(q, edge_id, /*delta=*/true, &vertex_weights);
 }

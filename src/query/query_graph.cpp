@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
-#include <stdexcept>
+
+#include "util/error.hpp"
 
 namespace gcsm {
 
@@ -11,10 +12,10 @@ QueryGraph QueryGraph::from_edges(
     const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges,
     std::vector<Label> labels, std::string name) {
   if (num_vertices == 0 || num_vertices > kMaxQueryVertices) {
-    throw std::invalid_argument("query size must be in [1, 8]");
+    throw Error(ErrorCode::kConfig, "query size must be in [1, 8]");
   }
   if (!labels.empty() && labels.size() != num_vertices) {
-    throw std::invalid_argument("query labels size mismatch");
+    throw Error(ErrorCode::kConfig, "query labels size mismatch");
   }
   QueryGraph q;
   q.n_ = num_vertices;
@@ -27,14 +28,14 @@ QueryGraph QueryGraph::from_edges(
   canon.reserve(edges.size());
   for (auto [a, b] : edges) {
     if (a == b || a >= num_vertices || b >= num_vertices) {
-      throw std::invalid_argument("bad query edge");
+      throw Error(ErrorCode::kConfig, "bad query edge");
     }
     if (a > b) std::swap(a, b);
     canon.emplace_back(a, b);
   }
   std::sort(canon.begin(), canon.end());
   if (std::adjacent_find(canon.begin(), canon.end()) != canon.end()) {
-    throw std::invalid_argument("duplicate query edge");
+    throw Error(ErrorCode::kConfig, "duplicate query edge");
   }
   for (std::uint32_t i = 0; i < canon.size(); ++i) {
     const auto [a, b] = canon[i];

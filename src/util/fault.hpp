@@ -30,25 +30,33 @@
 
 namespace gcsm {
 
-// Canonical site names, threaded through the stack. Components compare by
-// content, not pointer, so call sites may also use ad-hoc names in tests.
-namespace fault_site {
-inline constexpr const char* kDeviceAlloc = "device.alloc";
-inline constexpr const char* kDeviceDma = "device.dma";
-inline constexpr const char* kKernelLaunch = "kernel.launch";
-inline constexpr const char* kKernelHang = "kernel.hang";
-inline constexpr const char* kCacheBuild = "cache.build";
-inline constexpr const char* kGraphApply = "graph.apply";
-inline constexpr const char* kBatchCorrupt = "batch.corrupt";
-// Durability layer (docs/ROBUSTNESS.md, "Durability & recovery").
-inline constexpr const char* kWalWrite = "wal.write";
-inline constexpr const char* kWalFsync = "wal.fsync";
-inline constexpr const char* kSnapshotWrite = "snapshot.write";
+// Canonical site names, generated from the X-macro registry
+// util/fault_sites.def (the single source of truth; see the policy comment
+// there). Components compare by content, not pointer, so call sites may
+// also use ad-hoc names in tests — but src/ call sites must reference these
+// constants, never the raw string (enforced by tools/gcsm_lint).
+//
 // crash.at is special: when it fires, the durable write in progress is torn
 // at FaultSpec::crash_at_byte and a CrashError escapes (the in-process
 // kill -9). It never fires from arm_all's default spec — only an explicit
 // arm() can schedule a crash, so probabilistic fault sweeps stay alive.
-inline constexpr const char* kCrashAt = "crash.at";
+namespace fault_site {
+#define GCSM_FAULT_SITE(sym, name, armable) \
+  inline constexpr const char* k##sym = name;
+#include "util/fault_sites.def"
+#undef GCSM_FAULT_SITE
+
+struct Info {
+  const char* name;
+  bool armable;  // covered by arm_all's default spec
+};
+
+// Every registered site, in registry (name) order — for tests and tooling.
+inline constexpr Info kSiteTable[] = {
+#define GCSM_FAULT_SITE(sym, name, armable) {name, armable},
+#include "util/fault_sites.def"
+#undef GCSM_FAULT_SITE
+};
 }  // namespace fault_site
 
 // Every site covered by arm_all (crash.at is deliberately excluded; see

@@ -1,0 +1,34 @@
+// Typed constants for every registered metric name, generated from the
+// X-macro registry util/metric_names.def (the single source of truth; see
+// the policy comment there). Call sites write
+//
+//   metrics::Registry::global().counter(metric::kPipelineBatches)
+//   metrics::Registry::global().counter(prefix + metric::kCacheHits)
+//
+// so a typo is a compile error and tools/gcsm_lint can hold the registry,
+// the call sites, and the docs/OBSERVABILITY.md catalogue in sync.
+#pragma once
+
+namespace gcsm::metric {
+
+#define GCSM_METRIC(kind, sym, name, meaning) \
+  inline constexpr const char* k##sym = name;
+#include "util/metric_names.def"
+#undef GCSM_METRIC
+
+enum class Kind { kCounter, kGauge, kHistogram };
+
+struct Info {
+  const char* name;
+  Kind kind;
+};
+
+// Every registered metric, in registry (name) order — for tests and tooling
+// that need to enumerate the catalogue.
+inline constexpr Info kMetricTable[] = {
+#define GCSM_METRIC(kind, sym, name, meaning) {name, Kind::k##kind},
+#include "util/metric_names.def"
+#undef GCSM_METRIC
+};
+
+}  // namespace gcsm::metric

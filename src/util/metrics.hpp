@@ -29,6 +29,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/metric_names.hpp"
+
 namespace gcsm::metrics {
 
 // Monotonically increasing event count.

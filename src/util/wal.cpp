@@ -66,8 +66,8 @@ Writer::~Writer() {
 
 void Writer::append(RecordType type, std::uint64_t seq,
                     std::string_view payload) {
-  static auto& m_records = metrics::Registry::global().counter("wal.records");
-  static auto& m_bytes = metrics::Registry::global().counter("wal.bytes");
+  static auto& m_records = metrics::Registry::global().counter(metric::kWalRecords);
+  static auto& m_bytes = metrics::Registry::global().counter(metric::kWalBytes);
   const std::string rec = encode_record(type, seq, payload);
   if (faults_ != nullptr && faults_->fires(fault_site::kWalWrite)) {
     // Fires before any byte reaches the file, so a retry simply re-appends.
@@ -92,9 +92,9 @@ void Writer::append(RecordType type, std::uint64_t seq,
 }
 
 void Writer::sync() {
-  static auto& m_fsyncs = metrics::Registry::global().counter("wal.fsyncs");
+  static auto& m_fsyncs = metrics::Registry::global().counter(metric::kWalFsyncs);
   static auto& h_fsync =
-      metrics::Registry::global().histogram("wal.fsync_ms");
+      metrics::Registry::global().histogram(metric::kWalFsyncMs);
   if (faults_ != nullptr && faults_->fires(fault_site::kWalFsync)) {
     throw Error(ErrorCode::kWalWrite,
                 "injected fault: WAL fsync failed (" + path_ + ")");

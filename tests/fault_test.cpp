@@ -439,7 +439,7 @@ TEST(PipelineFaults, UnsanitizedMalformedBatchRollsBackAndRethrows) {
   EdgeBatch bad;
   bad.updates = {{0, 1'000'000, +1}};
   const std::int64_t before = count_in(pipe.graph(), q);
-  EXPECT_THROW(pipe.process_batch(bad), std::out_of_range);
+  EXPECT_THROW(pipe.process_batch(bad), Error);
   pipe.graph().validate();
   EXPECT_EQ(count_in(pipe.graph(), q), before);
   // The pipeline is still usable afterwards.

@@ -8,6 +8,7 @@
 #include "gpusim/device.hpp"
 #include "gpusim/page_cache.hpp"
 #include "gpusim/simt_executor.hpp"
+#include "util/error.hpp"
 
 namespace gcsm::gpusim {
 namespace {
@@ -179,7 +180,7 @@ TEST(Device, DmaLargerThanBufferThrows) {
   DeviceBuffer buf = dev.alloc(16);
   std::vector<char> src(32);
   EXPECT_THROW(dev.dma_to_device(buf, src.data(), 32, c),
-               std::invalid_argument);
+               Error);
 }
 
 // --------------------------------------------------------- page cache -----

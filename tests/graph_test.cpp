@@ -16,6 +16,7 @@
 #include "graph/graph_io.hpp"
 #include "graph/update_stream.hpp"
 #include "util/rng.hpp"
+#include "util/error.hpp"
 
 namespace gcsm {
 namespace {
@@ -63,12 +64,12 @@ TEST(CsrGraph, DropsSelfLoopsAndDuplicates) {
 }
 
 TEST(CsrGraph, RejectsOutOfRangeEdge) {
-  EXPECT_THROW(CsrGraph::from_edges(2, {{0, 5}}), std::out_of_range);
+  EXPECT_THROW(CsrGraph::from_edges(2, {{0, 5}}), Error);
 }
 
 TEST(CsrGraph, RejectsBadLabelSize) {
   EXPECT_THROW(CsrGraph::from_edges(3, {{0, 1}}, {0, 1}),
-               std::invalid_argument);
+               Error);
 }
 
 TEST(CsrGraph, EdgeListRoundTrip) {
@@ -210,7 +211,7 @@ TEST(DynamicGraph, RejectsDeletingMissingEdge) {
   DynamicGraph g(make_small());
   EdgeBatch batch;
   batch.updates.push_back({0, 3, -1});  // not an edge
-  EXPECT_THROW(g.apply_batch(batch), std::invalid_argument);
+  EXPECT_THROW(g.apply_batch(batch), Error);
 }
 
 TEST(DynamicGraph, RejectsSecondBatchBeforeReorganize) {
@@ -364,13 +365,13 @@ TEST(Generators, DeterministicForSeed) {
 
 TEST(Generators, InvalidArgumentsThrow) {
   Rng rng(1);
-  EXPECT_THROW(generate_barabasi_albert(1, 2, 1, rng), std::invalid_argument);
+  EXPECT_THROW(generate_barabasi_albert(1, 2, 1, rng), Error);
   EXPECT_THROW(generate_rmat(0, 8, 0.5, 0.2, 0.2, 1, rng),
-               std::invalid_argument);
+               Error);
   EXPECT_THROW(generate_rmat(10, 8, 0.5, 0.3, 0.3, 1, rng),
-               std::invalid_argument);
+               Error);
   EXPECT_THROW(generate_road_network(1, 5, 0.9, 0.1, 1, rng),
-               std::invalid_argument);
+               Error);
 }
 
 // ------------------------------------------------------ update stream -----
@@ -450,7 +451,7 @@ TEST(UpdateStream, EmptyPoolThrows) {
   UpdateStreamOptions opt;
   opt.pool_edge_count = 0;
   opt.pool_edge_fraction = 0.0;
-  EXPECT_THROW(make_update_stream(g, opt), std::invalid_argument);
+  EXPECT_THROW(make_update_stream(g, opt), Error);
 }
 
 // ------------------------------------------------------------- IO ---------

@@ -1,0 +1,15 @@
+#include <mutex>
+#include <stdexcept>
+
+// Comments may spell "cache.builds" or memory_order_relaxed freely.
+void good() {
+  std::mutex mu;
+  const std::lock_guard<std::mutex> hold(mu);
+  const char* series = metric::kCacheBuilds;
+  (void)series;
+  try {
+    throw Error(ErrorCode::kConfig, "cache builds exhausted");
+  } catch (...) {
+    throw;  // bare rethrow is fine
+  }
+}

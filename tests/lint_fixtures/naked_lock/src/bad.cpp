@@ -1,0 +1,6 @@
+#include <mutex>
+
+void bad(std::mutex& mu) {
+  mu.lock();
+  mu.unlock();
+}

@@ -1,0 +1,4 @@
+void bad(FaultInjector* faults) {
+  if (faults->fires("cache.build")) {
+  }
+}

@@ -1,0 +1,4 @@
+void bad() {
+  auto& c = registry().counter("cache.builds");
+  c.add();
+}

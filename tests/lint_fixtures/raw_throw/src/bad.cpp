@@ -1,0 +1,7 @@
+#include <stdexcept>
+
+void bad(int n) {
+  if (n < 0) {
+    throw std::invalid_argument("n must be non-negative");
+  }
+}

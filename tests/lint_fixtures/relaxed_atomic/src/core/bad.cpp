@@ -1,0 +1,5 @@
+#include <atomic>
+
+void bad(std::atomic<int>& v) {
+  v.store(1, std::memory_order_relaxed);
+}

@@ -9,6 +9,7 @@
 #include "graph/generators.hpp"
 #include "graph/update_stream.hpp"
 #include "query/patterns.hpp"
+#include "util/error.hpp"
 
 namespace gcsm {
 namespace {
@@ -64,7 +65,7 @@ TEST(MatchStore, RejectsWrongArity) {
   MatchStore store(make_triangle());
   const std::vector<VertexId> bad{1, 2};
   EXPECT_THROW(store.apply(std::span<const VertexId>(bad.data(), 2), +1),
-               std::invalid_argument);
+               Error);
 }
 
 TEST(MatchStore, TracksStreamAgainstReferenceEnumeration) {

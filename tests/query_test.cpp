@@ -8,6 +8,7 @@
 #include "query/patterns.hpp"
 #include "query/plan.hpp"
 #include "query/query_graph.hpp"
+#include "util/error.hpp"
 
 namespace gcsm {
 namespace {
@@ -42,11 +43,11 @@ TEST(QueryGraph, AdjacencyAndDegree) {
 }
 
 TEST(QueryGraph, RejectsBadInput) {
-  EXPECT_THROW(QueryGraph::from_edges(9, {{0, 1}}), std::invalid_argument);
-  EXPECT_THROW(QueryGraph::from_edges(3, {{0, 0}}), std::invalid_argument);
+  EXPECT_THROW(QueryGraph::from_edges(9, {{0, 1}}), Error);
+  EXPECT_THROW(QueryGraph::from_edges(3, {{0, 0}}), Error);
   EXPECT_THROW(QueryGraph::from_edges(3, {{0, 1}, {1, 0}}),
-               std::invalid_argument);
-  EXPECT_THROW(QueryGraph::from_edges(3, {{0, 5}}), std::invalid_argument);
+               Error);
+  EXPECT_THROW(QueryGraph::from_edges(3, {{0, 5}}), Error);
 }
 
 TEST(QueryGraph, LabelsAndWildcard) {
@@ -138,8 +139,8 @@ TEST(Patterns, RoundRobinLabels) {
 }
 
 TEST(Patterns, InvalidIndexThrows) {
-  EXPECT_THROW(make_pattern(0), std::invalid_argument);
-  EXPECT_THROW(make_pattern(7), std::invalid_argument);
+  EXPECT_THROW(make_pattern(0), Error);
+  EXPECT_THROW(make_pattern(7), Error);
 }
 
 // -------------------------------------------------------------- motifs ----
@@ -166,8 +167,8 @@ TEST(Motifs, AllConnectedAndDistinct) {
 }
 
 TEST(Motifs, SizeBoundsEnforced) {
-  EXPECT_THROW(all_motifs(1), std::invalid_argument);
-  EXPECT_THROW(all_motifs(7), std::invalid_argument);
+  EXPECT_THROW(all_motifs(1), Error);
+  EXPECT_THROW(all_motifs(7), Error);
 }
 
 // ---------------------------------------------------------------- plans ---
@@ -285,7 +286,7 @@ TEST(Plan, WeightedOrderPrefersLowWeight) {
 
 TEST(Plan, DisconnectedQueryThrows) {
   const QueryGraph q = QueryGraph::from_edges(4, {{0, 1}, {2, 3}});
-  EXPECT_THROW(make_static_plan(q), std::invalid_argument);
+  EXPECT_THROW(make_static_plan(q), Error);
 }
 
 TEST(Plan, DescribeMentionsViews) {

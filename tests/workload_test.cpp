@@ -5,6 +5,7 @@
 #include "core/workloads.hpp"
 #include "graph/generators.hpp"
 #include "util/rng.hpp"
+#include "util/error.hpp"
 
 namespace gcsm {
 namespace {
@@ -21,7 +22,7 @@ TEST(Workloads, AllSevenSpecsBuild) {
 
 TEST(Workloads, UnknownNameThrows) {
   EXPECT_THROW(make_workload_graph("NOPE", 1.0, 4, 1),
-               std::invalid_argument);
+               Error);
 }
 
 TEST(Workloads, RoadNetsHaveTinyMaxDegree) {
@@ -86,11 +87,11 @@ TEST(CommunityBa, HasCommunitiesAndSkew) {
 TEST(CommunityBa, RejectsBadArguments) {
   Rng rng(1);
   EXPECT_THROW(generate_community_ba(1, 2, 4, 0.9, 1, rng),
-               std::invalid_argument);
+               Error);
   EXPECT_THROW(generate_community_ba(100, 0, 4, 0.9, 1, rng),
-               std::invalid_argument);
+               Error);
   EXPECT_THROW(generate_community_ba(100, 2, 0, 0.9, 1, rng),
-               std::invalid_argument);
+               Error);
 }
 
 }  // namespace

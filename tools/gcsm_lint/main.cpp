@@ -1,0 +1,38 @@
+// gcsm_lint driver: `gcsm_lint [ROOT]` lints the tree rooted at ROOT
+// (default: the current directory), printing one `file:line: rule: message`
+// diagnostic per violation and exiting nonzero if any were found.
+// scripts/check.sh runs it from the repo root under the checks preset.
+#include <cstdio>
+#include <string>
+
+#include "lint.hpp"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: gcsm_lint [ROOT]\n"
+          "Registry-backed contract linter for the GCSM tree "
+          "(docs/ANALYSIS.md).\nScans ROOT/src against the "
+          "ROOT/src/util/*.def registries and\nROOT/docs/OBSERVABILITY.md; "
+          "prints `file:line: rule: message` per\nviolation and exits 1 if "
+          "any were found.\n");
+      return 0;
+    }
+    root = arg;
+  }
+
+  const auto diagnostics = gcsm::lint::run_lint({root});
+  for (const auto& d : diagnostics) {
+    std::printf("%s\n", gcsm::lint::format_diagnostic(d).c_str());
+  }
+  if (!diagnostics.empty()) {
+    std::fprintf(stderr, "gcsm_lint: %zu violation%s in %s\n",
+                 diagnostics.size(), diagnostics.size() == 1 ? "" : "s",
+                 root.c_str());
+    return 1;
+  }
+  return 0;
+}
