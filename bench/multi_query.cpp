@@ -13,6 +13,7 @@
 
 #include "harness.hpp"
 #include "server/multi_query_engine.hpp"
+#include "util/fault.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -138,6 +139,68 @@ static int run(const gcsm::CliArgs& args) {
     query_names.push_back(shared.query);
     all.push_back(std::move(shared));
     all.push_back(std::move(indep));
+  }
+
+  // Poison-tenant isolation: the x8 query set again, but one tenant armed
+  // to fail 100% of its match attempts at the match.query fault site. With
+  // `trip_after_failures = 1` the breaker quarantines it on the first batch
+  // and every batch commits for the seven healthy tenants — the number to
+  // watch is how close this wall time stays to the clean x8 row above
+  // (docs/ROBUSTNESS.md, "Tenant isolation & circuit breaker").
+  {
+    std::vector<QueryGraph> patterns;
+    for (std::size_t i = 0; i < 8; ++i) {
+      patterns.push_back(paper_query(static_cast<int>(i % 6) + 1, config));
+    }
+    FaultInjector faults(config.seed);
+    server::MultiQueryOptions opt = multi_options(config, budget);
+    opt.fault_injector = &faults;
+    opt.breaker.trip_after_failures = 1;
+    opt.breaker.cooldown_batches = config.num_batches + 1;  // never re-joins
+    server::MultiQueryEngine engine(stream.initial, opt);
+    server::QueryId poison = 0;
+    for (const QueryGraph& q : patterns) {
+      const server::QueryId id = engine.register_query(q);
+      if (poison == 0) poison = id;
+    }
+    FaultSpec spec;
+    spec.probability = 1.0;
+    spec.match_query_id = poison;
+    faults.arm(fault_site::kMatchQuery, spec);
+
+    EngineResult poisoned;
+    poisoned.engine = "shared-poison";
+    poisoned.query = "x8";
+    std::uint64_t skipped_batches = 0;
+    for (std::size_t k = 0; k < config.num_batches; ++k) {
+      const Timer t;
+      const server::ServerBatchReport r =
+          engine.process_batch(stream.batches[k]);
+      BatchRecord rec;
+      rec.index = k;
+      rec.wall_ms = t.millis();
+      rec.sim_s = r.shared.sim_total_s();
+      rec.embeddings = r.shared.stats.signed_embeddings;
+      rec.cached_vertices = r.shared.cached_vertices;
+      rec.retries = r.shared.retries;
+      for (const server::QueryReport& q : r.queries) {
+        rec.sim_s += q.report.sim_match_s;
+        rec.cache_hits += q.report.traffic.cache_hits;
+        rec.cache_misses += q.report.traffic.cache_misses;
+        rec.retries += q.report.retries;
+        if (q.skipped || q.tripped) ++skipped_batches;
+      }
+      poisoned.wall_ms += rec.wall_ms;
+      poisoned.per_batch.push_back(rec);
+    }
+    std::printf(
+        "\npoison isolation: x8 with q%u poisoned at match.query p=1.0 — "
+        "wall %.2f ms, %llu query-batches quarantined, every batch "
+        "committed\n",
+        poison, poisoned.wall_ms,
+        static_cast<unsigned long long>(skipped_batches));
+    query_names.push_back(poisoned.query);
+    all.push_back(std::move(poisoned));
   }
 
   if (!config.json_path.empty()) {

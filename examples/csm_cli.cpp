@@ -116,6 +116,13 @@ int usage() {
       "               [--recover]            (replay committed state from\n"
       "                --wal-dir before processing; resumes the stream\n"
       "                after the last committed batch)\n"
+      "               [--poison-query=ID]    (multi-query only: arm the\n"
+      "                match.query fault site at p=1.0 against query ID --\n"
+      "                a poison tenant; see docs/ROBUSTNESS.md)\n"
+      "               [--breaker-trip-after=K] [--breaker-cooldown=N]\n"
+      "               [--debt-window=N] [--match-deadline-ms=T]\n"
+      "                (multi-query circuit breaker tuning;\n"
+      "                docs/ROBUSTNESS.md \"Tenant isolation\")\n"
       "exit codes: 0 ok, 1 permanent error, 2 config/parse error,\n"
       "            3 unrecoverable device error\n"
       "Repeat --query to serve several patterns from one shared engine\n"
@@ -152,11 +159,27 @@ int run_multi_query(const CliArgs& args, const UpdateStream& stream,
         static_cast<std::uint64_t>(args.get_int("snapshot-every", 8));
     mopt.durability.recover_on_start = args.has("recover");
   }
+  mopt.breaker.trip_after_failures =
+      static_cast<std::uint64_t>(args.get_int("breaker-trip-after", 2));
+  mopt.breaker.cooldown_batches =
+      static_cast<std::uint64_t>(args.get_int("breaker-cooldown", 4));
+  mopt.breaker.max_debt_batches =
+      static_cast<std::uint64_t>(args.get_int("debt-window", 64));
+  mopt.breaker.match_deadline_ms =
+      static_cast<std::uint64_t>(args.get_int("match-deadline-ms", 0));
   FaultInjector faults(
       static_cast<std::uint64_t>(args.get_int("fault-seed", 0x5eed)));
   const double fault_p = args.get_double("faults", 0.0);
   if (fault_p > 0.0) {
     faults.arm_all(fault_p);
+    mopt.fault_injector = &faults;
+  }
+  const int poison_query = args.get_int("poison-query", 0);
+  if (poison_query > 0) {
+    FaultSpec poison;
+    poison.probability = 1.0;
+    poison.match_query_id = static_cast<std::uint64_t>(poison_query);
+    faults.arm(fault_site::kMatchQuery, poison);
     mopt.fault_injector = &faults;
   }
   server::MultiQueryEngine srv(stream.initial, mopt);
@@ -236,6 +259,12 @@ int run_multi_query(const CliArgs& args, const UpdateStream& stream,
           q.report.sim_match_s * 1e3, 100.0 * q.report.cache_hit_rate(),
           q.report.retries > 0 ? " [retried]" : "",
           q.report.cpu_fallback ? " [CPU fallback]" : "");
+      if (q.tripped || q.skipped || q.probed || q.rejoined) {
+        std::printf("    breaker:%s%s%s%s%s\n", q.tripped ? " tripped" : "",
+                    q.skipped ? " quarantined" : "", q.probed ? " probed" : "",
+                    q.rejoined ? " rejoined" : "",
+                    q.rebaselined ? " (re-baselined)" : "");
+      }
     }
     if (r.shared.retries > 0 || r.shared.degradation_level > 0 ||
         !r.shared.quarantine.empty()) {

@@ -14,6 +14,14 @@
 #   tidy       — clang-tidy over src/ (skipped when clang-tidy is not
 #                installed; the .clang-tidy config is still the gate in
 #                environments that have it)
+#
+# Opt-in stages (never run by default; name them explicitly):
+#   soak       — scripts/soak.sh: time-capped poison-tenant fault-matrix
+#                soak of the multi-query circuit breaker against the
+#                default build (GCSM_SOAK_SECONDS caps it, default 120)
+#
+#   scripts/check.sh soak                      # just the soak
+#   GCSM_SOAK_SECONDS=600 scripts/check.sh asan-ubsan soak
 set -u
 
 cd "$(dirname "$0")/.."
@@ -73,12 +81,21 @@ run_preset() {
     if ! run ctest --preset multiquery-asan -j "${JOBS}"; then
       failures+=("multiquery-asan: tests")
     fi
+    # Tenant isolation (circuit breaker, quarantine, catch-up replay,
+    # kill-during-catch-up crash matrix) under asan/ubsan.
+    if ! run ctest --preset breaker-asan -j "${JOBS}"; then
+      failures+=("breaker-asan: tests")
+    fi
   fi
   # The match fan-out across queries is the concurrency hot spot: the
-  # multiquery label (engine suite + ThreadPool stress) is the tsan target.
+  # multiquery label (engine suite + ThreadPool stress) is the tsan target,
+  # and the breaker's trip/re-join staging races against the same fan-out.
   if [ "${preset}" = "tsan" ]; then
     if ! run ctest --preset multiquery-tsan -j "${JOBS}"; then
       failures+=("multiquery-tsan: tests")
+    fi
+    if ! run ctest --preset breaker-tsan -j "${JOBS}"; then
+      failures+=("breaker-tsan: tests")
     fi
   fi
   # Bench smoke + --json schema gate (docs/OBSERVABILITY.md): a reduced
@@ -122,6 +139,19 @@ else
 fi
 
 for preset in "${presets[@]}"; do
+  # Opt-in soak stage: not a CMake preset — builds the default preset and
+  # hands off to scripts/soak.sh (time cap via GCSM_SOAK_SECONDS).
+  if [ "${preset}" = "soak" ]; then
+    echo
+    echo "=== stage: soak (opt-in) ==="
+    if ! run cmake --preset default ||
+       ! run cmake --build --preset default -j "${JOBS}"; then
+      failures+=("soak: build")
+    elif ! run scripts/soak.sh "${GCSM_SOAK_SECONDS:-120}"; then
+      failures+=("soak")
+    fi
+    continue
+  fi
   if [ "${preset}" = "tidy" ] && ! command -v clang-tidy > /dev/null 2>&1; then
     echo
     echo "=== preset: tidy — SKIPPED (clang-tidy not installed) ==="

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Time-capped poison-tenant soak for the multi-query circuit breaker
+# (docs/ROBUSTNESS.md, "Tenant isolation & circuit breaker").
+#
+# Each pass streams batches through csm_cli's multi-query path with EVERY
+# armable fault site lit at a low probability AND one query poisoned at
+# match.query p=1.0. The poison tenant must trip to quarantine while the
+# batches keep committing for the healthy tenants. A pass that dies from
+# the background fault matrix (exit 1: injected WAL/snapshot I/O error;
+# exit 3: ladder exhausted) is resumed with --recover against its WAL dir,
+# which soaks the breaker's durable-recovery path too; a pass that never
+# trips the poison query, exits with a config error, or burns through its
+# resume budget fails the soak.
+#
+#   scripts/soak.sh [seconds]        # default 120; or GCSM_SOAK_SECONDS
+#   GCSM_SOAK_BIN=build-foo/examples/csm_cli scripts/soak.sh 600
+#
+# scripts/check.sh runs this as the opt-in `soak` stage:
+#   scripts/check.sh soak
+set -u
+
+cd "$(dirname "$0")/.."
+
+CAP="${1:-${GCSM_SOAK_SECONDS:-120}}"
+BIN="${GCSM_SOAK_BIN:-build/examples/csm_cli}"
+if [ ! -x "${BIN}" ]; then
+  echo "soak.sh: ${BIN} not built (run: cmake --build build -j)" >&2
+  exit 2
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+
+passes=0
+resumes=0
+batches=0
+seed=101
+echo "soak.sh: poison-tenant soak — cap ${CAP}s, bin ${BIN}"
+while [ "${SECONDS}" -lt "${CAP}" ]; do
+  wal="${workdir}/wal"
+  rm -rf "${wal}"
+  mkdir -p "${wal}"
+  log="${workdir}/pass.log"
+  args=(--dataset=FR --scale=0.1 --engine=gcsm
+        --query=triangle --query=Q1 --query=diamond --query=Q2
+        --batch=128 --batches=32 --seed="${seed}"
+        --faults=0.12 --fault-seed="${seed}"
+        --poison-query=1 --breaker-trip-after=1 --breaker-cooldown=64
+        --wal-dir="${wal}" --snapshot-every=4)
+  "${BIN}" "${args[@]}" > "${log}" 2>&1
+  rc=$?
+  lives=0
+  while { [ "${rc}" -eq 1 ] || [ "${rc}" -eq 3 ]; } &&
+        [ "${lives}" -lt 20 ]; do
+    lives=$((lives + 1))
+    resumes=$((resumes + 1))
+    "${BIN}" "${args[@]}" --recover >> "${log}" 2>&1
+    rc=$?
+  done
+  if [ "${rc}" -ne 0 ]; then
+    echo "soak.sh: FAILED — exit ${rc} on pass ${passes} (seed ${seed}," \
+         "${lives} resumes); last log lines:" >&2
+    tail -n 30 "${log}" >&2
+    exit 1
+  fi
+  if ! grep -Eq 'breaker:.*(tripped|quarantined)' "${log}"; then
+    echo "soak.sh: FAILED — poison query never tripped on pass ${passes}" \
+         "(seed ${seed}); last log lines:" >&2
+    tail -n 30 "${log}" >&2
+    exit 1
+  fi
+  passes=$((passes + 1))
+  batches=$((batches + 32))
+  seed=$((seed + 1))
+done
+
+if [ "${passes}" -eq 0 ]; then
+  echo "soak.sh: FAILED — time cap ${CAP}s too small for a single pass" >&2
+  exit 1
+fi
+echo "soak.sh: OK — ${passes} passes, ${batches} batches," \
+     "${resumes} fault resumes in ${SECONDS}s"

@@ -92,6 +92,12 @@ RecoveredState DurabilityManager::recover() {
       batch_payloads[rec.seq] = &rec.payload;
       continue;
     }
+    if (rec.type == wal::RecordType::kServerState) {
+      // Health transitions are opaque here; the multi-query engine decodes
+      // and applies them against the registry image during its own replay.
+      state.server_states.emplace_back(rec.seq, rec.payload);
+      continue;
+    }
     // Commit marker: its counters are the integrity target; its batch is
     // replayed when the snapshot does not already cover it.
     const auto counters = durable::decode_counters(rec.payload);
@@ -167,13 +173,18 @@ void DurabilityManager::commit_batch(std::uint64_t seq,
   ++commits_since_snapshot_;
 }
 
-void DurabilityManager::maybe_snapshot(
+void DurabilityManager::log_server_state(std::uint64_t seq,
+                                         const std::string& payload) {
+  append_and_sync(wal::RecordType::kServerState, seq, payload);
+}
+
+bool DurabilityManager::maybe_snapshot(
     const DynamicGraph& graph, const durable::DurableCounters& counters) {
   if (options_.snapshot_interval == 0 ||
       commits_since_snapshot_ < options_.snapshot_interval) {
-    return;
+    return false;
   }
-  snapshot_now(graph, counters);
+  return snapshot_now(graph, counters);
 }
 
 bool DurabilityManager::snapshot_now(

@@ -64,6 +64,12 @@ struct RecoveredState {
   durable::DurableCounters expected;
   bool have_expected = false;
 
+  // kServerState payloads in log order (multi-query health transitions;
+  // see server/query_health.hpp). A trailing state record without a
+  // following commit marker is still included: the transition itself was
+  // durable even if the batch that carried it never committed.
+  std::vector<std::pair<std::uint64_t, std::string>> server_states;
+
   std::size_t dropped_uncommitted = 0;  // logged but never committed
   bool wal_tail_truncated = false;
   std::string warning;  // accumulated recovery warnings (also on stderr)
@@ -93,10 +99,19 @@ class DurabilityManager {
   void commit_batch(std::uint64_t seq,
                     const durable::DurableCounters& counters);
 
+  // Durably logs a kServerState record (multi-query health transition)
+  // under `seq` — the wal_seq of the batch the transition belongs to.
+  // Appended BEFORE that batch's commit marker so recovery sees the
+  // transition when (and only when) it was made durable. Same retry
+  // contract as begin_batch.
+  void log_server_state(std::uint64_t seq, const std::string& payload);
+
   // Step 4: snapshot + compact when the interval has elapsed. A CrashError
   // escapes (the process is "dead"); any other failure is swallowed with a
   // warning — the WAL still covers everything, so correctness is intact.
-  void maybe_snapshot(const DynamicGraph& graph,
+  // Returns true when a snapshot was actually written (the caller may need
+  // to refresh snapshot-relative baselines).
+  bool maybe_snapshot(const DynamicGraph& graph,
                       const durable::DurableCounters& counters);
 
   // Forces the snapshot + WAL compaction regardless of the interval. Same
@@ -108,6 +123,12 @@ class DurabilityManager {
                     const durable::DurableCounters& counters);
 
   std::uint64_t next_seq() const { return next_seq_; }
+  // Commits since the last snapshot — lets the multi-query engine tell when
+  // a deferred maybe_snapshot would actually have fired (snapshot deferral
+  // while catch-up debt is outstanding; docs/ROBUSTNESS.md).
+  std::uint64_t commits_since_snapshot() const {
+    return commits_since_snapshot_;
+  }
 
  private:
   void ensure_writer();

@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
-#include <thread>
+#include <map>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "core/gpu_engine.hpp"
@@ -12,8 +17,16 @@
 #include "util/fault.hpp"
 #include "util/timer.hpp"
 #include "util/trace.hpp"
+#include "util/wal.hpp"
 
 namespace gcsm::server {
+namespace {
+
+QueryCounters to_query_counters(const MatchStats& s) {
+  return QueryCounters{s.signed_embeddings, s.positive, s.negative, s.seeds};
+}
+
+}  // namespace
 
 MultiQueryEngine::MultiQueryEngine(const CsrGraph& initial,
                                    MultiQueryOptions options)
@@ -24,7 +37,8 @@ MultiQueryEngine::MultiQueryEngine(const CsrGraph& initial,
       durability_(options_.durability, options_.fault_injector),
       metrics_(options_.metric_prefix),
       match_pool_(options_.match_parallelism),
-      seed_root_(options_.seed) {
+      seed_root_(options_.seed),
+      initial_(options_.durability.enabled() ? initial : CsrGraph{}) {
   device_.set_fault_injector(faults_);
   graph_.set_fault_injector(faults_);
   if (!options_.durability.enabled()) return;
@@ -39,8 +53,9 @@ MultiQueryEngine::MultiQueryEngine(const CsrGraph& initial,
   }
 
   // The registry restores FIRST: replayed batches must run against exactly
-  // the query set they were committed under (a registry change forces a
-  // snapshot, so the WAL can only hold batches of the current set).
+  // the query set they were committed under. The image carries every
+  // query's breaker state and counters plus an aggregate anchor, all under
+  // one CRC — a damaged image is fatal (kRecovery), never silently ignored.
   if (const auto bytes = io::read_file_if_exists(registry_path_)) {
     std::string why;
     auto reg = QueryRegistry::decode(*bytes, &why);
@@ -60,26 +75,97 @@ MultiQueryEngine::MultiQueryEngine(const CsrGraph& initial,
     if (options_.check_invariants) graph_.validate();
     cumulative_ = recovery_info_.counters;
   }
-  if (!recovery_info_.replay.empty()) {
+
+  // Anchor selection: the image is rewritten after every commit, so its
+  // aggregate is normally ahead of the snapshot's and lets most of the
+  // replay run graph-only (no matching). The image anchor is trusted past
+  // the snapshot only when the replay actually REACHES it — the WAL's
+  // prefix property then guarantees every batch in between is present. A
+  // fresher-looking image whose seq the (possibly compacted) WAL cannot
+  // reach would otherwise let a damaged snapshot slip past the integrity
+  // gate with a graph that silently skipped batches.
+  const durable::DurableCounters& image_anchor = registry_.aggregate();
+  if (image_anchor.last_seq >= cumulative_.last_seq &&
+      image_anchor.batches_committed >= cumulative_.batches_committed) {
+    bool reachable = image_anchor.last_seq == cumulative_.last_seq;
+    for (const auto& [seq, batch] : recovery_info_.replay) {
+      if (seq == image_anchor.last_seq) {
+        reachable = true;
+        break;
+      }
+    }
+    if (reachable) cumulative_ = image_anchor;
+  }
+  const std::uint64_t anchor_seq = cumulative_.last_seq;
+
+  // Health-transition records are applied in log order, each one before the
+  // equal-seq batch it belongs to, and only when its revision is newer than
+  // the image's (a crash between the WAL append and the image rewrite
+  // converges to the same state as a crash after both). Tables are
+  // absolute, so a duplicate revision from a failed-then-retried batch is
+  // harmless. The aggregate carried by a record (which folds a re-join's
+  // catch-up correction — unreconstructible from batch records alone) only
+  // ever moves the anchor forward.
+  auto apply_record = [&](std::uint64_t seq, const std::string& payload) {
+    std::string why;
+    auto t = decode_transition(payload, &why);
+    if (!t.has_value()) {
+      throw Error(ErrorCode::kRecovery, "WAL health transition at seq " +
+                                            std::to_string(seq) +
+                                            " damaged: " + why);
+    }
+    if (t->revision <= registry_.health_revision()) return;
+    for (const auto& [id, health] : t->table) {
+      if (RegisteredQuery* entry = registry_.find_mutable(id)) {
+        entry->health = health;
+      }
+      // Unknown ids were unregistered after the record was written; their
+      // state is gone with them.
+    }
+    registry_.set_health_revision(t->revision);
+    if (t->aggregate.last_seq >= cumulative_.last_seq) {
+      cumulative_ = t->aggregate;
+    }
+  };
+  const auto& records = recovery_info_.server_states;
+  std::size_t ri = 0;
+
+  if (!recovery_info_.replay.empty() || !records.empty()) {
     if (states_.empty()) {
       throw Error(ErrorCode::kRecovery,
                   "WAL holds committed batches but no query is registered");
     }
     // Deterministic replay through the restored query set. Sinks are not
     // attached yet, so no subscriber callback fires twice; faults are
-    // suspended and `replaying_` prevents re-logging.
+    // suspended and `replaying_` prevents re-logging. Batches at or below
+    // the anchor replay graph-only; the rest replay fully, each query
+    // participating iff it is healthy at that point in the log and its
+    // position is behind the batch.
     const FaultSuspendGuard suspend(faults_);
     replaying_ = true;
     try {
       for (const auto& [seq, batch] : recovery_info_.replay) {
+        while (ri < records.size() && records[ri].first <= seq) {
+          apply_record(records[ri].first, records[ri].second);
+          ++ri;
+        }
+        replay_seq_ = seq;
+        replay_graph_only_ = seq <= anchor_seq;
         process_batch(batch);
-        cumulative_.last_seq = seq;
+        if (!replay_graph_only_) cumulative_.last_seq = seq;
+      }
+      // Trailing records (a transition made durable whose batch never
+      // committed) still apply: the durable side is conservatively ahead.
+      while (ri < records.size()) {
+        apply_record(records[ri].first, records[ri].second);
+        ++ri;
       }
     } catch (...) {
       replaying_ = false;
       throw;
     }
     replaying_ = false;
+    replay_graph_only_ = false;
   }
   if (recovery_info_.have_expected && cumulative_ != recovery_info_.expected) {
     throw Error(
@@ -91,6 +177,23 @@ MultiQueryEngine::MultiQueryEngine(const CsrGraph& initial,
             ", signed " + std::to_string(cumulative_.cum_signed) + " vs " +
             std::to_string(recovery_info_.expected.cum_signed) + ")");
   }
+  // Post-gate normalization: healthy queries participated in everything
+  // that replayed, so their positions land on the aggregate's (v1 images
+  // and snapshot-anchored replays leave them stale). Quarantined debt is
+  // re-measured against the final position — a snapshot written past a
+  // frozen position (or a debt window crossed while down) means re-join
+  // must re-baseline.
+  for (const RegisteredQuery& e : registry_.entries()) {
+    RegisteredQuery* entry = registry_.find_mutable(e.id);
+    if (entry->health.state == HealthState::kHealthy) {
+      entry->health.last_applied_seq = cumulative_.last_seq;
+    } else if (!entry->health.debt_overflow &&
+               cumulative_.last_seq - entry->health.last_applied_seq >
+                   options_.breaker.max_debt_batches) {
+      entry->health.debt_overflow = true;
+    }
+  }
+  refresh_breaker_gauges();
 }
 
 std::uint64_t MultiQueryEngine::effective_cache_budget() const {
@@ -138,27 +241,94 @@ MultiQueryEngine::QueryState* MultiQueryEngine::state_for(QueryId id) {
   return nullptr;
 }
 
-void MultiQueryEngine::persist_registry() {
+std::uint64_t MultiQueryEngine::current_position() const {
+  return options_.durability.enabled() ? cumulative_.last_seq
+                                       : cumulative_.batches_committed;
+}
+
+bool MultiQueryEngine::any_exact_catchup_debt() const {
+  for (const RegisteredQuery& e : registry_.entries()) {
+    if (e.health.state == HealthState::kQuarantined &&
+        !e.health.debt_overflow) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void MultiQueryEngine::refresh_breaker_gauges() const {
+  auto& quarantined = metrics::Registry::global().gauge(
+      options_.metric_prefix + metric::kServerBreakerQuarantined);
+  auto& debt = metrics::Registry::global().gauge(
+      options_.metric_prefix + metric::kServerCatchupDebtBatches);
+  const std::uint64_t position = current_position();
+  double quarantined_count = 0.0;
+  double debt_sum = 0.0;
+  for (const RegisteredQuery& e : registry_.entries()) {
+    if (e.health.state != HealthState::kQuarantined) continue;
+    quarantined_count += 1.0;
+    if (!e.health.debt_overflow && position > e.health.last_applied_seq) {
+      debt_sum += static_cast<double>(position - e.health.last_applied_seq);
+    }
+  }
+  quarantined.set(quarantined_count);
+  debt.set(debt_sum);
+}
+
+void MultiQueryEngine::persist_registry(bool allow_defer) {
   if (!options_.durability.enabled()) return;
   if (cumulative_.batches_committed > 0) {
     // Compact batches committed under the previous registry into a snapshot
-    // so they can never replay into the new one.
-    if (!durability_.snapshot_now(graph_, cumulative_)) {
+    // so they can never replay into the new one. While a quarantined query
+    // still owes exact catch-up, a REGISTRATION defers the compaction (the
+    // image's per-query positions anchor the new query past every batch
+    // already in the WAL, so replay stays correct) and the snapshot fires
+    // at the first debt-free commit. An UNREGISTRATION can never defer: the
+    // removed query's contributions are baked into the commit markers, so
+    // the WAL prefix must be compacted away — outstanding debt holders fall
+    // back to re-baseline when the WAL no longer covers them.
+    if (allow_defer && any_exact_catchup_debt()) {
+      force_snapshot_pending_ = true;
+    } else if (!durability_.snapshot_now(graph_, cumulative_)) {
       throw Error(ErrorCode::kSnapshotWrite,
                   "registry change needs a snapshot and the write failed");
     }
   }
+  registry_.set_aggregate(cumulative_);
   io::atomic_write_file(registry_path_, registry_.encode(),
                         options_.durability.fsync, faults_);
+}
+
+bool MultiQueryEngine::write_registry_image() {
+  if (registry_path_.empty()) return false;
+  registry_.set_aggregate(cumulative_);
+  try {
+    io::atomic_write_file(registry_path_, registry_.encode(),
+                          options_.durability.fsync, faults_);
+    return true;
+  } catch (const CrashError&) {
+    throw;
+  } catch (const Error& e) {
+    // Best-effort: a stale image only costs replay work at recovery (the
+    // anchor falls behind), never correctness. But a snapshot must NOT be
+    // written after a failed image rewrite — the snapshot would advance the
+    // graph past per-query counters the image can no longer account for.
+    std::fprintf(stderr, "[gcsm] warning: registry image rewrite failed: %s\n",
+                 e.what());
+    return false;
+  }
 }
 
 QueryId MultiQueryEngine::register_query(QueryGraph query, MatchSink sink,
                                          double weight) {
   const QueryId id = registry_.add(std::move(query), weight);
+  // Anchor the new query at the current position: recovery replay must
+  // never feed it batches committed before it existed.
+  registry_.find_mutable(id)->health.last_applied_seq = current_position();
   try {
     states_.push_back(make_state(*registry_.find(id)));
     states_.back()->sink = std::move(sink);
-    persist_registry();
+    persist_registry(/*allow_defer=*/true);
   } catch (...) {
     if (!states_.empty() && states_.back()->id == id) states_.pop_back();
     registry_.remove(id);
@@ -181,7 +351,7 @@ bool MultiQueryEngine::unregister_query(QueryId id) {
     }
   }
   try {
-    persist_registry();
+    persist_registry(/*allow_defer=*/false);
   } catch (...) {
     registry_.restore(std::move(saved));
     auto it = states_.begin();
@@ -189,6 +359,7 @@ bool MultiQueryEngine::unregister_query(QueryId id) {
     states_.insert(it, std::move(saved_state));
     throw;
   }
+  refresh_breaker_gauges();
   return true;
 }
 
@@ -201,8 +372,18 @@ void MultiQueryEngine::attach_sink(QueryId id, MatchSink sink) {
   qs->sink = std::move(sink);
 }
 
+const QueryHealth& MultiQueryEngine::query_health(QueryId id) const {
+  const RegisteredQuery* entry = registry_.find(id);
+  if (entry == nullptr) {
+    throw Error(ErrorCode::kConfig,
+                "unknown query id " + std::to_string(id));
+  }
+  return entry->health;
+}
+
 void MultiQueryEngine::run_shared_attempt(const EdgeBatch& batch,
                                           bool drop_cache,
+                                          const std::vector<MatchRole>& roles,
                                           BatchReport& shared) {
   gpusim::TrafficCounters& counters = device_.counters();
   counters.reset();
@@ -228,7 +409,10 @@ void MultiQueryEngine::run_shared_attempt(const EdgeBatch& batch,
   // Step 2: ONE cross-query estimation. GCSM combines per-query random-walk
   // estimates by weight into a single frequency vector; the baselines'
   // orders are query-independent (degree) or take the worst case over the
-  // registered patterns (VSGM's k = max diameter).
+  // registered patterns (VSGM's k = max diameter). Only queries actually
+  // matching this batch contribute — a quarantined tenant neither spends
+  // walk budget nor biases the shared cache (safe: cache content never
+  // changes match counts, and each query draws from its own rng stream).
   std::vector<VertexId> order;
   {
     const trace::Span span(metrics_.span_estimate());
@@ -237,8 +421,9 @@ void MultiQueryEngine::run_shared_attempt(const EdgeBatch& batch,
       std::vector<double> combined(
           static_cast<std::size_t>(graph_.num_vertices()), 0.0);
       std::uint64_t total_ops = 0;
-      for (auto& qsp : states_) {
-        QueryState& qs = *qsp;
+      for (std::size_t i = 0; i < states_.size(); ++i) {
+        if (roles[i] != MatchRole::kMatch) continue;
+        QueryState& qs = *states_[i];
         const EstimateResult est =
             qs.estimator->estimate(graph_, batch, qs.rng);
         qs.metrics->note_estimate(est);
@@ -260,6 +445,9 @@ void MultiQueryEngine::run_shared_attempt(const EdgeBatch& batch,
           static_cast<double>(graph_.num_vertices()) /
           (sim.host_ops_per_sec_per_thread * sim.host_threads);
     } else {  // kVsgm
+      // Hop count stays the max over ALL registered queries (including
+      // quarantined ones): VSGM's residency is a semantic requirement and a
+      // re-joining tenant must find its k-hop data present immediately.
       std::uint32_t hops = 0;
       for (const auto& qsp : states_) {
         hops = std::max(hops, qsp->engine->query().diameter());
@@ -278,76 +466,252 @@ void MultiQueryEngine::run_shared_attempt(const EdgeBatch& batch,
              options_.check_invariants, sim, metrics_, shared);
 }
 
-void MultiQueryEngine::match_one(QueryState& qs, const EdgeBatch& batch,
-                                 BatchReport& qr) {
-  const RecoveryOptions& rec = options_.recovery;
-  const gpusim::SimParams& sim = options_.sim;
-  bool use_cpu = options_.kind == EngineKind::kCpu;
-  int attempts_left = std::max(1, rec.max_attempts);
-  double backoff_ms = rec.backoff_initial_ms;
-  const MatchSink* sink = (qs.sink && !replaying_) ? &qs.sink : nullptr;
-  for (;;) {
-    const EngineKind kind = use_cpu ? EngineKind::kCpu : options_.kind;
-    // Like the Pipeline, kernel fault sites stay armed only on device
-    // attempts; the CPU path is genuinely more reliable.
-    qs.executor->set_fault_injector(use_cpu ? nullptr : faults_);
-    try {
-      qr.stats = MatchStats{};
-      gpusim::TrafficCounters qcounters;
-      std::unique_ptr<AccessPolicy> owned;
-      AccessPolicy* policy = nullptr;
-      switch (kind) {
-        case EngineKind::kCpu:
-          owned = std::make_unique<HostPolicy>(graph_);
-          break;
-        case EngineKind::kZeroCopy:
-          owned = std::make_unique<ZeroCopyPolicy>(graph_, sim);
-          break;
-        case EngineKind::kUnifiedMemory:
-          policy = qs.um_policy.get();
-          break;
-        case EngineKind::kGcsm:
-        case EngineKind::kNaiveDegree:
-        case EngineKind::kVsgm:
-          owned = std::make_unique<CachedPolicy>(graph_, cache_, sim);
-          break;
-      }
-      if (policy == nullptr) policy = owned.get();
-      phase_match(kind, *qs.engine, graph_, batch, *policy, qcounters, sink,
-                  sim, *qs.metrics, qr);
-      qr.traffic = qcounters.snapshot();
+void MultiQueryEngine::match_attempt(QueryState& qs, const EdgeBatch& batch,
+                                     bool use_cpu, const MatchSink* sink,
+                                     BatchReport& qr) {
+  const EngineKind kind = use_cpu ? EngineKind::kCpu : options_.kind;
+  // Like the Pipeline, kernel fault sites stay armed only on device
+  // attempts; the CPU path is genuinely more reliable. The match.query site
+  // is the exception: it models a poison QUERY (a pattern that breaks the
+  // match kernel wherever it runs), so it is probed on every attempt — the
+  // CPU escalation cannot outrun it and the ladder genuinely exhausts.
+  qs.executor->set_fault_injector(use_cpu ? nullptr : faults_);
+  if (faults_ != nullptr &&
+      faults_->fires_for(fault_site::kMatchQuery, qs.id)) {
+    throw Error(ErrorCode::kKernelLaunch,
+                "injected match.query fault for query " +
+                    std::to_string(qs.id));
+  }
+  qr.stats = MatchStats{};
+  gpusim::TrafficCounters qcounters;
+  std::unique_ptr<AccessPolicy> owned;
+  AccessPolicy* policy = nullptr;
+  switch (kind) {
+    case EngineKind::kCpu:
+      owned = std::make_unique<HostPolicy>(graph_);
       break;
-    } catch (const Error& e) {
-      // The match phase is read-only on the shared graph, so no rollback is
-      // needed — a failed attempt simply re-runs this one query. Device OOM
-      // here counts as retryable for the query (the shared budget ladder
-      // owns capacity decisions).
-      const bool retryable =
-          e.transient() || e.code() == ErrorCode::kDeviceOom;
-      if (!retryable) throw;
-      ++qr.retries;
-      --attempts_left;
-      if (attempts_left <= 0) {
-        if (!use_cpu && rec.cpu_fallback) {
-          use_cpu = true;
-          attempts_left = std::max(1, rec.max_cpu_attempts);
-          qr.cpu_fallback = true;
-        } else {
-          throw;
+    case EngineKind::kZeroCopy:
+      owned = std::make_unique<ZeroCopyPolicy>(graph_, options_.sim);
+      break;
+    case EngineKind::kUnifiedMemory:
+      policy = qs.um_policy.get();
+      break;
+    case EngineKind::kGcsm:
+    case EngineKind::kNaiveDegree:
+    case EngineKind::kVsgm:
+      owned = std::make_unique<CachedPolicy>(graph_, cache_, options_.sim);
+      break;
+  }
+  if (policy == nullptr) policy = owned.get();
+  phase_match(kind, *qs.engine, graph_, batch, *policy, qcounters, sink,
+              options_.sim, *qs.metrics, qr);
+  if (options_.breaker.match_deadline_ms > 0 &&
+      qr.wall_match_ms >
+          static_cast<double>(options_.breaker.match_deadline_ms)) {
+    // Post-hoc deadline: the attempt DID complete (and a sink, if any,
+    // already saw its embeddings — retried deadline batches deliver
+    // at-least-once), but a tenant this slow counts as a ladder failure so
+    // the breaker can isolate it.
+    throw Error(ErrorCode::kKernelTimeout,
+                "query " + std::to_string(qs.id) + " exceeded the " +
+                    std::to_string(options_.breaker.match_deadline_ms) +
+                    "ms match deadline");
+  }
+  qr.traffic = qcounters.snapshot();
+}
+
+void MultiQueryEngine::run_match_fanout(const EdgeBatch& batch,
+                                        const std::vector<MatchRole>& roles,
+                                        ServerBatchReport& out,
+                                        std::vector<MatchOutcome>& outcomes) {
+  using Clock = std::chrono::steady_clock;
+  const RecoveryOptions& rec = options_.recovery;
+
+  // One shared ready-queue instead of a static partition: a retrying query
+  // parks here with a ready-at deadline while its backoff elapses, so the
+  // backoff sleep never holds a pool slot hostage (the head-of-line fix —
+  // with N queries and N workers, one flaky tenant used to serialize
+  // everyone behind its exponential backoff).
+  struct Task {
+    std::size_t index = 0;
+    bool use_cpu = false;
+    int attempts_left = 0;
+    double backoff_ms = 0.0;
+    Clock::time_point ready_at;
+  };
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<Task> queue;
+  std::size_t in_flight = 0;
+
+  const Clock::time_point now0 = Clock::now();
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    out.queries[i].id = states_[i]->id;
+    out.queries[i].name = states_[i]->engine->query().name();
+    if (roles[i] == MatchRole::kSkip) {
+      out.queries[i].skipped = true;
+      continue;
+    }
+    queue.push_back(Task{i, options_.kind == EngineKind::kCpu,
+                         std::max(1, rec.max_attempts),
+                         rec.backoff_initial_ms, now0});
+  }
+  if (queue.empty()) return;
+
+  match_pool_.run_on_all([&](std::size_t) {
+    for (;;) {
+      Task task;
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        for (;;) {
+          if (queue.empty()) {
+            if (in_flight == 0) {
+              cv.notify_all();
+              return;
+            }
+            cv.wait(lk);
+            continue;
+          }
+          auto it = std::min_element(queue.begin(), queue.end(),
+                                     [](const Task& a, const Task& b) {
+                                       return a.ready_at < b.ready_at;
+                                     });
+          if (it->ready_at > Clock::now()) {
+            // Nothing ready yet: wait out the earliest deadline (or a state
+            // change — a finishing worker may re-enqueue something sooner).
+            cv.wait_until(lk, it->ready_at);
+            continue;
+          }
+          task = *it;
+          queue.erase(it);
+          ++in_flight;
+          break;
         }
       }
-      if (backoff_ms > 0.0) {
-        std::this_thread::sleep_for(
-            std::chrono::duration<double, std::milli>(backoff_ms));
-        qr.backoff_ms += backoff_ms;
-        backoff_ms = std::min(backoff_ms * rec.backoff_multiplier,
-                              rec.backoff_max_ms);
+
+      QueryState& qs = *states_[task.index];
+      QueryReport& q = out.queries[task.index];
+      const MatchSink* sink =
+          (qs.sink && !replaying_ && roles[task.index] == MatchRole::kMatch)
+              ? &qs.sink
+              : nullptr;
+      bool ok = false;
+      bool retryable = false;
+      std::exception_ptr error;
+      try {
+        match_attempt(qs, batch, task.use_cpu, sink, q.report);
+        ok = true;
+      } catch (const Error& e) {
+        // The match phase is read-only on the shared graph, so no rollback
+        // is needed — a failed attempt simply re-runs this one query.
+        // Device OOM counts as retryable for the query (the shared budget
+        // ladder owns capacity decisions).
+        error = std::current_exception();
+        retryable = e.transient() || e.code() == ErrorCode::kDeviceOom;
+      } catch (...) {
+        error = std::current_exception();
       }
+
+      const std::lock_guard<std::mutex> lk(mu);
+      --in_flight;
+      if (ok) {
+        if (roles[task.index] == MatchRole::kMatch) {
+          q.report.degradation_level = degradation_level_;
+          q.report.effective_cache_budget = effective_cache_budget();
+          qs.metrics->record_batch(q.report);
+        }
+      } else if (!retryable) {
+        outcomes[task.index] = MatchOutcome{error, false};
+      } else {
+        ++q.report.retries;
+        Task next = task;
+        --next.attempts_left;
+        if (next.attempts_left <= 0) {
+          if (!next.use_cpu && rec.cpu_fallback) {
+            next.use_cpu = true;
+            next.attempts_left = std::max(1, rec.max_cpu_attempts);
+            q.report.cpu_fallback = true;
+          } else {
+            outcomes[task.index] = MatchOutcome{error, true};
+            cv.notify_all();
+            continue;
+          }
+        }
+        // Park until the backoff elapses instead of sleeping on a slot.
+        next.ready_at =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(
+                                   next.backoff_ms));
+        q.report.backoff_ms += next.backoff_ms;
+        next.backoff_ms = std::min(next.backoff_ms * rec.backoff_multiplier,
+                                   rec.backoff_max_ms);
+        queue.push_back(next);
+      }
+      cv.notify_all();
+    }
+  });
+}
+
+bool MultiQueryEngine::replay_missed_batches(QueryState& qs,
+                                             const QueryHealth& health,
+                                             QueryCounters* delta) {
+  auto& replayed = metrics::Registry::global().counter(
+      options_.metric_prefix + metric::kServerCatchupBatchesReplayed);
+  const std::uint64_t target = cumulative_.last_seq;
+  *delta = QueryCounters{};
+  if (health.last_applied_seq >= target) return true;  // no debt after all
+
+  // Shadow base: the latest snapshot, but only when it does not overshoot
+  // the frozen position (a snapshot past the position has already folded
+  // batches this query still needs to MATCH — snapshot deferral makes that
+  // rare, but an unregistration's forced compaction can cause it).
+  const FaultSuspendGuard suspend(faults_);
+  DynamicGraph shadow(initial_);
+  std::uint64_t shadow_seq = 0;
+  std::string why;
+  if (auto snap =
+          durable::load_snapshot_file(durability_.snapshot_path(), &why)) {
+    if (snap->counters.last_seq > health.last_applied_seq) return false;
+    shadow.restore(snap->graph);
+    shadow_seq = snap->counters.last_seq;
+  }
+
+  wal::ReadResult log = wal::read_all(durability_.wal_path());
+  std::unordered_map<std::uint64_t, const std::string*> batches;
+  std::unordered_set<std::uint64_t> committed;
+  for (const wal::Record& rec : log.records) {
+    if (rec.type == wal::RecordType::kBatch) {
+      batches[rec.seq] = &rec.payload;
+    } else if (rec.type == wal::RecordType::kCommit) {
+      committed.insert(rec.seq);
     }
   }
-  qr.degradation_level = degradation_level_;
-  qr.effective_cache_budget = effective_cache_budget();
-  qs.metrics->record_batch(qr);
+
+  // (shadow_seq, position] rebuilds the graph the query last saw;
+  // (position, target] is the debt proper: apply + match, with sink
+  // delivery (a subscriber that lived through the outage receives the
+  // missed embeddings now — at-least-once across crashes, since a crash
+  // before this batch commits repeats the catch-up).
+  HostPolicy policy(shadow);
+  gpusim::TrafficCounters scratch;
+  const MatchSink* sink = qs.sink ? &qs.sink : nullptr;
+  for (std::uint64_t seq = shadow_seq + 1; seq <= target; ++seq) {
+    const auto it = batches.find(seq);
+    if (it == batches.end() || committed.count(seq) == 0) return false;
+    auto batch = durable::decode_batch(*it->second);
+    if (!batch.has_value()) return false;
+    shadow.apply_batch(*batch);
+    if (seq > health.last_applied_seq) {
+      // Match against the pending-batch graph state — the same state the
+      // live phase-4 matches in (reorg comes after the match).
+      const MatchStats stats =
+          qs.engine->match_batch(shadow, *batch, policy, scratch, sink);
+      *delta += to_query_counters(stats);
+      replayed.add();
+    }
+    shadow.reorganize();
+  }
+  return true;
 }
 
 ServerBatchReport MultiQueryEngine::process_batch(const EdgeBatch& batch) {
@@ -359,6 +723,7 @@ ServerBatchReport MultiQueryEngine::process_batch(const EdgeBatch& batch) {
   ServerBatchReport out;
   BatchReport& shared = out.shared;
   const RecoveryOptions& rec = options_.recovery;
+  const BreakerOptions& breaker = options_.breaker;
   const std::uint64_t faults_before =
       faults_ != nullptr ? faults_->fired_count() : 0;
 
@@ -378,6 +743,42 @@ ServerBatchReport MultiQueryEngine::process_batch(const EdgeBatch& batch) {
       use = &owned;
     }
     shared.quarantine = std::move(quarantine);
+  }
+
+  // Recovery fast path: a replayed batch at or below the aggregate anchor
+  // is already folded into every counter the image carries — it only needs
+  // to move the GRAPH forward (update + reorg, no estimation, no matching).
+  if (replaying_ && replay_graph_only_) {
+    phase_update(graph_, *use, options_.check_invariants, metrics_, shared);
+    phase_reorg(graph_, options_.check_invariants, options_.sim, metrics_,
+                shared);
+    out.queries.resize(states_.size());
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+      out.queries[i].id = states_[i]->id;
+      out.queries[i].skipped = true;
+    }
+    return out;
+  }
+
+  // Role classification. Live: healthy queries match, quarantined queries
+  // whose cooldown elapsed run a half-open probe, the rest are skipped.
+  // Replay: participation is decided by the recovered health and position
+  // (probes never run under replay — cooldown is in-memory only and resets
+  // conservatively on restart).
+  const std::size_t n = states_.size();
+  std::vector<MatchRole> roles(n, MatchRole::kSkip);
+  for (std::size_t i = 0; i < n; ++i) {
+    const QueryHealth& h = registry_.find(states_[i]->id)->health;
+    if (replaying_) {
+      roles[i] = (h.state == HealthState::kHealthy &&
+                  h.last_applied_seq < replay_seq_)
+                     ? MatchRole::kMatch
+                     : MatchRole::kSkip;
+    } else if (h.state == HealthState::kHealthy) {
+      roles[i] = MatchRole::kMatch;
+    } else if (states_[i]->cooldown_remaining == 0) {
+      roles[i] = MatchRole::kProbe;
+    }
   }
 
   // Durable logging: ONE WAL record per batch regardless of query count.
@@ -424,7 +825,7 @@ ServerBatchReport MultiQueryEngine::process_batch(const EdgeBatch& batch) {
 
   for (;;) {
     try {
-      run_shared_attempt(*use, drop_cache, shared);
+      run_shared_attempt(*use, drop_cache, roles, shared);
       break;
     } catch (const gpusim::DeviceOomError&) {
       rollback();
@@ -452,34 +853,105 @@ ServerBatchReport MultiQueryEngine::process_batch(const EdgeBatch& batch) {
     }
   }
 
-  // Phase 4: fan the match out across the registered queries. Each query
-  // runs on a pool thread with its own executor, counters, and metric
-  // scope; the graph and cache are read-only here, so the only shared
-  // mutable state is thread-safe (metrics, traces, the fault injector).
-  const std::size_t n = states_.size();
+  // Phase 4: fan the match out across the participating queries. Each
+  // query runs on a pool thread with its own executor, counters, and
+  // metric scope; the graph and cache are read-only here, so the only
+  // shared mutable state is thread-safe (metrics, traces, the injector).
   out.queries.resize(n);
-  std::vector<std::exception_ptr> errors(n);
-  match_pool_.parallel_for(
-      n, 1, [&](std::size_t begin, std::size_t end, std::size_t) {
-        for (std::size_t i = begin; i < end; ++i) {
-          out.queries[i].id = states_[i]->id;
-          out.queries[i].name = states_[i]->engine->query().name();
-          try {
-            match_one(*states_[i], *use, out.queries[i].report);
-          } catch (...) {
-            errors[i] = std::current_exception();
-          }
-        }
-      });
+  std::vector<MatchOutcome> outcomes(n);
+  run_match_fanout(*use, roles, out, outcomes);
+
+  // Terminal per-query outcomes. A full-ladder exhaustion extends the
+  // query's consecutive-failure streak; reaching the trip threshold stages
+  // a trip (the batch then commits WITHOUT the poison tenant). Anything
+  // short of a trip keeps the pre-breaker contract: the batch fails as a
+  // unit, no trip is applied on a failed batch (streaks persist in memory,
+  // so the NEXT failure trips), and non-retryable errors never trip.
+  std::exception_ptr fatal;
+  std::vector<std::size_t> tripped_idx;
+  std::vector<std::size_t> probe_passed_idx;
   for (std::size_t i = 0; i < n; ++i) {
-    if (errors[i] != nullptr) {
-      // A query failed past its whole per-query ladder: the batch fails as
-      // a unit (memory must agree with the durable log). Sink callbacks
-      // other queries already made cannot be retracted — the same caveat
-      // as the single-query commit protocol (docs/ROBUSTNESS.md).
-      rollback();
-      std::rethrow_exception(errors[i]);
+    QueryState& qs = *states_[i];
+    if (roles[i] == MatchRole::kMatch) {
+      if (outcomes[i].error == nullptr) {
+        qs.consecutive_failures = 0;
+        continue;
+      }
+      out.queries[i].report.stats = MatchStats{};  // a deadline trip may
+                                                   // have left stats behind
+      if (outcomes[i].ladder_exhausted) {
+        ++qs.consecutive_failures;
+        if (breaker.enabled && !replaying_ &&
+            qs.consecutive_failures >= breaker.trip_after_failures) {
+          tripped_idx.push_back(i);
+          continue;
+        }
+      }
+      if (fatal == nullptr) fatal = outcomes[i].error;
+    } else if (roles[i] == MatchRole::kProbe) {
+      auto& probes = metrics::Registry::global().counter(
+          options_.metric_prefix + metric::kServerBreakerProbes);
+      probes.add();
+      out.queries[i].probed = true;
+      out.queries[i].report.stats = MatchStats{};  // results discarded
+      if (outcomes[i].error == nullptr) {
+        probe_passed_idx.push_back(i);
+      } else {
+        // Still poisoned: back to full cooldown; the batch is unaffected.
+        qs.cooldown_remaining = breaker.cooldown_batches;
+      }
     }
+  }
+  if (fatal != nullptr) {
+    // Sink callbacks other queries already made cannot be retracted — the
+    // same caveat as the single-query commit protocol (docs/ROBUSTNESS.md).
+    rollback();
+    std::rethrow_exception(fatal);
+  }
+
+  // Re-join staging for passed probes. Exact catch-up replays the missed
+  // committed batches on a shadow graph (sink delivery included), then the
+  // re-joining query matches THIS batch on the live graph so it re-enters
+  // the commit it re-joins in. Overflowed debt (or durability off, or a WAL
+  // that no longer covers the debt) re-baselines post-commit instead.
+  struct StagedRejoin {
+    std::size_t index = 0;
+    QueryHealth health;      // post-transition value (as of the previous batch)
+    QueryCounters missed;    // catch-up correction folded into the commit
+  };
+  std::vector<StagedRejoin> rejoins;
+  std::vector<std::size_t> rebase_idx;
+  QueryCounters total_missed;
+  for (const std::size_t i : probe_passed_idx) {
+    QueryState& qs = *states_[i];
+    const QueryHealth& h = registry_.find(qs.id)->health;
+    QueryCounters missed;
+    if (h.debt_overflow || !options_.durability.enabled() ||
+        !replay_missed_batches(qs, h, &missed)) {
+      rebase_idx.push_back(i);
+      continue;
+    }
+    StagedRejoin staged;
+    staged.index = i;
+    staged.health = h;
+    staged.health.state = HealthState::kHealthy;
+    staged.health.debt_overflow = false;
+    staged.health.counters += missed;
+    staged.health.last_applied_seq = cumulative_.last_seq;
+    staged.missed = missed;
+    total_missed += missed;
+    rejoins.push_back(std::move(staged));
+    // Participate in this batch: deterministic host re-match, sink on.
+    const FaultSuspendGuard suspend(faults_);
+    QueryReport& q = out.queries[i];
+    q.report.stats = MatchStats{};
+    gpusim::TrafficCounters qcounters;
+    HostPolicy policy(graph_);
+    const MatchSink* sink = qs.sink ? &qs.sink : nullptr;
+    phase_match(EngineKind::kCpu, *qs.engine, graph_, *use, policy,
+                qcounters, sink, options_.sim, *qs.metrics, q.report);
+    q.report.traffic = qcounters.snapshot();
+    qs.metrics->record_batch(q.report);
   }
 
   // Phase 5: reorganize once.
@@ -505,12 +977,59 @@ ServerBatchReport MultiQueryEngine::process_batch(const EdgeBatch& batch) {
   }
   for (const QueryReport& q : out.queries) shared.stats += q.report.stats;
 
-  // Commit ONE marker carrying the aggregate counters across queries.
+  // Health transitions ride the WAL BEFORE the commit marker, at the same
+  // seq as the batch they belong to — re-joins first, then trips, each
+  // carrying the full post-transition table (absolute, ascending ids) and
+  // the post-transition aggregate as of the PREVIOUS batch (a re-join's
+  // folds in the catch-up correction replay cannot recompute). Failure here
+  // fails the whole batch: the marker must never land without them.
+  std::uint64_t pending_revision = registry_.health_revision();
+  if (wal_seq != 0 && (!rejoins.empty() || !tripped_idx.empty())) {
+    std::map<QueryId, QueryHealth> working;
+    for (const RegisteredQuery& e : registry_.entries()) {
+      working.emplace(e.id, e.health);
+    }
+    durable::DurableCounters staged_aggregate = cumulative_;
+    auto log_transition = [&](HealthTransition::Reason reason, QueryId id) {
+      HealthTransition t;
+      t.reason = reason;
+      t.revision = ++pending_revision;
+      t.query = id;
+      t.aggregate = staged_aggregate;
+      t.table.assign(working.begin(), working.end());
+      try {
+        durability_.log_server_state(wal_seq, encode_transition(t));
+      } catch (...) {
+        rollback();
+        throw;
+      }
+    };
+    for (const StagedRejoin& r : rejoins) {
+      working[states_[r.index]->id] = r.health;
+      staged_aggregate.cum_signed += r.missed.signed_embeddings;
+      staged_aggregate.cum_positive += r.missed.positive;
+      staged_aggregate.cum_negative += r.missed.negative;
+      log_transition(HealthTransition::Reason::kRejoin, states_[r.index]->id);
+    }
+    for (const std::size_t i : tripped_idx) {
+      QueryHealth& h = working[states_[i]->id];
+      h.state = HealthState::kQuarantined;
+      h.trips += 1;
+      // The position stays frozen where the query last participated.
+      log_transition(HealthTransition::Reason::kTrip, states_[i]->id);
+    }
+  }
+
+  // Commit ONE marker carrying the aggregate counters across queries —
+  // quarantined tenants contribute nothing, re-joining ones contribute
+  // their batch delta plus the folded catch-up correction, so the
+  // aggregate stays the sum of what every query durably observed.
   durable::DurableCounters next = cumulative_;
   next.batches_committed += 1;
-  next.cum_signed += shared.stats.signed_embeddings;
-  next.cum_positive += shared.stats.positive;
-  next.cum_negative += shared.stats.negative;
+  next.cum_signed +=
+      shared.stats.signed_embeddings + total_missed.signed_embeddings;
+  next.cum_positive += shared.stats.positive + total_missed.positive;
+  next.cum_negative += shared.stats.negative + total_missed.negative;
   if (wal_seq != 0) {
     next.last_seq = wal_seq;
     try {
@@ -522,7 +1041,126 @@ ServerBatchReport MultiQueryEngine::process_batch(const EdgeBatch& batch) {
   }
   cumulative_ = next;
   metrics_.record_batch(shared);
-  if (wal_seq != 0) durability_.maybe_snapshot(graph_, next);
+
+  // The batch is committed: apply the staged breaker effects. Position
+  // bookkeeping uses the WAL seq (replay position under recovery, batch
+  // ordinal without durability).
+  const std::uint64_t pos_seq =
+      replaying_ ? replay_seq_
+                 : (wal_seq != 0 ? wal_seq : cumulative_.batches_committed);
+  registry_.set_health_revision(pending_revision);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (roles[i] != MatchRole::kMatch || outcomes[i].error != nullptr) {
+      continue;
+    }
+    QueryHealth& h = registry_.find_mutable(states_[i]->id)->health;
+    h.counters += to_query_counters(out.queries[i].report.stats);
+    h.last_applied_seq = pos_seq;
+  }
+  for (const StagedRejoin& r : rejoins) {
+    QueryState& qs = *states_[r.index];
+    QueryHealth& h = registry_.find_mutable(qs.id)->health;
+    h = r.health;
+    h.counters += to_query_counters(out.queries[r.index].report.stats);
+    h.last_applied_seq = pos_seq;
+    qs.consecutive_failures = 0;
+    qs.cooldown_remaining = 0;
+    out.queries[r.index].rejoined = true;
+    metrics::Registry::global()
+        .counter(options_.metric_prefix + metric::kServerBreakerRejoins)
+        .add();
+  }
+  for (const std::size_t i : tripped_idx) {
+    QueryState& qs = *states_[i];
+    QueryHealth& h = registry_.find_mutable(qs.id)->health;
+    h.state = HealthState::kQuarantined;
+    h.trips += 1;
+    qs.cooldown_remaining = breaker.cooldown_batches;
+    out.queries[i].tripped = true;
+    metrics::Registry::global()
+        .counter(options_.metric_prefix + metric::kServerBreakerTrips)
+        .add();
+  }
+
+  // Re-baselines run post-commit on the live graph: a full static recount
+  // replaces the query's counters outright (no sink — a re-baselined
+  // subscriber missed its outage window by definition, which is exactly
+  // why the debt window bounds the exact path). The commit marker above
+  // deliberately carries no correction for them: the aggregate tracks what
+  // was durably observed batch-by-batch, and a recount is not a batch
+  // delta (the asymmetry is documented in docs/MULTI_QUERY.md).
+  for (const std::size_t i : rebase_idx) {
+    QueryState& qs = *states_[i];
+    const FaultSuspendGuard suspend(faults_);
+    gpusim::TrafficCounters scratch;
+    HostPolicy policy(graph_);
+    const MatchStats full = qs.engine->match_full(graph_, policy, scratch);
+    QueryHealth& h = registry_.find_mutable(qs.id)->health;
+    h.state = HealthState::kHealthy;
+    h.debt_overflow = false;
+    h.counters =
+        QueryCounters{static_cast<std::int64_t>(full.positive),
+                      full.positive, 0, full.seeds};
+    h.last_applied_seq = pos_seq;
+    qs.consecutive_failures = 0;
+    qs.cooldown_remaining = 0;
+    out.queries[i].rejoined = true;
+    out.queries[i].rebaselined = true;
+    metrics::Registry::global()
+        .counter(options_.metric_prefix + metric::kServerBreakerRejoins)
+        .add();
+    metrics::Registry::global()
+        .counter(options_.metric_prefix + metric::kServerCatchupRebaselines)
+        .add();
+  }
+
+  if (!replaying_) {
+    // Quarantine housekeeping: cooldowns tick on committed batches the
+    // query sat out (a fresh trip or a failed probe starts a full window);
+    // debt that outgrew the window overflows, which lifts the snapshot
+    // deferral and downgrades the eventual re-join to a re-baseline.
+    for (std::size_t i = 0; i < n; ++i) {
+      QueryHealth& h = registry_.find_mutable(states_[i]->id)->health;
+      if (h.state != HealthState::kQuarantined) continue;
+      if (roles[i] == MatchRole::kSkip &&
+          states_[i]->cooldown_remaining > 0) {
+        --states_[i]->cooldown_remaining;
+      }
+      if (!h.debt_overflow &&
+          current_position() - h.last_applied_seq > breaker.max_debt_batches) {
+        h.debt_overflow = true;
+      }
+    }
+    refresh_breaker_gauges();
+  }
+
+  if (wal_seq != 0) {
+    // Durable tail: the registry image (per-query health + counters + the
+    // aggregate anchor) is rewritten after EVERY commit. The snapshot is
+    // attempted only when the image write succeeded — a snapshot past a
+    // stale image would advance the graph beyond per-query counters the
+    // image can still account for — and is deferred entirely while any
+    // query owes exact catch-up debt (the WAL must keep those batches).
+    const bool image_ok = write_registry_image();
+    if (image_ok) {
+      if (any_exact_catchup_debt()) {
+        const std::uint64_t interval = options_.durability.snapshot_interval;
+        if (interval > 0 &&
+            durability_.commits_since_snapshot() >= interval) {
+          metrics::Registry::global()
+              .counter(options_.metric_prefix +
+                       metric::kServerCatchupDeferredSnapshots)
+              .add();
+        }
+      } else if (force_snapshot_pending_) {
+        if (durability_.snapshot_now(graph_, cumulative_)) {
+          force_snapshot_pending_ = false;
+        }
+      } else {
+        durability_.maybe_snapshot(graph_, cumulative_);
+      }
+    }
+  }
   shared.metrics = metrics::Registry::global().snapshot();
   return out;
 }

@@ -25,13 +25,30 @@
 // counts are bit-identical to N independent single-query Pipelines
 // (tests/multi_query_test.cpp proves it, with and without injected faults).
 //
+// Tenant isolation (docs/ROBUSTNESS.md, "Tenant isolation & circuit
+// breaker"): every query carries a QueryHealth state machine. A query that
+// exhausts its whole per-query retry ladder (or blows the optional match
+// deadline) on `breaker.trip_after_failures` consecutive batches trips to
+// Quarantined: it is skipped in the phase-4 fan-out and the batch COMMITS
+// for the healthy tenants instead of failing as a unit. A quarantined
+// query's WAL position freezes; after `cooldown_batches` committed batches
+// it half-open probes (results discarded), and a passing probe re-admits it
+// through exact catch-up: the latest snapshot is restored into a shadow
+// DynamicGraph and the query's missed committed batches are replayed
+// match-only (sink delivery included) before atomic re-admission. Snapshot
+// compaction is deferred while any query owes such catch-up debt; once the
+// debt exceeds `max_debt_batches` (or durability is off) re-join falls back
+// to a full static recount re-baseline instead.
+//
 // Recovery composes with the existing ladder: shared-phase failures roll
 // the graph back and retry (device OOM shrinks the shared budget; exhausted
 // retries drop the cache and serve zero-copy); per-query match failures
 // retry and CPU-fall-back for that query alone. Durability logs each batch
-// ONCE, commits the aggregate counters, and persists the registry next to
-// the WAL — a registry change forces a snapshot + WAL compaction so batches
-// committed under the old query set can never replay into the new one.
+// ONCE; health transitions ride the WAL as kServerState records sequenced
+// against the batch stream, and the registry image (per-query health +
+// counters + an aggregate anchor) is rewritten after every commit so
+// recovery can restart per-query bookkeeping from the last image and replay
+// only the suffix (batches at or below the anchor replay graph-only).
 #pragma once
 
 #include <cstdint>
@@ -69,6 +86,11 @@ struct MultiQueryOptions {
   RecoveryOptions recovery;
   // One WAL for the whole engine; the registry is persisted beside it.
   DurabilityOptions durability;
+  // Per-query circuit breaker (server/query_health.hpp). `enabled` gates
+  // TRIPPING only — probe/re-join machinery always runs, so a registry
+  // recovered with quarantined queries heals even under breaker.enabled =
+  // false.
+  BreakerOptions breaker;
   FaultInjector* fault_injector = nullptr;
   // Scope of the SHARED phases' metrics/traces. Per-query series live under
   // metric_prefix + "q<id>." (e.g. "q3.pipeline.match_ms" with the default
@@ -84,8 +106,16 @@ struct QueryReport {
   QueryId id = 0;
   std::string name;
   // stats / match times / traffic / retries / cpu_fallback are per query;
-  // shared-phase fields stay zero here.
+  // shared-phase fields stay zero here. Skipped / probed / tripped reports
+  // carry ZERO stats (the aggregate is always the sum of the per-query
+  // stats below).
   BatchReport report;
+  // Breaker activity for this query on this batch.
+  bool skipped = false;      // quarantined: no match ran
+  bool probed = false;       // half-open probe ran (results discarded)
+  bool tripped = false;      // this batch tripped the query to quarantine
+  bool rejoined = false;     // re-admitted (stats are its batch delta again)
+  bool rebaselined = false;  // re-join used the full static recount path
 };
 
 struct ServerBatchReport {
@@ -106,24 +136,38 @@ class MultiQueryEngine {
   // With durability enabled and recover_on_start set, the constructor
   // restores the registry image, then the graph snapshot, then replays
   // committed WAL batches through the restored query set (sinks are not yet
-  // attached, so no subscriber callback fires twice). The same integrity
-  // gate as Pipeline applies: replay must reproduce the committed aggregate
-  // counters exactly or Error(kRecovery) is thrown.
+  // attached, so no subscriber callback fires twice). Replay anchors the
+  // aggregate counters at the newer of {registry-image anchor, snapshot
+  // counters}: batches at or below the anchor replay graph-only (update +
+  // reorg, no matching), the rest replay fully with per-query participation
+  // decided by each query's recovered health and position, applying WAL
+  // health-transition records in log order (only those with a revision
+  // newer than the image's). The same integrity gate as Pipeline applies:
+  // replay must reproduce the committed aggregate counters exactly or
+  // Error(kRecovery) is thrown.
   MultiQueryEngine(const CsrGraph& initial, MultiQueryOptions options);
 
   // Registers a standing query. `sink` (optional) receives this query's
   // embeddings; `weight` is its share in cache arbitration. With durability
-  // on, the change is persisted before returning (forcing a snapshot + WAL
-  // compaction when batches were committed since the last one).
+  // on, the change is persisted before returning. When batches were
+  // committed since the last snapshot, the change forces a snapshot + WAL
+  // compaction — unless a quarantined query still owes exact catch-up debt,
+  // in which case the compaction is deferred until the first debt-free
+  // commit (the image's per-query positions keep replay correct meanwhile).
   QueryId register_query(QueryGraph query, MatchSink sink = {},
                          double weight = 1.0);
-  // Unregisters; false when unknown. Durable like register_query.
+  // Unregisters; false when unknown. Durable like register_query. Legal on
+  // a quarantined id (its debt is simply forgotten).
   bool unregister_query(QueryId id);
   // (Re-)attaches a subscriber callback, e.g. after recovery restored the
-  // registry sink-less. Pass {} to detach.
+  // registry sink-less. Pass {} to detach. Legal on a quarantined id — the
+  // sink starts firing once the query re-joins.
   void attach_sink(QueryId id, MatchSink sink);
 
   const QueryRegistry& registry() const { return registry_; }
+  // Current breaker state of one registered query; throws Error(kConfig)
+  // for an unknown id.
+  const QueryHealth& query_health(QueryId id) const;
 
   // One update batch through all five phases; throws Error(kConfig) when no
   // query is registered. Not thread-safe: one batch in flight at a time
@@ -146,7 +190,10 @@ class MultiQueryEngine {
  private:
   // Everything one standing query owns: its own executor (so matches fan
   // out without sharing a pool), estimator, RNG stream, metric scope, and
-  // optional sink.
+  // optional sink. Breaker bookkeeping that is deliberately NOT durable
+  // lives here too: the consecutive-failure streak and the cooldown
+  // progress reset on restart (the conservative direction — a restarted
+  // engine re-earns a trip).
   struct QueryState {
     QueryId id = 0;
     double weight = 1.0;
@@ -157,20 +204,73 @@ class MultiQueryEngine {
     std::unique_ptr<PipelineMetrics> metrics;        // "q<id>." scope
     Rng rng;
     MatchSink sink;
+    std::uint64_t consecutive_failures = 0;
+    std::uint64_t cooldown_remaining = 0;
+  };
+
+  // What phase 4 does with each query on this batch.
+  enum class MatchRole : std::uint8_t {
+    kMatch,  // healthy participant (or replay participant)
+    kProbe,  // quarantined, cooldown elapsed: half-open probe
+    kSkip,   // quarantined (cooldown pending) or replay non-participant
+  };
+
+  // Terminal outcome of one query's phase-4 ladder.
+  struct MatchOutcome {
+    std::exception_ptr error;        // null on success
+    bool ladder_exhausted = false;   // error after a full retryable ladder
   };
 
   std::unique_ptr<QueryState> make_state(const RegisteredQuery& entry);
   QueryState* state_for(QueryId id);
+  // The engine's position on the batch stream: the last committed WAL seq,
+  // or the committed-batch ordinal when durability is off.
+  std::uint64_t current_position() const;
+  // Recomputes the breaker gauges (quarantined count, summed debt).
+  void refresh_breaker_gauges() const;
   // Persists the registry image; with committed batches outstanding, forces
-  // the snapshot + compaction first. Throws on failure (the in-memory
-  // mutation is rolled back by the caller).
-  void persist_registry();
+  // the snapshot + compaction first. A registration (`allow_defer`) defers
+  // that compaction while exact catch-up debt is owed — the image's
+  // per-query positions keep replay correct meanwhile; an unregistration
+  // never defers, because the removed query's contributions are baked into
+  // the commit markers and the WAL prefix must be compacted away. Throws on
+  // failure (the in-memory mutation is rolled back by the caller).
+  void persist_registry(bool allow_defer);
+  // Post-commit image rewrite: best-effort. Swallows non-crash failures
+  // with a warning and returns false — correctness never depends on image
+  // freshness (recovery replays from the last good image), but a snapshot
+  // must NOT be written after a failed image write (the image's per-query
+  // anchor would fall behind the snapshot's graph). CrashError escapes.
+  bool write_registry_image();
+  // Any quarantined query still owed an exact (non-overflowed) catch-up —
+  // while true, snapshot compaction is deferred so the WAL keeps the debt.
+  bool any_exact_catchup_debt() const;
   // Phases 1-3 (one transactional attempt). `drop_cache` skips estimate +
-  // pack: the terminal degradation of the shared ladder.
+  // pack: the terminal degradation of the shared ladder. Only queries whose
+  // role is kMatch contribute to (and pay for) the shared estimate.
   void run_shared_attempt(const EdgeBatch& batch, bool drop_cache,
+                          const std::vector<MatchRole>& roles,
                           BatchReport& shared);
-  // Phase 4 for one query, with the per-query retry/CPU-fallback ladder.
-  void match_one(QueryState& qs, const EdgeBatch& batch, BatchReport& qr);
+  // One phase-4 attempt for one query (no retry logic). Probes the
+  // match.query fault site keyed by the QueryId, then matches and enforces
+  // breaker.match_deadline_ms post-hoc.
+  void match_attempt(QueryState& qs, const EdgeBatch& batch, bool use_cpu,
+                     const MatchSink* sink, BatchReport& qr);
+  // Phase-4 fan-out: runs every kMatch/kProbe query through its retry
+  // ladder on the match pool. Backoff never holds a pool slot — a retrying
+  // query parks in the shared task queue with a ready-at deadline while
+  // other queries use the worker (the head-of-line fix).
+  void run_match_fanout(const EdgeBatch& batch,
+                        const std::vector<MatchRole>& roles,
+                        ServerBatchReport& out,
+                        std::vector<MatchOutcome>& outcomes);
+  // Exact catch-up for a re-joining query: shadow graph from the latest
+  // snapshot (or the initial graph), apply batches up to the frozen
+  // position, then apply+match (position, cumulative_.last_seq] with sink
+  // delivery. Returns false when the WAL no longer covers the debt (caller
+  // falls back to re-baseline). Fault injection suspended throughout.
+  bool replay_missed_batches(QueryState& qs, const QueryHealth& health,
+                             QueryCounters* delta);
 
   MultiQueryOptions options_;
   DynamicGraph graph_;
@@ -186,7 +286,18 @@ class MultiQueryEngine {
   Rng seed_root_;  // split per QueryId for deterministic per-query streams
   durable::DurableCounters cumulative_;
   RecoveredState recovery_info_;
+  // Pristine copy of the construction-time graph: the shadow-replay base
+  // when no snapshot has been written yet. Kept only under durability.
+  CsrGraph initial_;
   bool replaying_ = false;
+  // Recovery replay position: seq of the batch being replayed, and whether
+  // it is at or below the aggregate anchor (graph-only: update + reorg, no
+  // matching, no counter advance).
+  std::uint64_t replay_seq_ = 0;
+  bool replay_graph_only_ = false;
+  // A registry change happened while catch-up debt deferred its snapshot;
+  // the snapshot fires at the first debt-free commit.
+  bool force_snapshot_pending_ = false;
   std::uint32_t degradation_level_ = 0;
   int clean_device_batches_ = 0;
 };

@@ -1,0 +1,126 @@
+#include "server/query_health.hpp"
+
+namespace gcsm::server {
+namespace {
+
+constexpr char kMagic[4] = {'G', 'S', 'R', 'V'};
+constexpr std::uint32_t kVersion = 1;
+
+// A registry is capped at 1<<20 entries (query_registry.cpp); mirror the
+// bound so a damaged count cannot drive a giant allocation here either.
+constexpr std::uint64_t kMaxEntries = 1u << 20;
+
+}  // namespace
+
+const char* to_string(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
+void encode_health(std::string& out, const QueryHealth& h) {
+  io::put_u8(out, static_cast<std::uint8_t>(h.state));
+  io::put_u8(out, h.debt_overflow ? 1 : 0);
+  io::put_u64(out, h.last_applied_seq);
+  io::put_u64(out, h.trips);
+  io::put_i64(out, h.counters.signed_embeddings);
+  io::put_u64(out, h.counters.positive);
+  io::put_u64(out, h.counters.negative);
+  io::put_u64(out, h.counters.seeds);
+}
+
+bool decode_health(io::ByteReader& r, QueryHealth* h) {
+  const std::uint8_t state = r.get_u8();
+  const std::uint8_t overflow = r.get_u8();
+  h->last_applied_seq = r.get_u64();
+  h->trips = r.get_u64();
+  h->counters.signed_embeddings = r.get_i64();
+  h->counters.positive = r.get_u64();
+  h->counters.negative = r.get_u64();
+  h->counters.seeds = r.get_u64();
+  if (state > static_cast<std::uint8_t>(HealthState::kQuarantined)) {
+    return false;
+  }
+  if (overflow > 1) return false;
+  h->state = static_cast<HealthState>(state);
+  h->debt_overflow = overflow == 1;
+  return true;
+}
+
+std::string encode_transition(const HealthTransition& t) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  io::put_u32(out, kVersion);
+  io::put_u8(out, static_cast<std::uint8_t>(t.reason));
+  io::put_u64(out, t.revision);
+  io::put_u32(out, t.query);
+  io::put_u64(out, t.aggregate.batches_committed);
+  io::put_u64(out, t.aggregate.last_seq);
+  io::put_i64(out, t.aggregate.cum_signed);
+  io::put_u64(out, t.aggregate.cum_positive);
+  io::put_u64(out, t.aggregate.cum_negative);
+  io::put_u64(out, t.table.size());
+  for (const auto& [id, health] : t.table) {
+    io::put_u32(out, id);
+    encode_health(out, health);
+  }
+  return out;
+}
+
+std::optional<HealthTransition> decode_transition(std::string_view bytes,
+                                                  std::string* why) {
+  auto fail = [&](const std::string& reason) -> std::optional<HealthTransition> {
+    if (why != nullptr) *why = reason;
+    return std::nullopt;
+  };
+  if (bytes.size() < sizeof(kMagic) + sizeof(std::uint32_t)) {
+    return fail("transition record truncated");
+  }
+  if (bytes.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
+    return fail("bad transition magic");
+  }
+  io::ByteReader r(bytes.substr(sizeof(kMagic)));
+  const std::uint32_t version = r.get_u32();
+  if (version != kVersion) {
+    return fail("unsupported transition version " + std::to_string(version));
+  }
+  HealthTransition t;
+  const std::uint8_t reason = r.get_u8();
+  if (reason != static_cast<std::uint8_t>(HealthTransition::Reason::kTrip) &&
+      reason != static_cast<std::uint8_t>(HealthTransition::Reason::kRejoin)) {
+    return fail("unknown transition reason " + std::to_string(reason));
+  }
+  t.reason = static_cast<HealthTransition::Reason>(reason);
+  t.revision = r.get_u64();
+  t.query = r.get_u32();
+  t.aggregate.batches_committed = r.get_u64();
+  t.aggregate.last_seq = r.get_u64();
+  t.aggregate.cum_signed = r.get_i64();
+  t.aggregate.cum_positive = r.get_u64();
+  t.aggregate.cum_negative = r.get_u64();
+  const std::uint64_t count = r.get_u64();
+  if (count > kMaxEntries) return fail("transition table count implausible");
+  t.table.reserve(count);
+  QueryId prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const QueryId id = r.get_u32();
+    QueryHealth h;
+    if (!decode_health(r, &h)) return fail("transition health entry damaged");
+    if (!r.ok()) return fail("transition record truncated mid-entry");
+    if (id == 0 || (i > 0 && id <= prev)) {
+      return fail("transition table ids not ascending");
+    }
+    prev = id;
+    t.table.emplace_back(id, h);
+  }
+  if (!r.ok() || r.remaining() != 0) {
+    return fail("transition record has trailing or missing bytes");
+  }
+  return t;
+}
+
+}  // namespace gcsm::server

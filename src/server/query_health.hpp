@@ -1,0 +1,145 @@
+// Per-query health state machine for the multi-query engine's circuit
+// breaker (docs/ROBUSTNESS.md, "Tenant isolation & circuit breaker").
+//
+// Every standing query carries a QueryHealth record: its breaker state,
+// its last-applied WAL sequence number (the "position"), a lifetime trip
+// count, and its own cumulative match counters. Healthy queries track the
+// engine's aggregate position implicitly; a quarantined query's position
+// freezes at the last batch it committed, so its catch-up debt is the
+// contiguous seq range (position, engine.last_seq].
+//
+// State machine (in-memory; only kHealthy/kQuarantined are durable —
+// a probe interrupted by a crash recovers as quarantined):
+//
+//   Healthy --K consecutive ladder exhaustions--> Quarantined
+//   Quarantined --cooldown elapsed--> (half-open probe, results discarded)
+//       probe fails  --> Quarantined (cooldown restarts)
+//       probe passes --> exact catch-up replay --> Healthy
+//   Quarantined + debt > window --> debt_overflow (snapshot deferral lifted;
+//       re-join falls back to a full static recount re-baseline)
+//
+// Durability: transitions are sequenced against the batch stream as WAL
+// kServerState records (a HealthTransition: the full post-transition health
+// table plus the post-transition aggregate counters) and mirrored into the
+// registry image (query_registry.hpp, format v2). Both carry a monotonic
+// `revision`; recovery applies a WAL transition only when its revision is
+// newer than the image's, so a crash between the WAL append and the image
+// rewrite converges to the same state as a crash after both.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/snapshot.hpp"
+#include "util/durable_io.hpp"
+
+namespace gcsm::server {
+
+using QueryId = std::uint32_t;
+
+enum class HealthState : std::uint8_t {
+  kHealthy = 0,
+  kQuarantined = 1,
+};
+
+const char* to_string(HealthState state);
+
+// Per-query cumulative match counters — the tenant-scoped analogue of the
+// aggregate durable::DurableCounters. Kept engine-independent (embedding
+// counts, not timings) so catch-up replay on a shadow graph can reproduce
+// them bit-identically.
+struct QueryCounters {
+  std::int64_t signed_embeddings = 0;
+  std::uint64_t positive = 0;
+  std::uint64_t negative = 0;
+  std::uint64_t seeds = 0;
+
+  QueryCounters& operator+=(const QueryCounters& o) {
+    signed_embeddings += o.signed_embeddings;
+    positive += o.positive;
+    negative += o.negative;
+    seeds += o.seeds;
+    return *this;
+  }
+  friend bool operator==(const QueryCounters&, const QueryCounters&) = default;
+};
+
+// The durable slice of a query's breaker state. In-memory bookkeeping that
+// is deliberately NOT durable (consecutive-failure streak, cooldown
+// progress) lives in the engine's QueryState and resets on restart — the
+// conservative direction: a restarted engine re-earns a trip rather than
+// inheriting half a streak.
+struct QueryHealth {
+  HealthState state = HealthState::kHealthy;
+  // Debt exceeded BreakerOptions::max_debt_batches: exact catch-up is no
+  // longer owed, snapshot deferral is lifted, and re-join re-baselines.
+  bool debt_overflow = false;
+  // Last WAL seq whose committed effects include this query (with
+  // durability off, the committed-batch ordinal instead). The engine
+  // refreshes it on every commit the query participated in; for a
+  // quarantined query it is the frozen position, and a registration's
+  // initial value anchors the new query PAST every batch already in the
+  // WAL so replay can never feed it history it was not registered for.
+  std::uint64_t last_applied_seq = 0;
+  std::uint64_t trips = 0;  // lifetime trip count (monotonic)
+  QueryCounters counters;   // cumulative, this query only
+
+  friend bool operator==(const QueryHealth&, const QueryHealth&) = default;
+};
+
+// Circuit-breaker tuning (MultiQueryOptions::breaker).
+struct BreakerOptions {
+  bool enabled = true;
+  // Trip to Quarantined after this many CONSECUTIVE batches in which the
+  // query exhausted its retry ladder (or blew match_deadline_ms). Batches
+  // before the trip still fail as a unit — pre-trip semantics are exactly
+  // PR 5's, so a quarantined query's debt starts contiguous.
+  std::uint64_t trip_after_failures = 2;
+  // Committed batches to wait before the half-open probe.
+  std::uint64_t cooldown_batches = 4;
+  // Debt window: once a quarantined query owes more than this many batches,
+  // it overflows — snapshotting resumes and re-join means re-baseline.
+  // 0 = overflow immediately (never defer snapshots).
+  std::uint64_t max_debt_batches = 64;
+  // Wall-clock deadline for ONE match attempt; exceeding it counts as a
+  // ladder failure for the breaker. 0 = no deadline.
+  std::uint64_t match_deadline_ms = 0;
+};
+
+// A durable health transition: the WAL kServerState payload. Carries the
+// full post-transition table (absolute values, not deltas) so recovery
+// application is idempotent and self-contained.
+struct HealthTransition {
+  enum class Reason : std::uint8_t {
+    kTrip = 1,    // query tripped to Quarantined
+    kRejoin = 2,  // probe passed; catch-up deltas folded in; query healthy
+  };
+
+  Reason reason = Reason::kTrip;
+  std::uint64_t revision = 0;  // monotonic; compared with the image's
+  QueryId query = 0;           // the query that transitioned
+  // Post-transition health of EVERY registered query, ascending id.
+  std::vector<std::pair<QueryId, QueryHealth>> table;
+  // Post-transition aggregate counters. For a trip this matches the running
+  // aggregate; for a re-join it includes the catch-up correction (the
+  // missed per-query deltas folded back in), which recovery replay cannot
+  // recompute from batch records alone.
+  durable::DurableCounters aggregate;
+};
+
+std::string encode_transition(const HealthTransition& t);
+// nullopt on damage, with a human-readable reason in *why.
+std::optional<HealthTransition> decode_transition(std::string_view bytes,
+                                                  std::string* why);
+
+// Shared per-entry health codec, used by both the transition records above
+// and the registry image (kept here so the two can never drift).
+void encode_health(std::string& out, const QueryHealth& h);
+// Decodes in place; returns false on a malformed state byte (the caller
+// still checks the reader's ok()).
+bool decode_health(io::ByteReader& r, QueryHealth* h);
+
+}  // namespace gcsm::server

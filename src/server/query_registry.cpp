@@ -11,7 +11,11 @@ namespace gcsm::server {
 namespace {
 
 constexpr char kMagic[4] = {'G', 'Q', 'R', 'Y'};
-constexpr std::uint32_t kVersion = 1;
+// v1: {id, weight, name, labels, edges} per entry.
+// v2: + header health_revision and aggregate-counter anchor, + per-entry
+//     QueryHealth (breaker state).
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kOldestDecodableVersion = 1;
 
 // Bounds for decode-time allocation checks: a damaged length field must not
 // turn into a giant allocation.
@@ -27,7 +31,7 @@ QueryId QueryRegistry::add(QueryGraph query, double weight) {
                     std::to_string(weight));
   }
   const QueryId id = next_id_++;
-  entries_.push_back(RegisteredQuery{id, weight, std::move(query)});
+  entries_.push_back(RegisteredQuery{id, weight, std::move(query), {}});
   return id;
 }
 
@@ -58,11 +62,24 @@ const RegisteredQuery* QueryRegistry::find(QueryId id) const {
   return nullptr;
 }
 
+RegisteredQuery* QueryRegistry::find_mutable(QueryId id) {
+  for (RegisteredQuery& e : entries_) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
 std::string QueryRegistry::encode() const {
   std::string out;
   out.append(kMagic, sizeof(kMagic));
   io::put_u32(out, kVersion);
   io::put_u32(out, next_id_);
+  io::put_u64(out, health_revision_);
+  io::put_u64(out, aggregate_.batches_committed);
+  io::put_u64(out, aggregate_.last_seq);
+  io::put_i64(out, aggregate_.cum_signed);
+  io::put_u64(out, aggregate_.cum_positive);
+  io::put_u64(out, aggregate_.cum_negative);
   io::put_u64(out, entries_.size());
   for (const RegisteredQuery& e : entries_) {
     io::put_u32(out, e.id);
@@ -77,6 +94,7 @@ std::string QueryRegistry::encode() const {
       io::put_u32(out, edge.a);
       io::put_u32(out, edge.b);
     }
+    encode_health(out, e.health);
   }
   io::put_u32(out, io::crc32c(out));
   return out;
@@ -102,11 +120,19 @@ std::optional<QueryRegistry> QueryRegistry::decode(std::string_view bytes,
 
   io::ByteReader r(body.substr(sizeof(kMagic)));
   const std::uint32_t version = r.get_u32();
-  if (version != kVersion) {
+  if (version < kOldestDecodableVersion || version > kVersion) {
     return fail("unsupported registry version " + std::to_string(version));
   }
   QueryRegistry reg;
   reg.next_id_ = r.get_u32();
+  if (version >= 2) {
+    reg.health_revision_ = r.get_u64();
+    reg.aggregate_.batches_committed = r.get_u64();
+    reg.aggregate_.last_seq = r.get_u64();
+    reg.aggregate_.cum_signed = r.get_i64();
+    reg.aggregate_.cum_positive = r.get_u64();
+    reg.aggregate_.cum_negative = r.get_u64();
+  }
   const std::uint64_t count = r.get_u64();
   if (count > kMaxEntries) return fail("registry entry count implausible");
   for (std::uint64_t i = 0; i < count; ++i) {
@@ -131,6 +157,9 @@ std::optional<QueryRegistry> QueryRegistry::decode(std::string_view bytes,
       const std::uint32_t a = r.get_u32();
       const std::uint32_t b = r.get_u32();
       edges.emplace_back(a, b);
+    }
+    if (version >= 2 && !decode_health(r, &e.health)) {
+      return fail("query health entry damaged");
     }
     if (!r.ok()) return fail("registry image truncated mid-entry");
     if (!(e.weight > 0.0) || !std::isfinite(e.weight)) {

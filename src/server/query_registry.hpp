@@ -13,6 +13,18 @@
 // replayed batches run against exactly the query set they were committed
 // under. MatchSinks are deliberately NOT part of the durable image — they
 // are process-local callbacks a restarted subscriber re-attaches.
+//
+// Format v2 adds the circuit-breaker state (query_health.hpp): a
+// health_revision and an aggregate-counter anchor in the header, plus
+// per-entry {state, debt flag, position, trip count, per-query counters}.
+// The engine rewrites the image after EVERY committed batch (and on every
+// registration change), so the stored counters are normally current; when a
+// crash loses the most recent rewrite, recovery anchors at whichever of
+// {image aggregate, snapshot counters} is newer and replays committed WAL
+// batches forward from the per-query positions — image freshness is a
+// replay-cost optimization, never a correctness dependency. v1 images still
+// decode (every query healthy, zero baselines, counters re-anchored by
+// replay).
 #pragma once
 
 #include <cstdint>
@@ -22,15 +34,15 @@
 #include <vector>
 
 #include "query/query_graph.hpp"
+#include "server/query_health.hpp"
 
 namespace gcsm::server {
-
-using QueryId = std::uint32_t;
 
 struct RegisteredQuery {
   QueryId id = 0;
   double weight = 1.0;  // relative share in the combined frequency estimate
   QueryGraph query;
+  QueryHealth health;  // circuit-breaker state + per-query counters
 };
 
 class QueryRegistry {
@@ -49,13 +61,30 @@ class QueryRegistry {
   void restore(RegisteredQuery entry);
 
   const RegisteredQuery* find(QueryId id) const;
+  // Mutable lookup for health updates (the engine owns the state machine;
+  // the registry just persists it). nullptr when the id is unknown.
+  RegisteredQuery* find_mutable(QueryId id);
   // Registration order (ascending id).
   const std::vector<RegisteredQuery>& entries() const { return entries_; }
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 
-  // Versioned durable image: "GQRY" magic, format version, next id, then
-  // per entry {id, weight, name, labels, edges}; trailing CRC32C.
+  // Monotonic health-transition revision; compared against WAL
+  // kServerState records at recovery (query_health.hpp).
+  std::uint64_t health_revision() const { return health_revision_; }
+  void set_health_revision(std::uint64_t rev) { health_revision_ = rev; }
+
+  // Aggregate counters as of the commit this image was written after. Atomic
+  // with the per-query table (same CRC'd image), so recovery can anchor its
+  // cumulative counters here when the image is newer than the snapshot.
+  const durable::DurableCounters& aggregate() const { return aggregate_; }
+  void set_aggregate(const durable::DurableCounters& agg) { aggregate_ = agg; }
+
+  // Versioned durable image: "GQRY" magic, format version, next id, health
+  // revision, aggregate anchor, then per entry {id, weight, name, labels,
+  // edges, health}; trailing CRC32C. Always encodes the current version;
+  // decode() also accepts v1 images (pre-breaker: healthy defaults, revision
+  // 0, zero anchor).
   std::string encode() const;
   // nullopt on damage, with a human-readable reason in *why.
   static std::optional<QueryRegistry> decode(std::string_view bytes,
@@ -64,6 +93,8 @@ class QueryRegistry {
  private:
   std::vector<RegisteredQuery> entries_;
   QueryId next_id_ = 1;
+  std::uint64_t health_revision_ = 0;
+  durable::DurableCounters aggregate_;
 };
 
 }  // namespace gcsm::server

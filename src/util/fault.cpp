@@ -65,6 +65,27 @@ std::optional<FaultSpec> FaultInjector::fires_spec(const char* site) {
   return *spec;
 }
 
+bool FaultInjector::fires_for(const char* site, std::uint64_t key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return false;
+  const std::string name(site);
+  const FaultSpec* spec = spec_for(name);
+  if (spec != nullptr && spec->match_query_id != 0 &&
+      spec->match_query_id != key) {
+    // Filtered out: the probe never happened as far as determinism is
+    // concerned — no hit count, no rng draw.
+    return false;
+  }
+  const std::uint64_t hit = ++hit_counts_[name];
+  if (spec == nullptr) return false;
+  const bool on_nth = spec->nth_hit != 0 && hit == spec->nth_hit;
+  const bool on_draw =
+      spec->probability > 0.0 && rng_.bernoulli(spec->probability);
+  if (!on_nth && !on_draw) return false;
+  fired_.push_back({name, hit});
+  return true;
+}
+
 std::uint64_t FaultInjector::hits(const std::string& site) const {
   const std::lock_guard<std::mutex> lock(mu_);
   const auto it = hit_counts_.find(site);

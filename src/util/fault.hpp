@@ -61,12 +61,13 @@ inline constexpr Info kSiteTable[] = {
 
 // Every site covered by arm_all (crash.at is deliberately excluded; see
 // above).
-inline constexpr std::array<const char*, 10> kAllFaultSites = {
+inline constexpr std::array<const char*, 11> kAllFaultSites = {
     fault_site::kDeviceAlloc,   fault_site::kDeviceDma,
     fault_site::kKernelLaunch,  fault_site::kKernelHang,
     fault_site::kCacheBuild,    fault_site::kGraphApply,
     fault_site::kBatchCorrupt,  fault_site::kWalWrite,
     fault_site::kWalFsync,      fault_site::kSnapshotWrite,
+    fault_site::kMatchQuery,
 };
 
 struct FaultSpec {
@@ -75,6 +76,13 @@ struct FaultSpec {
   // crash.at only: how many bytes of the write in progress reach the file
   // before the crash (0 = the write never starts).
   std::uint64_t crash_at_byte = 0;
+  // Keyed sites only (match.query, probed via fires_for with the QueryId):
+  // 0 admits every key; any other value poisons exactly that key. Hits that
+  // the filter rejects are neither counted nor drawn, so nth_hit and
+  // probability stay deterministic per key even when many keys probe the
+  // site concurrently (the kernel.* sites, by contrast, hit in whatever
+  // order the match pool schedules).
+  std::uint64_t match_query_id = 0;
 };
 
 struct FaultObservation {
@@ -107,6 +115,13 @@ class FaultInjector {
   // (crash.at's byte offset): returns the firing spec, or nullopt when the
   // site does not fire. Counts the hit exactly like fires().
   std::optional<FaultSpec> fires_spec(const char* site);
+
+  // fires() variant for keyed sites (match.query): `key` is the QueryId of
+  // the probing query. A spec whose match_query_id is nonzero admits only
+  // that key — rejected probes are not counted and never draw, so one query
+  // can be poisoned deterministically while the rest of the fan-out stays
+  // clean regardless of match_parallelism.
+  bool fires_for(const char* site, std::uint64_t key);
 
   std::uint64_t hits(const std::string& site) const;
   std::uint64_t fired_count() const;

@@ -154,7 +154,8 @@ ReadResult read_all(const std::string& path) {
       break;
     }
     if (type != static_cast<std::uint8_t>(RecordType::kBatch) &&
-        type != static_cast<std::uint8_t>(RecordType::kCommit)) {
+        type != static_cast<std::uint8_t>(RecordType::kCommit) &&
+        type != static_cast<std::uint8_t>(RecordType::kServerState)) {
       damaged("unknown record type " + std::to_string(type));
       break;
     }

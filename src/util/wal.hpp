@@ -5,7 +5,8 @@
 //
 //   offset  size  field
 //        0     4  magic   0x4C415747 ("GWAL")
-//        4     1  type    1 = batch payload, 2 = commit marker
+//        4     1  type    1 = batch payload, 2 = commit marker,
+//                         3 = server state (query-health transition)
 //        5     8  seq     batch sequence number (1-based, monotonic)
 //       13     4  len     payload length in bytes
 //       17     4  crc     CRC32C over bytes [0, 17) + payload
@@ -40,7 +41,16 @@ inline constexpr std::size_t kHeaderBytes = 21;
 // make the reader chase gigabytes of garbage.
 inline constexpr std::uint32_t kMaxPayloadBytes = 1U << 30;
 
-enum class RecordType : std::uint8_t { kBatch = 1, kCommit = 2 };
+// kServerState records carry a multi-query engine health-transition table
+// (server/query_health.hpp): a circuit-breaker trip or re-join, sequenced
+// against the batch stream so recovery can reconstruct which queries
+// participated in which committed batches. Single-query pipelines never
+// write them.
+enum class RecordType : std::uint8_t {
+  kBatch = 1,
+  kCommit = 2,
+  kServerState = 3,
+};
 
 struct Record {
   RecordType type = RecordType::kBatch;
