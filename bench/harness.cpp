@@ -1,7 +1,9 @@
 #include "harness.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <stdexcept>
+#include <vector>
 
 #include "query/patterns.hpp"
 #include "util/durable_io.hpp"
@@ -233,6 +235,7 @@ void write_json_report(const std::string& path, const RunConfig& config,
   double agg_sim_s = 0.0;
   std::uint64_t agg_hits = 0;
   std::uint64_t agg_misses = 0;
+  std::vector<double> batch_wall_ms;
   w.key("per_batch").begin_array();
   for (const EngineResult& r : results) {
     for (const BatchRecord& b : r.per_batch) {
@@ -260,13 +263,29 @@ void write_json_report(const std::string& path, const RunConfig& config,
       agg_sim_s += b.sim_s;
       agg_hits += b.cache_hits;
       agg_misses += b.cache_misses;
+      batch_wall_ms.push_back(b.wall_ms);
     }
   }
   w.end_array();
 
+  // Nearest-rank percentiles over every per-batch wall time in the report
+  // (all queries and engines pooled — the tail a stream consumer observes).
+  std::sort(batch_wall_ms.begin(), batch_wall_ms.end());
+  const auto percentile = [&batch_wall_ms](double p) {
+    if (batch_wall_ms.empty()) return 0.0;
+    const std::size_t rank = static_cast<std::size_t>(
+        p * static_cast<double>(batch_wall_ms.size()) + 0.5);
+    return batch_wall_ms[rank == 0 ? 0 : rank - 1];
+  };
+
   w.key("aggregate").begin_object();
   w.key("wall_ms").value(agg_wall_ms);
   w.key("sim_s").value(agg_sim_s);
+  w.key("latency_ms").begin_object();
+  w.key("p50").value(percentile(0.50));
+  w.key("p95").value(percentile(0.95));
+  w.key("p99").value(percentile(0.99));
+  w.end_object();
   w.key("cache").begin_object();
   w.key("hits").value(agg_hits);
   w.key("misses").value(agg_misses);

@@ -130,7 +130,8 @@ int run_comparison(const std::string& title, const std::string& expectation,
 
 // Writes the --json report for a finished comparison:
 //   {dataset, queries[], config{}, per_batch[], aggregate{wall_ms, sim_s,
-//    cache{hits, misses, hit_rate}}}
+//    latency_ms{p50, p95, p99}, cache{hits, misses, hit_rate}}}
+// latency_ms holds nearest-rank percentiles over every per-batch wall time.
 // Schema changes must update docs/OBSERVABILITY.md and the checker in
 // scripts/check_bench_json.py together.
 void write_json_report(const std::string& path, const RunConfig& config,

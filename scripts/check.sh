@@ -86,6 +86,11 @@ run_preset() {
     if ! run ctest --preset breaker-asan -j "${JOBS}"; then
       failures+=("breaker-asan: tests")
     fi
+    # Pipelined batch schedule (process_stream staging, double-buffered
+    # cache epochs, group-commit surfacing) under asan/ubsan.
+    if ! run ctest --preset pipeline-asan -j "${JOBS}"; then
+      failures+=("pipeline-asan: tests")
+    fi
   fi
   # The match fan-out across queries is the concurrency hot spot: the
   # multiquery label (engine suite + ThreadPool stress) is the tsan target,
@@ -96,6 +101,12 @@ run_preset() {
     fi
     if ! run ctest --preset breaker-tsan -j "${JOBS}"; then
       failures+=("breaker-tsan: tests")
+    fi
+    # Pipelined schedule overlap stress (200 batches, 8 queries, faults at
+    # p=0.05): the staged front half races the match fan-out on one pool
+    # while the group-commit committer drains — tsan's richest target.
+    if ! run ctest --preset pipeline-tsan -j "${JOBS}"; then
+      failures+=("pipeline-tsan: tests")
     fi
   fi
   # Bench smoke + --json schema gate (docs/OBSERVABILITY.md): a reduced

@@ -103,9 +103,22 @@ def main():
     agg = doc["aggregate"]
     check_keys(
         agg,
-        {"wall_ms": numbers.Real, "sim_s": numbers.Real, "cache": dict},
+        {
+            "wall_ms": numbers.Real,
+            "sim_s": numbers.Real,
+            "latency_ms": dict,
+            "cache": dict,
+        },
         "aggregate",
     )
+    check_keys(
+        agg["latency_ms"],
+        {"p50": numbers.Real, "p95": numbers.Real, "p99": numbers.Real},
+        "aggregate.latency_ms",
+    )
+    lat = agg["latency_ms"]
+    if not lat["p50"] <= lat["p95"] <= lat["p99"]:
+        fail("aggregate.latency_ms: percentiles not monotone (p50<=p95<=p99)")
     check_keys(
         agg["cache"],
         {"hits": int, "misses": int, "hit_rate": numbers.Real},

@@ -16,6 +16,44 @@ void DcsrCache::build(const DynamicGraph& graph,
                       const std::vector<VertexId>& vertices,
                       std::uint64_t byte_budget, gpusim::Device& device,
                       gpusim::TrafficCounters& counters) {
+  clear();
+  build_into(active_, graph, vertices, byte_budget, device, counters);
+}
+
+void DcsrCache::build_staged(const DynamicGraph& graph,
+                             const std::vector<VertexId>& vertices,
+                             std::uint64_t byte_budget, gpusim::Device& device,
+                             gpusim::TrafficCounters& counters) {
+  staged_.reset();
+  staged_valid_ = false;
+  // The staged build gets the FULL budget: the previous epoch's last
+  // consumer (the prior batch's match fan-out) has already completed by the
+  // time the pack phase runs, so the old blob is garbage awaiting the swap.
+  // Charging it against the new epoch starves alternate batches to an empty
+  // cache whenever one epoch fills the budget. The allocate-then-swap
+  // transient does double-occupy the device by up to one epoch until
+  // publish() frees the old blob — steady-state residency stays within
+  // budget, and the OOM ladder still governs genuine device exhaustion.
+  build_into(staged_, graph, vertices, byte_budget, device, counters);
+  staged_valid_ = true;
+}
+
+void DcsrCache::publish() {
+  if (!staged_valid_) return;
+  active_ = std::move(staged_);
+  staged_.reset();
+  staged_valid_ = false;
+}
+
+void DcsrCache::discard_staged() {
+  staged_.reset();
+  staged_valid_ = false;
+}
+
+void DcsrCache::build_into(Slot& slot, const DynamicGraph& graph,
+                           const std::vector<VertexId>& vertices,
+                           std::uint64_t byte_budget, gpusim::Device& device,
+                           gpusim::TrafficCounters& counters) {
   static auto& m_builds = metrics::Registry::global().counter(metric::kCacheBuilds);
   static auto& m_failures =
       metrics::Registry::global().counter(metric::kCacheBuildFailures);
@@ -29,7 +67,6 @@ void DcsrCache::build(const DynamicGraph& graph,
   // run lines up with the injector's observations (and so gcsm_lint has a
   // single spelling to hold the tree to).
   const trace::Span span(fault_site::kCacheBuild);
-  clear();
 
   if (FaultInjector* faults = device.fault_injector();
       faults != nullptr && faults->fires(fault_site::kCacheBuild)) {
@@ -58,9 +95,9 @@ void DcsrCache::build(const DynamicGraph& graph,
   selected.erase(std::unique(selected.begin(), selected.end()),
                  selected.end());
 
-  // Everything below works on locals; members are assigned only once the
+  // Everything below works on locals; the slot is assigned only once the
   // allocation and the DMA have both succeeded, so a throw from either
-  // leaves the cache in its cleared (valid, empty) state.
+  // leaves it in its cleared (valid, empty) state.
   const auto row_count = static_cast<std::uint32_t>(selected.size());
   const std::uint64_t rowptr_bytes =
       (static_cast<std::uint64_t>(row_count) + 1) * sizeof(RowPtr);
@@ -112,104 +149,105 @@ void DcsrCache::build(const DynamicGraph& graph,
   m_bytes.add(blob_bytes);
   m_blob_gauge.set(static_cast<double>(blob_bytes));
 
-  blob_ = std::move(blob);
-  row_count_ = row_count;
-  blob_bytes_ = blob_bytes;
-  rowptr_ = reinterpret_cast<const RowPtr*>(blob_.data());
-  rowidx_ = reinterpret_cast<const VertexId*>(blob_.data() + rowptr_bytes);
-  colidx_ = reinterpret_cast<const VertexId*>(blob_.data() + rowptr_bytes +
-                                              rowidx_bytes);
+  slot.blob = std::move(blob);
+  slot.row_count = row_count;
+  slot.blob_bytes = blob_bytes;
+  slot.rowptr = reinterpret_cast<const RowPtr*>(slot.blob.data());
+  slot.rowidx =
+      reinterpret_cast<const VertexId*>(slot.blob.data() + rowptr_bytes);
+  slot.colidx = reinterpret_cast<const VertexId*>(slot.blob.data() +
+                                                  rowptr_bytes + rowidx_bytes);
 }
 
 void DcsrCache::clear() {
-  blob_ = gpusim::DeviceBuffer();
-  rowidx_ = nullptr;
-  rowptr_ = nullptr;
-  colidx_ = nullptr;
-  row_count_ = 0;
-  blob_bytes_ = 0;
+  active_.reset();
+  staged_.reset();
+  staged_valid_ = false;
 }
 
 std::optional<NeighborView> DcsrCache::lookup(
     VertexId v, ViewMode mode, std::uint32_t& search_steps) const {
+  const Slot& s = active_;
   search_steps = 0;
   std::uint32_t lo = 0;
-  std::uint32_t hi = row_count_;
+  std::uint32_t hi = s.row_count;
   while (lo < hi) {
     ++search_steps;
     const std::uint32_t mid = lo + (hi - lo) / 2;
-    if (rowidx_[mid] < v) {
+    if (s.rowidx[mid] < v) {
       lo = mid + 1;
     } else {
       hi = mid;
     }
   }
-  if (lo >= row_count_ || rowidx_[lo] != v) return std::nullopt;
+  if (lo >= s.row_count || s.rowidx[lo] != v) return std::nullopt;
 
-  const std::int64_t begin = rowptr_[lo].begin;
-  const std::int64_t new_begin = rowptr_[lo].new_begin;
-  const std::int64_t end = rowptr_[lo + 1].begin;
+  const std::int64_t begin = s.rowptr[lo].begin;
+  const std::int64_t new_begin = s.rowptr[lo].new_begin;
+  const std::int64_t end = s.rowptr[lo + 1].begin;
   const std::int64_t prefix_end = new_begin < 0 ? end : new_begin;
   GCSM_ASSERT(begin <= prefix_end && prefix_end <= end,
               "DCSR row offsets out of order");
 
   NeighborView view;
   view.mode = mode;
-  view.prefix = {colidx_ + begin,
+  view.prefix = {s.colidx + begin,
                  static_cast<std::uint32_t>(prefix_end - begin)};
   if (mode == ViewMode::kNew && new_begin >= 0) {
-    view.appended = {colidx_ + new_begin,
+    view.appended = {s.colidx + new_begin,
                      static_cast<std::uint32_t>(end - new_begin)};
   }
   return view;
 }
 
 void DcsrCache::validate(const DynamicGraph* graph) const {
-  if (row_count_ == 0) {
-    GCSM_CHECK(rowidx_ == nullptr && rowptr_ == nullptr && colidx_ == nullptr,
+  const Slot& s = active_;
+  if (s.row_count == 0) {
+    GCSM_CHECK(s.rowidx == nullptr && s.rowptr == nullptr &&
+                   s.colidx == nullptr,
                "empty cache holds dangling array pointers");
-    GCSM_CHECK(blob_bytes_ == 0, "empty cache reports a non-zero blob");
+    GCSM_CHECK(s.blob_bytes == 0, "empty cache reports a non-zero blob");
     return;
   }
 
-  GCSM_CHECK(blob_.valid(), "cache rows without a device blob");
+  GCSM_CHECK(s.blob.valid(), "cache rows without a device blob");
   const std::uint64_t rowptr_bytes =
-      (static_cast<std::uint64_t>(row_count_) + 1) * sizeof(RowPtr);
+      (static_cast<std::uint64_t>(s.row_count) + 1) * sizeof(RowPtr);
   const std::uint64_t rowidx_bytes =
-      static_cast<std::uint64_t>(row_count_) * sizeof(VertexId);
-  GCSM_CHECK(blob_bytes_ == blob_.size(),
+      static_cast<std::uint64_t>(s.row_count) * sizeof(VertexId);
+  GCSM_CHECK(s.blob_bytes == s.blob.size(),
              "blob byte counter disagrees with the device buffer");
-  GCSM_CHECK(blob_bytes_ >= rowptr_bytes + rowidx_bytes,
+  GCSM_CHECK(s.blob_bytes >= rowptr_bytes + rowidx_bytes,
              "blob smaller than its own header arrays");
   const auto colidx_len = static_cast<std::int64_t>(
-      (blob_bytes_ - rowptr_bytes - rowidx_bytes) / sizeof(VertexId));
+      (s.blob_bytes - rowptr_bytes - rowidx_bytes) / sizeof(VertexId));
 
   // The three arrays must tile the blob in rowptr / rowidx / colidx order.
-  const auto* base = blob_.data();
-  GCSM_CHECK(reinterpret_cast<const std::byte*>(rowptr_) == base,
+  const auto* base = s.blob.data();
+  GCSM_CHECK(reinterpret_cast<const std::byte*>(s.rowptr) == base,
              "rowptr does not start the blob");
-  GCSM_CHECK(reinterpret_cast<const std::byte*>(rowidx_) ==
+  GCSM_CHECK(reinterpret_cast<const std::byte*>(s.rowidx) ==
                  base + rowptr_bytes,
              "rowidx not contiguous after rowptr");
-  GCSM_CHECK(reinterpret_cast<const std::byte*>(colidx_) ==
+  GCSM_CHECK(reinterpret_cast<const std::byte*>(s.colidx) ==
                  base + rowptr_bytes + rowidx_bytes,
              "colidx not contiguous after rowidx");
 
-  GCSM_CHECK(rowptr_[0].begin == 0, "first row does not start at offset 0");
-  GCSM_CHECK(rowptr_[row_count_].begin == colidx_len,
+  GCSM_CHECK(s.rowptr[0].begin == 0, "first row does not start at offset 0");
+  GCSM_CHECK(s.rowptr[s.row_count].begin == colidx_len,
              "rowptr sentinel does not equal the colidx length");
-  GCSM_CHECK(rowptr_[row_count_].new_begin == -1,
+  GCSM_CHECK(s.rowptr[s.row_count].new_begin == -1,
              "rowptr sentinel carries an appended offset");
 
-  for (std::uint32_t i = 0; i < row_count_; ++i) {
+  for (std::uint32_t i = 0; i < s.row_count; ++i) {
     const std::string ctx = "cached row " + std::to_string(i);
     if (i > 0) {
-      GCSM_CHECK(rowidx_[i - 1] < rowidx_[i],
+      GCSM_CHECK(s.rowidx[i - 1] < s.rowidx[i],
                  ctx + ": rowidx not strictly ascending");
     }
-    const std::int64_t begin = rowptr_[i].begin;
-    const std::int64_t end = rowptr_[i + 1].begin;
-    const std::int64_t new_begin = rowptr_[i].new_begin;
+    const std::int64_t begin = s.rowptr[i].begin;
+    const std::int64_t end = s.rowptr[i + 1].begin;
+    const std::int64_t new_begin = s.rowptr[i].new_begin;
     GCSM_CHECK(begin <= end, ctx + ": row offsets not monotone");
     GCSM_CHECK(begin >= 0 && end <= colidx_len,
                ctx + ": row offsets outside the colidx extent");
@@ -223,20 +261,21 @@ void DcsrCache::validate(const DynamicGraph* graph) const {
     // Prefix sorted by decoded id, appended run sorted and live — the same
     // layout DynamicGraph::validate() enforces on the source lists.
     for (std::int64_t j = begin + 1; j < prefix_end; ++j) {
-      GCSM_CHECK(decode_neighbor(colidx_[j - 1]) < decode_neighbor(colidx_[j]),
-                 ctx + ": prefix not strictly sorted by decoded id");
+      GCSM_CHECK(
+          decode_neighbor(s.colidx[j - 1]) < decode_neighbor(s.colidx[j]),
+          ctx + ": prefix not strictly sorted by decoded id");
     }
     for (std::int64_t j = prefix_end; j < end; ++j) {
-      GCSM_CHECK(!is_deleted_neighbor(colidx_[j]),
+      GCSM_CHECK(!is_deleted_neighbor(s.colidx[j]),
                  ctx + ": tombstone in appended run");
       if (j > prefix_end) {
-        GCSM_CHECK(colidx_[j - 1] < colidx_[j],
+        GCSM_CHECK(s.colidx[j - 1] < s.colidx[j],
                    ctx + ": appended run not strictly sorted");
       }
     }
 
     if (graph != nullptr) {
-      const VertexId v = rowidx_[i];
+      const VertexId v = s.rowidx[i];
       GCSM_CHECK(v >= 0 && v < graph->num_vertices(),
                  ctx + ": cached vertex not in the graph");
       const NeighborView src = graph->view(v, ViewMode::kNew);
@@ -246,10 +285,10 @@ void DcsrCache::validate(const DynamicGraph* graph) const {
       GCSM_CHECK(static_cast<std::int64_t>(src.appended.size) ==
                      end - prefix_end,
                  ctx + ": cached appended length differs from the graph");
-      GCSM_CHECK(std::memcmp(colidx_ + begin, src.prefix.data,
+      GCSM_CHECK(std::memcmp(s.colidx + begin, src.prefix.data,
                              src.prefix.size * sizeof(VertexId)) == 0,
                  ctx + ": cached prefix is not a verbatim copy");
-      GCSM_CHECK(std::memcmp(colidx_ + prefix_end, src.appended.data,
+      GCSM_CHECK(std::memcmp(s.colidx + prefix_end, src.appended.data,
                              src.appended.size * sizeof(VertexId)) == 0,
                  ctx + ": cached appended run is not a verbatim copy");
     }

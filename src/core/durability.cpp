@@ -32,6 +32,15 @@ DurabilityManager::DurabilityManager(DurabilityOptions options,
   snapshot_path_ = options_.wal_dir + "/graph.snap";
 }
 
+DurabilityManager::~DurabilityManager() {
+  {
+    const std::lock_guard<std::mutex> lock(commit_mu_);
+    committer_stop_ = true;
+  }
+  commit_cv_.notify_all();
+  if (committer_.joinable()) committer_.join();
+}
+
 void DurabilityManager::ensure_writer() {
   if (writer_ == nullptr) {
     writer_ = std::make_unique<wal::Writer>(wal_path_, options_.fsync, faults_);
@@ -158,6 +167,136 @@ void DurabilityManager::append_and_sync(wal::RecordType type,
       if (!e.transient() || --attempts <= 0) throw;
     }
   }
+}
+
+void DurabilityManager::append_with_retry(wal::RecordType type,
+                                          std::uint64_t seq,
+                                          const std::string& payload) {
+  ensure_writer();
+  int attempts = std::max(1, options_.max_write_attempts);
+  for (;;) {
+    try {
+      // append throws BEFORE any byte reaches the file, so re-appending on
+      // a transient refusal is safe.
+      writer_->append(type, seq, payload);
+      return;
+    } catch (const CrashError&) {
+      throw;
+    } catch (const Error& e) {
+      if (!e.transient() || --attempts <= 0) throw;
+    }
+  }
+}
+
+void DurabilityManager::sync_with_retry() {
+  ensure_writer();
+  int attempts = std::max(1, options_.max_write_attempts);
+  for (;;) {
+    try {
+      writer_->sync();
+      return;
+    } catch (const CrashError&) {
+      throw;
+    } catch (const Error& e) {
+      if (!e.transient() || --attempts <= 0) throw;
+    }
+  }
+}
+
+void DurabilityManager::committer_loop() {
+  static auto& m_groups =
+      metrics::Registry::global().counter(metric::kWalGroupCommitGroups);
+  static auto& m_batches =
+      metrics::Registry::global().counter(metric::kWalGroupCommitBatches);
+  static auto& h_size =
+      metrics::Registry::global().histogram(metric::kWalGroupCommitSize);
+  const std::uint64_t window = std::max<std::uint64_t>(
+      1, options_.group_commit_batches);
+  for (;;) {
+    std::vector<CommitUnit> group;
+    {
+      std::unique_lock<std::mutex> lock(commit_mu_);
+      commit_cv_.wait(lock,
+                      [&] { return committer_stop_ || !commit_queue_.empty(); });
+      // Stop discards queued units (crash-equivalent; see ~DurabilityManager).
+      if (committer_stop_) return;
+      while (!commit_queue_.empty() && group.size() < window) {
+        group.push_back(std::move(commit_queue_.front()));
+        commit_queue_.pop_front();
+      }
+    }
+    try {
+      // Serial record order is preserved per batch: the batch's server-state
+      // transitions land before its commit marker. One fsync covers the
+      // whole group — that is the entire point of coalescing.
+      for (const CommitUnit& unit : group) {
+        for (const std::string& payload : unit.server_states) {
+          append_with_retry(wal::RecordType::kServerState, unit.seq, payload);
+        }
+        append_with_retry(wal::RecordType::kCommit, unit.seq,
+                          durable::encode_counters(unit.counters));
+      }
+      sync_with_retry();
+    } catch (...) {
+      // Sticky failure: everything at or beyond the first non-durable seq is
+      // crash-equivalent. Waiters rethrow; the thread exits.
+      const std::lock_guard<std::mutex> lock(commit_mu_);
+      committer_error_ = std::current_exception();
+      durable_cv_.notify_all();
+      return;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(commit_mu_);
+      durable_seq_ = group.back().seq;
+    }
+    durable_cv_.notify_all();
+    m_groups.add();
+    m_batches.add(group.size());
+    h_size.observe(static_cast<double>(group.size()));
+  }
+}
+
+void DurabilityManager::enqueue_commit(CommitUnit unit) {
+  {
+    const std::lock_guard<std::mutex> lock(commit_mu_);
+    if (committer_error_ != nullptr) std::rethrow_exception(committer_error_);
+    enqueued_seq_ = unit.seq;
+    commit_queue_.push_back(std::move(unit));
+    if (!committer_.joinable()) {
+      committer_ = std::thread([this] { committer_loop(); });
+    }
+  }
+  commit_cv_.notify_one();
+  // The snapshot cadence counts ENQUEUED commits: the engine consults it
+  // only at drain points, where enqueued == durable.
+  ++commits_since_snapshot_;
+}
+
+std::uint64_t DurabilityManager::durable_seq() const {
+  const std::lock_guard<std::mutex> lock(commit_mu_);
+  return durable_seq_;
+}
+
+void DurabilityManager::wait_durable(std::uint64_t seq) {
+  std::unique_lock<std::mutex> lock(commit_mu_);
+  durable_cv_.wait(lock, [&] {
+    return durable_seq_ >= seq || committer_error_ != nullptr;
+  });
+  if (durable_seq_ >= seq) return;
+  std::rethrow_exception(committer_error_);
+}
+
+void DurabilityManager::drain() {
+  std::uint64_t target = 0;
+  {
+    const std::lock_guard<std::mutex> lock(commit_mu_);
+    if (!committer_.joinable()) {
+      if (committer_error_ != nullptr) std::rethrow_exception(committer_error_);
+      return;
+    }
+    target = enqueued_seq_;
+  }
+  wait_durable(target);
 }
 
 std::uint64_t DurabilityManager::begin_batch(const EdgeBatch& batch) {

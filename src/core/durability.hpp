@@ -21,9 +21,14 @@
 // integrity check: replay must reproduce them exactly.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <exception>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -47,8 +52,24 @@ struct DurabilityOptions {
   bool fsync = true;
   // Bounded internal retries for transient WAL/snapshot write faults.
   int max_write_attempts = 3;
+  // Group commit (pipelined schedule only): commit markers handed to
+  // enqueue_commit are fsynced by a dedicated committer thread that
+  // coalesces up to this many batches per fsync. The synchronous
+  // commit_batch path ignores it. 1 = one fsync per commit (no coalescing,
+  // still asynchronous).
+  std::uint64_t group_commit_batches = 1;
 
   bool enabled() const { return !wal_dir.empty(); }
+};
+
+// One batch's durable-commit work, handed to the group-commit committer
+// thread: any server-state transition payloads for this batch (appended
+// BEFORE the marker, preserving the serial record order) plus the commit
+// marker's counters.
+struct CommitUnit {
+  std::uint64_t seq = 0;
+  durable::DurableCounters counters;
+  std::vector<std::string> server_states;
 };
 
 // What recover() found; the pipeline restores `graph` (if loaded) and
@@ -80,6 +101,14 @@ class DurabilityManager {
   // Creates wal_dir if needed. The injector is non-owning (nullptr =
   // disarmed) and must outlive the manager.
   DurabilityManager(DurabilityOptions options, FaultInjector* faults);
+  // Stops and joins the committer thread. Units still queued are DISCARDED
+  // (never swallowed silently into the log): destruction without a prior
+  // drain() is crash-equivalent, and recovery re-exposes the uncommitted
+  // tail exactly as it would after a real kill.
+  ~DurabilityManager();
+
+  DurabilityManager(const DurabilityManager&) = delete;
+  DurabilityManager& operator=(const DurabilityManager&) = delete;
 
   const DurabilityOptions& options() const { return options_; }
   const std::string& wal_path() const { return wal_path_; }
@@ -98,6 +127,29 @@ class DurabilityManager {
   // Step 3: durably logs the commit marker for `seq`.
   void commit_batch(std::uint64_t seq,
                     const durable::DurableCounters& counters);
+
+  // Group commit (docs/ROBUSTNESS.md, "Group commit"): hands one batch's
+  // commit work to the committer thread and returns immediately. The
+  // committer appends the unit's server-state records, then its commit
+  // marker, coalescing up to group_commit_batches units per fsync. The
+  // batch is durable — and its report may be surfaced — only once
+  // durable_seq() reaches its seq. A committer failure is sticky: it is
+  // rethrown (CrashError included) from the next wait_durable()/drain().
+  // The committer thread starts lazily on the first enqueue.
+  void enqueue_commit(CommitUnit unit);
+
+  // Highest seq whose commit marker has durably landed via the committer.
+  std::uint64_t durable_seq() const;
+
+  // Blocks until durable_seq() >= seq or the committer failed (rethrows).
+  void wait_durable(std::uint64_t seq);
+
+  // Blocks until every enqueued unit is durable; rethrows a committer
+  // failure. MUST be called before snapshot_now/maybe_snapshot or any
+  // direct read of the WAL file while group commit is in flight: compaction
+  // truncates the whole log, which is only sound once every queued marker
+  // has landed. No-op when the committer was never started.
+  void drain();
 
   // Durably logs a kServerState record (multi-query health transition)
   // under `seq` — the wal_seq of the batch the transition belongs to.
@@ -136,6 +188,12 @@ class DurabilityManager {
   // tracking ensures a failed fsync retry does not duplicate the record.
   void append_and_sync(wal::RecordType type, std::uint64_t seq,
                        const std::string& payload);
+  // The two halves separately, for the committer's one-fsync-per-group
+  // schedule: bounded retries per step, CrashError always escapes.
+  void append_with_retry(wal::RecordType type, std::uint64_t seq,
+                         const std::string& payload);
+  void sync_with_retry();
+  void committer_loop();
 
   DurabilityOptions options_;
   std::string wal_path_;
@@ -144,6 +202,19 @@ class DurabilityManager {
   std::unique_ptr<wal::Writer> writer_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t commits_since_snapshot_ = 0;
+
+  // Group-commit state. commit_mu_ guards the queue, durable_seq_, the
+  // stored failure, and the stop flag; commit_cv_ wakes the committer,
+  // durable_cv_ wakes waiters in wait_durable/drain.
+  mutable std::mutex commit_mu_;
+  std::condition_variable commit_cv_;
+  std::condition_variable durable_cv_;
+  std::deque<CommitUnit> commit_queue_;
+  std::uint64_t durable_seq_ = 0;
+  std::uint64_t enqueued_seq_ = 0;
+  std::exception_ptr committer_error_;
+  bool committer_stop_ = false;
+  std::thread committer_;
 };
 
 }  // namespace gcsm

@@ -172,14 +172,14 @@ void phase_pack(EngineKind kind, DcsrCache& cache, const DynamicGraph& graph,
                 std::uint64_t configured_budget, gpusim::Device& device,
                 gpusim::TrafficCounters& counters, bool check_invariants,
                 const gpusim::SimParams& sim, const PipelineMetrics& pm,
-                BatchReport& report) {
+                BatchReport& report, bool staged) {
   const bool uses_cache = kind == EngineKind::kGcsm ||
                           kind == EngineKind::kNaiveDegree ||
                           kind == EngineKind::kVsgm;
   if (!uses_cache) return;
   const trace::Span span(pm.span_pack());
   const Timer t;
-  cache.clear();
+  if (!staged) cache.clear();
   // VSGM semantically requires the full k-hop data on the device; a budget
   // overflow is a genuine device-OOM (the reason the paper shrinks VSGM's
   // batches). Degradation cannot help, so the configured (not the
@@ -191,16 +191,24 @@ void phase_pack(EngineKind kind, DcsrCache& cache, const DynamicGraph& graph,
     }
   }
   const gpusim::Traffic before = counters.snapshot();
-  cache.build(graph, order, effective_budget, device, counters);
-  if (check_invariants) cache.validate(&graph);
+  if (staged) {
+    // Pipelined schedule: pack the NEXT epoch while the active one keeps
+    // serving the in-flight match. Validation against the (already updated)
+    // graph happens after the caller publishes.
+    cache.build_staged(graph, order, effective_budget, device, counters);
+  } else {
+    cache.build(graph, order, effective_budget, device, counters);
+    if (check_invariants) cache.validate(&graph);
+  }
   const gpusim::Traffic after = counters.snapshot();
   // Simulated pack time: the DMA this build charged to `counters`.
   gpusim::Traffic dma = after;
   dma.dma_calls -= before.dma_calls;
   dma.dma_bytes -= before.dma_bytes;
   report.sim_pack_s = simulate_time(dma, sim).dma;
-  report.cached_vertices = cache.num_cached();
-  report.cache_bytes = cache.blob_bytes();
+  report.cached_vertices =
+      staged ? cache.staged_num_cached() : cache.num_cached();
+  report.cache_bytes = staged ? cache.staged_blob_bytes() : cache.blob_bytes();
   report.wall_pack_ms = t.millis();
 }
 

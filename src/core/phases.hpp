@@ -212,13 +212,17 @@ std::vector<VertexId> phase_estimate(EngineKind kind,
 // full k-hop data resident, so its bound is the configured (undegraded)
 // budget and overflow throws DeviceOomError. No-op for kinds that do not
 // cache. Fills wall_pack_ms / sim_pack_s / cached_vertices / cache_bytes.
+// With `staged` set (the pipelined schedule), the build goes into the
+// cache's staged epoch — the active epoch keeps serving the in-flight
+// match — and the caller publishes it when the previous batch retires; the
+// shared budget is split across both epochs (DcsrCache::build_staged).
 void phase_pack(EngineKind kind, DcsrCache& cache, const DynamicGraph& graph,
                 const std::vector<VertexId>& order,
                 std::uint64_t effective_budget,
                 std::uint64_t configured_budget, gpusim::Device& device,
                 gpusim::TrafficCounters& counters, bool check_invariants,
                 const gpusim::SimParams& sim, const PipelineMetrics& pm,
-                BatchReport& report);
+                BatchReport& report, bool staged = false);
 
 // Step 4: incremental matching through `policy`, charging `counters`. Fills
 // stats / wall_match_ms / sim_match_s, attributing to the kernel everything

@@ -1,9 +1,7 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <stdexcept>
-#include <thread>
 
 #include "core/gpu_engine.hpp"
 #include "util/check.hpp"
@@ -213,8 +211,9 @@ BatchReport Pipeline::process_batch(const EdgeBatch& batch,
       }
     }
     if (backoff_ms > 0.0) {
-      std::this_thread::sleep_for(
-          std::chrono::duration<double, std::milli>(backoff_ms));
+      // Interruptible parking, not a blocking sleep: the delay is bounded
+      // but teardown (or an eager caller) can cut it short.
+      parker_.park_for_ms(backoff_ms);
       report.backoff_ms += backoff_ms;
       backoff_ms = std::min(backoff_ms * rec.backoff_multiplier,
                             rec.backoff_max_ms);

@@ -44,6 +44,7 @@
 #include "graph/update_stream.hpp"
 #include "util/check.hpp"
 #include "util/metrics.hpp"
+#include "util/parking.hpp"
 #include "util/rng.hpp"
 
 namespace gcsm {
@@ -135,6 +136,7 @@ class Pipeline {
   bool replaying_ = false;  // recovery replay: no sink, no re-logging
   std::uint32_t degradation_level_ = 0;
   int clean_device_batches_ = 0;  // streak feeding the budget-heal counter
+  util::ParkingLot parker_;       // interruptible retry-ladder backoff
 };
 
 }  // namespace gcsm

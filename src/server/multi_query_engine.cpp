@@ -1,12 +1,15 @@
 #include "server/multi_query_engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <set>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -27,6 +30,43 @@ QueryCounters to_query_counters(const MatchStats& s) {
 }
 
 }  // namespace
+
+// Per-batch state threaded through process_batch_inner by the pipelined
+// schedule (process_stream); a null ctx means serial process_batch
+// semantics.
+struct MultiQueryEngine::PipelineCtx {
+  // One deferred sink callback: deliverable verbatim once the batch's
+  // commit durably lands. The plan pointer stays valid for the engine's
+  // lifetime (plans are owned by the query's MatchEngine).
+  struct SinkRecord {
+    const MatchPlan* plan = nullptr;
+    std::vector<VertexId> bindings;
+    int sign = 0;
+  };
+
+  // The CPU front half of one batch, staged on the match pool while the
+  // previous batch's fan-out is in flight: corruption screening and the
+  // shared frequency estimation. The WAL append stays on the engine thread
+  // so snapshot compaction at drain points can never truncate a staged
+  // batch record.
+  struct Front {
+    bool valid = false;
+    EdgeBatch batch;              // corrupted + sanitized next batch
+    QuarantineReport quarantine;
+    std::vector<MatchRole> roles;  // role snapshot the estimate assumed
+    StagedEstimate est;
+    std::exception_ptr error;      // staging failed; rethrown on consume
+  };
+
+  Front* front = nullptr;            // consumed by this batch (may be null)
+  const EdgeBatch* next_batch = nullptr;  // staged during this fan-out
+  Front* next_front = nullptr;
+  // Deferred sink buffers, one per registered query (registration order).
+  std::vector<std::vector<SinkRecord>>* buffers = nullptr;
+  // Health-transition payloads collected for the commit unit instead of
+  // being logged inline (the committer appends them before the marker).
+  std::vector<std::string>* server_states = nullptr;
+};
 
 MultiQueryEngine::MultiQueryEngine(const CsrGraph& initial,
                                    MultiQueryOptions options)
@@ -381,10 +421,70 @@ const QueryHealth& MultiQueryEngine::query_health(QueryId id) const {
   return entry->health;
 }
 
+MultiQueryEngine::StagedEstimate MultiQueryEngine::compute_shared_estimate(
+    const EdgeBatch& batch, const std::vector<MatchRole>& roles) {
+  // ONE cross-query estimation. GCSM combines per-query random-walk
+  // estimates by weight into a single frequency vector; the baselines'
+  // orders are query-independent (degree) or take the worst case over the
+  // registered patterns (VSGM's k = max diameter). Only queries actually
+  // matching this batch contribute — a quarantined tenant neither spends
+  // walk budget nor biases the shared cache (safe: cache content never
+  // changes match counts, and each query draws from its own rng stream).
+  // Pure reads on the graph plus per-query estimator/rng state, so the
+  // pipelined schedule stages it on a pool thread while the previous
+  // batch's matches are in flight (pre-apply: the estimate then sees the
+  // graph one update earlier than the serial schedule — a cache-content
+  // difference only, never a count difference).
+  const gpusim::SimParams& sim = options_.sim;
+  StagedEstimate out;
+  const trace::Span span(metrics_.span_estimate());
+  const Timer t;
+  if (options_.kind == EngineKind::kGcsm) {
+    std::vector<double> combined(
+        static_cast<std::size_t>(graph_.num_vertices()), 0.0);
+    std::uint64_t total_ops = 0;
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+      if (roles[i] != MatchRole::kMatch) continue;
+      QueryState& qs = *states_[i];
+      const EstimateResult est = qs.estimator->estimate(graph_, batch, qs.rng);
+      qs.metrics->note_estimate(est);
+      out.walks += est.walks;
+      total_ops += est.ops;
+      const std::size_t m = std::min(combined.size(), est.frequency.size());
+      for (std::size_t v = 0; v < m; ++v) {
+        combined[v] += qs.weight * est.frequency[v];
+      }
+    }
+    out.order = select_by_frequency(combined);
+    out.sim_estimate_s = static_cast<double>(total_ops) /
+                         (sim.host_ops_per_sec_per_thread * sim.host_threads);
+  } else if (options_.kind == EngineKind::kNaiveDegree) {
+    out.order = select_by_degree(graph_);
+    out.sim_estimate_s = static_cast<double>(graph_.num_vertices()) /
+                         (sim.host_ops_per_sec_per_thread * sim.host_threads);
+  } else {  // kVsgm
+    // Hop count stays the max over ALL registered queries (including
+    // quarantined ones): VSGM's residency is a semantic requirement and a
+    // re-joining tenant must find its k-hop data present immediately.
+    std::uint32_t hops = 0;
+    for (const auto& qsp : states_) {
+      hops = std::max(hops, qsp->engine->query().diameter());
+    }
+    out.order = khop_vertices(graph_, batch, hops);
+    out.sim_estimate_s = static_cast<double>(total_list_bytes(graph_, out.order)) /
+                         (sim.host_mem_bandwidth_gbps * 1e9);
+  }
+  out.wall_estimate_ms = t.millis();
+  out.valid = true;
+  return out;
+}
+
 void MultiQueryEngine::run_shared_attempt(const EdgeBatch& batch,
                                           bool drop_cache,
                                           const std::vector<MatchRole>& roles,
-                                          BatchReport& shared) {
+                                          BatchReport& shared,
+                                          const StagedEstimate* staged_est,
+                                          bool staged_pack) {
   gpusim::TrafficCounters& counters = device_.counters();
   counters.reset();
   const gpusim::SimParams& sim = options_.sim;
@@ -404,66 +504,40 @@ void MultiQueryEngine::run_shared_attempt(const EdgeBatch& batch,
   const bool uses_cache = options_.kind == EngineKind::kGcsm ||
                           options_.kind == EngineKind::kNaiveDegree ||
                           options_.kind == EngineKind::kVsgm;
-  if (drop_cache || !uses_cache) return;
-
-  // Step 2: ONE cross-query estimation. GCSM combines per-query random-walk
-  // estimates by weight into a single frequency vector; the baselines'
-  // orders are query-independent (degree) or take the worst case over the
-  // registered patterns (VSGM's k = max diameter). Only queries actually
-  // matching this batch contribute — a quarantined tenant neither spends
-  // walk budget nor biases the shared cache (safe: cache content never
-  // changes match counts, and each query draws from its own rng stream).
-  std::vector<VertexId> order;
-  {
-    const trace::Span span(metrics_.span_estimate());
-    const Timer t;
-    if (options_.kind == EngineKind::kGcsm) {
-      std::vector<double> combined(
-          static_cast<std::size_t>(graph_.num_vertices()), 0.0);
-      std::uint64_t total_ops = 0;
-      for (std::size_t i = 0; i < states_.size(); ++i) {
-        if (roles[i] != MatchRole::kMatch) continue;
-        QueryState& qs = *states_[i];
-        const EstimateResult est =
-            qs.estimator->estimate(graph_, batch, qs.rng);
-        qs.metrics->note_estimate(est);
-        shared.walks += est.walks;
-        total_ops += est.ops;
-        const std::size_t m =
-            std::min(combined.size(), est.frequency.size());
-        for (std::size_t v = 0; v < m; ++v) {
-          combined[v] += qs.weight * est.frequency[v];
-        }
-      }
-      order = select_by_frequency(combined);
-      shared.sim_estimate_s =
-          static_cast<double>(total_ops) /
-          (sim.host_ops_per_sec_per_thread * sim.host_threads);
-    } else if (options_.kind == EngineKind::kNaiveDegree) {
-      order = select_by_degree(graph_);
-      shared.sim_estimate_s =
-          static_cast<double>(graph_.num_vertices()) /
-          (sim.host_ops_per_sec_per_thread * sim.host_threads);
-    } else {  // kVsgm
-      // Hop count stays the max over ALL registered queries (including
-      // quarantined ones): VSGM's residency is a semantic requirement and a
-      // re-joining tenant must find its k-hop data present immediately.
-      std::uint32_t hops = 0;
-      for (const auto& qsp : states_) {
-        hops = std::max(hops, qsp->engine->query().diameter());
-      }
-      order = khop_vertices(graph_, batch, hops);
-      shared.sim_estimate_s =
-          static_cast<double>(total_list_bytes(graph_, order)) /
-          (sim.host_mem_bandwidth_gbps * 1e9);
-    }
-    shared.wall_estimate_ms = t.millis();
+  if (drop_cache || !uses_cache) {
+    // Terminal degradation under the pipelined schedule also clears the
+    // previous ACTIVE epoch, so "served zero-copy" means the same thing on
+    // both schedules (an empty cache, not a stale one).
+    if (staged_pack) cache_.clear();
+    return;
   }
 
-  // Step 3: ONE DCSR pack + DMA under the shared (possibly degraded) budget.
-  phase_pack(options_.kind, cache_, graph_, order, effective_cache_budget(),
-             options_.cache_budget_bytes, device_, counters,
-             options_.check_invariants, sim, metrics_, shared);
+  // Step 2: the shared estimate — precomputed by the pipelined schedule
+  // during the previous fan-out when its role snapshot held, recomputed
+  // inline otherwise (and on every serial attempt, matching the original
+  // retry semantics).
+  StagedEstimate local;
+  if (staged_est == nullptr || !staged_est->valid) {
+    local = compute_shared_estimate(batch, roles);
+    staged_est = &local;
+  }
+  shared.walks = staged_est->walks;
+  shared.sim_estimate_s = staged_est->sim_estimate_s;
+  shared.wall_estimate_ms = staged_est->wall_estimate_ms;
+
+  // Step 3: ONE DCSR pack + DMA under the shared (possibly degraded)
+  // budget. The pipelined schedule packs through the staged epoch (the
+  // active one conceptually still serves the in-flight previous match) and
+  // publishes before the fan-out needs it; validation runs post-publish
+  // because the staged blob is checked against the already-updated graph.
+  phase_pack(options_.kind, cache_, graph_, staged_est->order,
+             effective_cache_budget(), options_.cache_budget_bytes, device_,
+             counters, options_.check_invariants, sim, metrics_, shared,
+             staged_pack);
+  if (staged_pack) {
+    cache_.publish();
+    if (options_.check_invariants) cache_.validate(&graph_);
+  }
 }
 
 void MultiQueryEngine::match_attempt(QueryState& qs, const EdgeBatch& batch,
@@ -520,10 +594,11 @@ void MultiQueryEngine::match_attempt(QueryState& qs, const EdgeBatch& batch,
   qr.traffic = qcounters.snapshot();
 }
 
-void MultiQueryEngine::run_match_fanout(const EdgeBatch& batch,
-                                        const std::vector<MatchRole>& roles,
-                                        ServerBatchReport& out,
-                                        std::vector<MatchOutcome>& outcomes) {
+void MultiQueryEngine::run_match_fanout(
+    const EdgeBatch& batch, const std::vector<MatchRole>& roles,
+    ServerBatchReport& out, std::vector<MatchOutcome>& outcomes,
+    const std::function<void()>& staging,
+    const std::vector<MatchSink>* sink_override) {
   using Clock = std::chrono::steady_clock;
   const RecoveryOptions& rec = options_.recovery;
 
@@ -537,6 +612,11 @@ void MultiQueryEngine::run_match_fanout(const EdgeBatch& batch,
     bool use_cpu = false;
     int attempts_left = 0;
     double backoff_ms = 0.0;
+    // Backoff accumulated by THIS task so far. Folded into the query's
+    // report exactly once, at a terminal outcome — the report field is
+    // shared with the completion bookkeeping, and accumulating it from the
+    // retry path on every park interleaved with other workers' reads.
+    double backoff_total = 0.0;
     Clock::time_point ready_at;
   };
   std::mutex mu;
@@ -554,11 +634,22 @@ void MultiQueryEngine::run_match_fanout(const EdgeBatch& batch,
     }
     queue.push_back(Task{i, options_.kind == EngineKind::kCpu,
                          std::max(1, rec.max_attempts),
-                         rec.backoff_initial_ms, now0});
+                         rec.backoff_initial_ms, 0.0, now0});
   }
-  if (queue.empty()) return;
+  if (queue.empty()) {
+    // No match work this batch, but the pipelined schedule may still owe
+    // the next batch's front half.
+    if (staging) staging();
+    return;
+  }
+
+  // The pipelined schedule's overlap point: the first worker to claim it
+  // runs the next batch's CPU front half (sanitize + estimate) alongside —
+  // not after — this batch's matches.
+  std::atomic<bool> staging_claimed{!static_cast<bool>(staging)};
 
   match_pool_.run_on_all([&](std::size_t) {
+    if (!staging_claimed.exchange(true)) staging();
     for (;;) {
       Task task;
       {
@@ -591,10 +682,13 @@ void MultiQueryEngine::run_match_fanout(const EdgeBatch& batch,
 
       QueryState& qs = *states_[task.index];
       QueryReport& q = out.queries[task.index];
-      const MatchSink* sink =
-          (qs.sink && !replaying_ && roles[task.index] == MatchRole::kMatch)
-              ? &qs.sink
-              : nullptr;
+      const MatchSink* sink = nullptr;
+      if (!replaying_ && roles[task.index] == MatchRole::kMatch) {
+        const MatchSink& chosen = sink_override != nullptr
+                                      ? (*sink_override)[task.index]
+                                      : qs.sink;
+        if (chosen) sink = &chosen;
+      }
       bool ok = false;
       bool retryable = false;
       std::exception_ptr error;
@@ -615,12 +709,14 @@ void MultiQueryEngine::run_match_fanout(const EdgeBatch& batch,
       const std::lock_guard<std::mutex> lk(mu);
       --in_flight;
       if (ok) {
+        q.report.backoff_ms += task.backoff_total;
         if (roles[task.index] == MatchRole::kMatch) {
           q.report.degradation_level = degradation_level_;
           q.report.effective_cache_budget = effective_cache_budget();
           qs.metrics->record_batch(q.report);
         }
       } else if (!retryable) {
+        q.report.backoff_ms += task.backoff_total;
         outcomes[task.index] = MatchOutcome{error, false};
       } else {
         ++q.report.retries;
@@ -632,17 +728,20 @@ void MultiQueryEngine::run_match_fanout(const EdgeBatch& batch,
             next.attempts_left = std::max(1, rec.max_cpu_attempts);
             q.report.cpu_fallback = true;
           } else {
+            q.report.backoff_ms += task.backoff_total;
             outcomes[task.index] = MatchOutcome{error, true};
             cv.notify_all();
             continue;
           }
         }
-        // Park until the backoff elapses instead of sleeping on a slot.
+        // Park until the backoff elapses instead of sleeping on a slot. The
+        // backoff stays task-local (backoff_total) until a terminal outcome
+        // merges it into the report in one step.
         next.ready_at =
             Clock::now() + std::chrono::duration_cast<Clock::duration>(
                                std::chrono::duration<double, std::milli>(
                                    next.backoff_ms));
-        q.report.backoff_ms += next.backoff_ms;
+        next.backoff_total += next.backoff_ms;
         next.backoff_ms = std::min(next.backoff_ms * rec.backoff_multiplier,
                                    rec.backoff_max_ms);
         queue.push_back(next);
@@ -654,7 +753,8 @@ void MultiQueryEngine::run_match_fanout(const EdgeBatch& batch,
 
 bool MultiQueryEngine::replay_missed_batches(QueryState& qs,
                                              const QueryHealth& health,
-                                             QueryCounters* delta) {
+                                             QueryCounters* delta,
+                                             const MatchSink* sink) {
   auto& replayed = metrics::Registry::global().counter(
       options_.metric_prefix + metric::kServerCatchupBatchesReplayed);
   const std::uint64_t target = cumulative_.last_seq;
@@ -694,7 +794,6 @@ bool MultiQueryEngine::replay_missed_batches(QueryState& qs,
   // before this batch commits repeats the catch-up).
   HostPolicy policy(shadow);
   gpusim::TrafficCounters scratch;
-  const MatchSink* sink = qs.sink ? &qs.sink : nullptr;
   for (std::uint64_t seq = shadow_seq + 1; seq <= target; ++seq) {
     const auto it = batches.find(seq);
     if (it == batches.end() || committed.count(seq) == 0) return false;
@@ -715,6 +814,11 @@ bool MultiQueryEngine::replay_missed_batches(QueryState& qs,
 }
 
 ServerBatchReport MultiQueryEngine::process_batch(const EdgeBatch& batch) {
+  return process_batch_inner(batch, nullptr);
+}
+
+ServerBatchReport MultiQueryEngine::process_batch_inner(const EdgeBatch& batch,
+                                                        PipelineCtx* ctx) {
   if (registry_.empty()) {
     throw Error(ErrorCode::kConfig,
                 "no query registered; register_query before process_batch");
@@ -728,21 +832,37 @@ ServerBatchReport MultiQueryEngine::process_batch(const EdgeBatch& batch) {
       faults_ != nullptr ? faults_->fired_count() : 0;
 
   // Ingestion: corrupt (fault site), then screen — once for all queries.
+  // The pipelined schedule already did both while the previous batch's
+  // fan-out was in flight; a staging failure is rethrown HERE, before any
+  // state is touched, so it fails this batch exactly like an inline one.
+  PipelineCtx::Front* front =
+      ctx != nullptr && ctx->front != nullptr && ctx->front->valid
+          ? ctx->front
+          : nullptr;
+  if (front != nullptr && front->error != nullptr) {
+    std::rethrow_exception(front->error);
+  }
   EdgeBatch owned;
   const EdgeBatch* use = &batch;
-  if (faults_ != nullptr) {
-    owned = batch;
-    inject_batch_corruption(owned, faults_);
+  if (front != nullptr) {
+    owned = std::move(front->batch);
     use = &owned;
-  }
-  if (rec.sanitize_batches) {
-    QuarantineReport quarantine;
-    EdgeBatch clean = sanitize_batch(graph_, *use, quarantine);
-    if (!quarantine.empty()) {
-      owned = std::move(clean);
+    shared.quarantine = std::move(front->quarantine);
+  } else {
+    if (faults_ != nullptr) {
+      owned = batch;
+      inject_batch_corruption(owned, faults_);
       use = &owned;
     }
-    shared.quarantine = std::move(quarantine);
+    if (rec.sanitize_batches) {
+      QuarantineReport quarantine;
+      EdgeBatch clean = sanitize_batch(graph_, *use, quarantine);
+      if (!quarantine.empty()) {
+        owned = std::move(clean);
+        use = &owned;
+      }
+      shared.quarantine = std::move(quarantine);
+    }
   }
 
   // Recovery fast path: a replayed batch at or below the aggregate anchor
@@ -781,7 +901,34 @@ ServerBatchReport MultiQueryEngine::process_batch(const EdgeBatch& batch) {
     }
   }
 
+  // Staged-estimate validity: the front's estimate assumed the role set as
+  // of the previous fan-out. Epilogue transitions (trips, re-joins) since
+  // then change which queries contribute walks, so a changed kMatch set
+  // discards the staged order and re-estimates inline — cache content is
+  // count-neutral, but walk budget and arbitration must follow the roles
+  // that actually match.
+  const StagedEstimate* staged_est = nullptr;
+  if (front != nullptr && front->est.valid) {
+    bool same = front->roles.size() == n;
+    for (std::size_t i = 0; same && i < n; ++i) {
+      same = (front->roles[i] == MatchRole::kMatch) ==
+             (roles[i] == MatchRole::kMatch);
+    }
+    if (same) {
+      staged_est = &front->est;
+    } else {
+      metrics::Registry::global()
+          .counter(options_.metric_prefix +
+                   metric::kPipelineOverlapStagedDiscards)
+          .add();
+    }
+  }
+
   // Durable logging: ONE WAL record per batch regardless of query count.
+  // Deliberately NOT staged on the pool: the append stays on the engine
+  // thread, after the previous batch's drain-point snapshot could have
+  // compacted the WAL — a staged append could be truncated away by that
+  // compaction while its commit marker survives.
   std::uint64_t wal_seq = 0;
   if (options_.durability.enabled() && !replaying_) {
     wal_seq = durability_.begin_batch(*use);
@@ -791,7 +938,15 @@ ServerBatchReport MultiQueryEngine::process_batch(const EdgeBatch& batch) {
   const DynamicGraph::Snapshot snap = graph_.snapshot_for(*use);
   auto rollback = [&] {
     graph_.restore(snap);
-    cache_.clear();
+    if (ctx != nullptr) {
+      // Only the half-built staged epoch goes. The previous active epoch is
+      // safe to keep across the retry (misses fall back to zero-copy, so a
+      // stale cache can never change counts) and is replaced by the retry's
+      // own publish before any match reads it.
+      cache_.discard_staged();
+    } else {
+      cache_.clear();
+    }
     if (options_.check_invariants) graph_.validate();
   };
 
@@ -815,8 +970,11 @@ ServerBatchReport MultiQueryEngine::process_batch(const EdgeBatch& batch) {
       }
     }
     if (backoff_ms > 0.0) {
-      std::this_thread::sleep_for(
-          std::chrono::duration<double, std::milli>(backoff_ms));
+      // Interruptible parking, not std::this_thread::sleep_for: the shared
+      // ladder runs on the engine thread, and a blocking sleep here stalled
+      // every queued batch behind one flaky shared phase (the same
+      // head-of-line bug the fan-out's ready-at queue already fixed).
+      parker_.park_for_ms(backoff_ms);
       shared.backoff_ms += backoff_ms;
       backoff_ms = std::min(backoff_ms * rec.backoff_multiplier,
                             rec.backoff_max_ms);
@@ -825,7 +983,8 @@ ServerBatchReport MultiQueryEngine::process_batch(const EdgeBatch& batch) {
 
   for (;;) {
     try {
-      run_shared_attempt(*use, drop_cache, roles, shared);
+      run_shared_attempt(*use, drop_cache, roles, shared, staged_est,
+                         /*staged_pack=*/ctx != nullptr);
       break;
     } catch (const gpusim::DeviceOomError&) {
       rollback();
@@ -857,9 +1016,68 @@ ServerBatchReport MultiQueryEngine::process_batch(const EdgeBatch& batch) {
   // query runs on a pool thread with its own executor, counters, and
   // metric scope; the graph and cache are read-only here, so the only
   // shared mutable state is thread-safe (metrics, traces, the injector).
+  //
+  // Pipelined extras: per-query sinks are swapped for deferred buffers
+  // (flushed by process_stream only once this batch's commit durably
+  // lands), and the NEXT batch's CPU front half rides the same pool as one
+  // more task — its sanitize + estimate overlap these matches.
   out.queries.resize(n);
   std::vector<MatchOutcome> outcomes(n);
-  run_match_fanout(*use, roles, out, outcomes);
+  std::vector<MatchSink> wrapped;
+  const std::vector<MatchSink>* sink_override = nullptr;
+  if (ctx != nullptr) {
+    wrapped.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!states_[i]->sink) continue;
+      auto* buf = &(*ctx->buffers)[i];
+      wrapped[i] = [buf](const MatchPlan& plan,
+                         std::span<const VertexId> bindings, int sign) {
+        buf->push_back(PipelineCtx::SinkRecord{
+            &plan, {bindings.begin(), bindings.end()}, sign});
+      };
+    }
+    sink_override = &wrapped;
+  }
+  std::function<void()> staging;
+  if (ctx != nullptr && ctx->next_batch != nullptr) {
+    PipelineCtx::Front* nf = ctx->next_front;
+    *nf = PipelineCtx::Front{};
+    staging = [this, nf, next = ctx->next_batch, roles] {
+      try {
+        nf->batch = *next;
+        if (faults_ != nullptr) {
+          inject_batch_corruption(nf->batch, faults_);
+        }
+        if (options_.recovery.sanitize_batches) {
+          QuarantineReport quarantine;
+          EdgeBatch clean = sanitize_batch(graph_, nf->batch, quarantine);
+          if (!quarantine.empty()) nf->batch = std::move(clean);
+          nf->quarantine = std::move(quarantine);
+        }
+        nf->roles = roles;
+        const bool uses_cache = options_.kind == EngineKind::kGcsm ||
+                                options_.kind == EngineKind::kNaiveDegree ||
+                                options_.kind == EngineKind::kVsgm;
+        if (uses_cache) {
+          // Pre-apply estimation: sees the graph one update earlier than
+          // the serial schedule would (count-neutral; the rng draw order
+          // per query is unchanged, one estimate per batch).
+          nf->est = compute_shared_estimate(nf->batch, roles);
+          metrics::Registry::global()
+              .counter(options_.metric_prefix +
+                       metric::kPipelineOverlapStagedEstimates)
+              .add();
+        }
+        nf->valid = true;
+      } catch (...) {
+        // Surfaces when the next batch consumes the front — same failure
+        // point an inline ingestion error would have.
+        nf->error = std::current_exception();
+        nf->valid = true;
+      }
+    };
+  }
+  run_match_fanout(*use, roles, out, outcomes, staging, sink_override);
 
   // Terminal per-query outcomes. A full-ladder exhaustion extends the
   // query's consecutive-failure streak; reaching the trip threshold stages
@@ -922,12 +1140,32 @@ ServerBatchReport MultiQueryEngine::process_batch(const EdgeBatch& batch) {
   std::vector<StagedRejoin> rejoins;
   std::vector<std::size_t> rebase_idx;
   QueryCounters total_missed;
+  if (ctx != nullptr && !probe_passed_idx.empty() &&
+      options_.durability.enabled()) {
+    // Catch-up replay reads the WAL file directly; every group-committed
+    // marker must land first or the debt window would look uncommitted. A
+    // committer failure is crash-equivalent and fails this batch.
+    try {
+      durability_.drain();
+    } catch (...) {
+      rollback();
+      throw;
+    }
+  }
   for (const std::size_t i : probe_passed_idx) {
     QueryState& qs = *states_[i];
     const QueryHealth& h = registry_.find(qs.id)->health;
+    // Pipelined: the re-joined subscriber's catch-up embeddings go through
+    // the deferred buffer like everything else in this batch.
+    const MatchSink* rejoin_sink = nullptr;
+    if (ctx != nullptr) {
+      if (wrapped[i]) rejoin_sink = &wrapped[i];
+    } else if (qs.sink) {
+      rejoin_sink = &qs.sink;
+    }
     QueryCounters missed;
     if (h.debt_overflow || !options_.durability.enabled() ||
-        !replay_missed_batches(qs, h, &missed)) {
+        !replay_missed_batches(qs, h, &missed, rejoin_sink)) {
       rebase_idx.push_back(i);
       continue;
     }
@@ -947,9 +1185,8 @@ ServerBatchReport MultiQueryEngine::process_batch(const EdgeBatch& batch) {
     q.report.stats = MatchStats{};
     gpusim::TrafficCounters qcounters;
     HostPolicy policy(graph_);
-    const MatchSink* sink = qs.sink ? &qs.sink : nullptr;
     phase_match(EngineKind::kCpu, *qs.engine, graph_, *use, policy,
-                qcounters, sink, options_.sim, *qs.metrics, q.report);
+                qcounters, rejoin_sink, options_.sim, *qs.metrics, q.report);
     q.report.traffic = qcounters.snapshot();
     qs.metrics->record_batch(q.report);
   }
@@ -997,6 +1234,15 @@ ServerBatchReport MultiQueryEngine::process_batch(const EdgeBatch& batch) {
       t.query = id;
       t.aggregate = staged_aggregate;
       t.table.assign(working.begin(), working.end());
+      if (ctx != nullptr) {
+        // Group commit: the payload rides the commit unit; the committer
+        // appends it before the marker at the same seq, so the "marker
+        // never lands without its transitions" invariant holds at every
+        // crash point — a committer write failure simply means neither
+        // becomes durable.
+        ctx->server_states->push_back(encode_transition(t));
+        return;
+      }
       try {
         durability_.log_server_state(wal_seq, encode_transition(t));
       } catch (...) {
@@ -1032,11 +1278,29 @@ ServerBatchReport MultiQueryEngine::process_batch(const EdgeBatch& batch) {
   next.cum_negative += shared.stats.negative + total_missed.negative;
   if (wal_seq != 0) {
     next.last_seq = wal_seq;
-    try {
-      durability_.commit_batch(wal_seq, next);
-    } catch (...) {
-      rollback();
-      throw;
+    if (ctx != nullptr) {
+      // Group commit: hand the marker (and this batch's transition
+      // payloads) to the committer thread. In-memory state advances
+      // immediately — crash-safe because nothing is SURFACED (reports,
+      // sinks) until durable_seq() reaches this batch, so a crash before
+      // the marker lands re-exposes exactly what recovery replays.
+      CommitUnit unit;
+      unit.seq = wal_seq;
+      unit.counters = next;
+      unit.server_states = std::move(*ctx->server_states);
+      try {
+        durability_.enqueue_commit(std::move(unit));
+      } catch (...) {
+        rollback();
+        throw;
+      }
+    } else {
+      try {
+        durability_.commit_batch(wal_seq, next);
+      } catch (...) {
+        rollback();
+        throw;
+      }
     }
   }
   cumulative_ = next;
@@ -1134,8 +1398,13 @@ ServerBatchReport MultiQueryEngine::process_batch(const EdgeBatch& batch) {
     refresh_breaker_gauges();
   }
 
-  if (wal_seq != 0) {
-    // Durable tail: the registry image (per-query health + counters + the
+  if (wal_seq != 0 && ctx == nullptr) {
+    // Durable tail (serial schedule only — the pipelined one defers both
+    // the image rewrite and the snapshot to its committer drain points,
+    // where the image's aggregate cannot run ahead of the durable markers
+    // and compaction cannot truncate an in-flight commit).
+    //
+    // The registry image (per-query health + counters + the
     // aggregate anchor) is rewritten after EVERY commit. The snapshot is
     // attempted only when the image write succeeded — a snapshot past a
     // stale image would advance the graph beyond per-query counters the
@@ -1163,6 +1432,114 @@ ServerBatchReport MultiQueryEngine::process_batch(const EdgeBatch& batch) {
   }
   shared.metrics = metrics::Registry::global().snapshot();
   return out;
+}
+
+void MultiQueryEngine::process_stream(const std::vector<EdgeBatch>& batches,
+                                      const BatchReportSink& on_batch) {
+  auto& overlap_batches = metrics::Registry::global().counter(
+      options_.metric_prefix + metric::kPipelineOverlapBatches);
+
+  // A finished batch parked until its commit marker durably lands.
+  struct Pending {
+    std::uint64_t seq = 0;
+    ServerBatchReport report;
+    std::vector<std::vector<PipelineCtx::SinkRecord>> buffers;
+  };
+  std::deque<Pending> pending;
+
+  // Surfaces (sinks first, then the report — the serial per-batch order)
+  // every pending batch whose commit is durable; `all` forces the rest out
+  // after a drain. With durability off nothing defers.
+  const bool durable_on = options_.durability.enabled();
+  auto surface_ready = [&](bool all) {
+    const std::uint64_t durable = durable_on ? durability_.durable_seq() : 0;
+    while (!pending.empty()) {
+      Pending& p = pending.front();
+      if (!all && durable_on && p.seq != 0 && p.seq > durable) break;
+      for (std::size_t i = 0; i < p.buffers.size() && i < states_.size();
+           ++i) {
+        const MatchSink& sink = states_[i]->sink;
+        if (!sink) continue;
+        for (const PipelineCtx::SinkRecord& r : p.buffers[i]) {
+          sink(*r.plan, std::span<const VertexId>(r.bindings), r.sign);
+        }
+      }
+      if (on_batch) on_batch(std::move(p.report));
+      pending.pop_front();
+    }
+  };
+
+  PipelineCtx::Front fronts[2];
+  PipelineCtx::Front* front = &fronts[0];
+  PipelineCtx::Front* next_front = &fronts[1];
+
+  for (std::size_t k = 0; k < batches.size(); ++k) {
+    PipelineCtx ctx;
+    ctx.front = front->valid ? front : nullptr;
+    ctx.next_batch = k + 1 < batches.size() ? &batches[k + 1] : nullptr;
+    ctx.next_front = next_front;
+    *next_front = PipelineCtx::Front{};
+    Pending p;
+    p.buffers.assign(states_.size(), {});
+    ctx.buffers = &p.buffers;
+    std::vector<std::string> server_states;
+    ctx.server_states = &server_states;
+    try {
+      p.report = process_batch_inner(batches[k], &ctx);
+    } catch (...) {
+      // The failed batch rolled back (or the committer died — crash-
+      // equivalent either way). Surface what already durably landed, drop
+      // the rest (recovery re-derives them from the WAL), and propagate.
+      try {
+        surface_ready(false);
+      } catch (...) {
+        // A throwing subscriber must not mask the original failure.
+      }
+      throw;
+    }
+    p.seq = p.report.shared.wal_seq;
+    pending.push_back(std::move(p));
+    std::swap(front, next_front);
+    overlap_batches.add();
+    surface_ready(false);
+
+    // Drain points: the snapshot cadence (and the registry-image rewrite
+    // the serial schedule does per commit) runs only once every queued
+    // marker has landed — compaction truncates the whole WAL, and the
+    // image's aggregate anchor must never outrun the durable markers.
+    if (durable_on) {
+      const std::uint64_t interval = options_.durability.snapshot_interval;
+      const bool due =
+          force_snapshot_pending_ ||
+          (interval > 0 && durability_.commits_since_snapshot() >= interval);
+      if (!due) continue;
+      if (any_exact_catchup_debt()) {
+        metrics::Registry::global()
+            .counter(options_.metric_prefix +
+                     metric::kServerCatchupDeferredSnapshots)
+            .add();
+        continue;
+      }
+      durability_.drain();
+      surface_ready(true);
+      if (write_registry_image()) {
+        if (force_snapshot_pending_) {
+          if (durability_.snapshot_now(graph_, cumulative_)) {
+            force_snapshot_pending_ = false;
+          }
+        } else {
+          durability_.maybe_snapshot(graph_, cumulative_);
+        }
+      }
+    }
+  }
+
+  // Stream tail: everything durable, every report surfaced, image fresh.
+  if (durable_on) {
+    durability_.drain();
+    write_registry_image();
+  }
+  surface_ready(true);
 }
 
 std::uint64_t MultiQueryEngine::count_current_embeddings(QueryId id) {

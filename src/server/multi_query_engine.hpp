@@ -52,6 +52,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -68,6 +69,7 @@
 #include "graph/update_stream.hpp"
 #include "server/query_registry.hpp"
 #include "util/check.hpp"
+#include "util/parking.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gcsm::server {
@@ -131,6 +133,10 @@ struct ServerBatchReport {
   bool cache_dropped = false;
 };
 
+// Receives each batch's report from process_stream once its commit is
+// durable (immediately, when durability is off).
+using BatchReportSink = std::function<void(ServerBatchReport&&)>;
+
 class MultiQueryEngine {
  public:
   // With durability enabled and recover_on_start set, the constructor
@@ -173,6 +179,23 @@ class MultiQueryEngine {
   // query is registered. Not thread-safe: one batch in flight at a time
   // (the engine parallelizes internally).
   ServerBatchReport process_batch(const EdgeBatch& batch);
+
+  // Pipelined batch loop (docs/MULTI_QUERY.md, "Pipelined schedule"): batch
+  // t+1's CPU-side front half — corruption screening, WAL batch append, and
+  // the frequency estimation — is staged on the match pool while batch t's
+  // fan-out is in flight, the DCSR pack goes through the cache's staged
+  // epoch (published only when the previous epoch retires), and commit
+  // markers are made durable by the group-commit committer thread
+  // (DurabilityOptions::group_commit_batches markers per fsync). Reports
+  // are surfaced through `on_batch` — and sink callbacks are flushed — only
+  // after their commit durably lands, so a crash never exposes results of a
+  // batch recovery would re-expose. Counts are bit-identical to calling
+  // process_batch per batch (cache content never changes match counts).
+  // On error the failing batch rolls back exactly as in process_batch;
+  // reports of earlier batches whose commit already landed are still
+  // surfaced, the rest are dropped (re-derivable from the WAL).
+  void process_stream(const std::vector<EdgeBatch>& batches,
+                      const BatchReportSink& on_batch = {});
 
   // Full static embedding count of the current graph for one registered
   // query (diagnostic; fault injection suspended).
@@ -221,6 +244,22 @@ class MultiQueryEngine {
     bool ladder_exhausted = false;   // error after a full retryable ladder
   };
 
+  // A precomputed shared estimate (phase 2) for one batch — either built
+  // inline by run_shared_attempt or staged ahead of time by the pipelined
+  // schedule during the previous batch's fan-out.
+  struct StagedEstimate {
+    bool valid = false;
+    std::vector<VertexId> order;
+    std::uint64_t walks = 0;
+    double sim_estimate_s = 0.0;
+    double wall_estimate_ms = 0.0;
+  };
+
+  // Per-batch pipelined-schedule context threaded through the batch body by
+  // process_stream; null means the serial process_batch semantics. Defined
+  // in the .cpp (holds the staged front and the deferred sink buffers).
+  struct PipelineCtx;
+
   std::unique_ptr<QueryState> make_state(const RegisteredQuery& entry);
   QueryState* state_for(QueryId id);
   // The engine's position on the batch stream: the last committed WAL seq,
@@ -245,12 +284,23 @@ class MultiQueryEngine {
   // Any quarantined query still owed an exact (non-overflowed) catch-up —
   // while true, snapshot compaction is deferred so the WAL keeps the debt.
   bool any_exact_catchup_debt() const;
+  // Phase 2 alone: the weight-combined per-query frequency estimation (or
+  // the baseline orderings) on the CURRENT graph. Pure reads plus per-query
+  // estimator/RNG state, so the pipelined schedule may run it on a pool
+  // thread while matches are in flight.
+  StagedEstimate compute_shared_estimate(const EdgeBatch& batch,
+                                         const std::vector<MatchRole>& roles);
   // Phases 1-3 (one transactional attempt). `drop_cache` skips estimate +
   // pack: the terminal degradation of the shared ladder. Only queries whose
-  // role is kMatch contribute to (and pay for) the shared estimate.
+  // role is kMatch contribute to (and pay for) the shared estimate. When
+  // `staged_est` is valid its order is used instead of re-estimating; with
+  // `staged_pack` the build goes through the cache's staged epoch and is
+  // published (then validated) before returning.
   void run_shared_attempt(const EdgeBatch& batch, bool drop_cache,
                           const std::vector<MatchRole>& roles,
-                          BatchReport& shared);
+                          BatchReport& shared,
+                          const StagedEstimate* staged_est = nullptr,
+                          bool staged_pack = false);
   // One phase-4 attempt for one query (no retry logic). Probes the
   // match.query fault site keyed by the QueryId, then matches and enforces
   // breaker.match_deadline_ms post-hoc.
@@ -260,17 +310,33 @@ class MultiQueryEngine {
   // ladder on the match pool. Backoff never holds a pool slot — a retrying
   // query parks in the shared task queue with a ready-at deadline while
   // other queries use the worker (the head-of-line fix).
+  // `staging` (pipelined schedule) is the next batch's CPU front half: the
+  // first free worker claims and runs it alongside the match tasks (inline
+  // when there are no tasks). `sink_override`, when non-null, substitutes
+  // per-query sinks (the deferred-delivery buffers).
   void run_match_fanout(const EdgeBatch& batch,
                         const std::vector<MatchRole>& roles,
                         ServerBatchReport& out,
-                        std::vector<MatchOutcome>& outcomes);
+                        std::vector<MatchOutcome>& outcomes,
+                        const std::function<void()>& staging = {},
+                        const std::vector<MatchSink>* sink_override = nullptr);
   // Exact catch-up for a re-joining query: shadow graph from the latest
   // snapshot (or the initial graph), apply batches up to the frozen
   // position, then apply+match (position, cumulative_.last_seq] with sink
   // delivery. Returns false when the WAL no longer covers the debt (caller
   // falls back to re-baseline). Fault injection suspended throughout.
+  // `sink` (may be null) receives the replayed embeddings — the query's own
+  // sink on the serial path, the deferred buffer on the pipelined one.
   bool replay_missed_batches(QueryState& qs, const QueryHealth& health,
-                             QueryCounters* delta);
+                             QueryCounters* delta, const MatchSink* sink);
+
+  // The whole batch body shared by process_batch (ctx == nullptr) and
+  // process_stream (ctx set: staged ingestion/estimate consumed, pack via
+  // the staged cache epoch, transitions + commit routed through the group
+  // committer, sinks buffered, and the durable tail deferred to the
+  // stream's drain points).
+  ServerBatchReport process_batch_inner(const EdgeBatch& batch,
+                                        PipelineCtx* ctx);
 
   MultiQueryOptions options_;
   DynamicGraph graph_;
@@ -283,6 +349,7 @@ class MultiQueryEngine {
   std::string registry_path_;  // empty when durability is off
   std::vector<std::unique_ptr<QueryState>> states_;  // registration order
   ThreadPool match_pool_;
+  util::ParkingLot parker_;  // interruptible shared-ladder backoff
   Rng seed_root_;  // split per QueryId for deterministic per-query streams
   durable::DurableCounters cumulative_;
   RecoveredState recovery_info_;

@@ -1,0 +1,49 @@
+// Interruptible backoff parking (docs/MULTI_QUERY.md, "Batch semantics").
+//
+// The retry ladders used to back off with std::this_thread::sleep_for,
+// which pins the calling thread — a pool worker or the batch driver — for
+// the full delay even when the run is being torn down or the next batch is
+// already waiting. A ParkingLot gives the same bounded delay as a
+// condition-variable wait that interrupt_all() can cut short, mirroring
+// the ready-at parking the multi-query match fan-out uses for per-task
+// backoff.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace gcsm::util {
+
+class ParkingLot {
+ public:
+  // Blocks for roughly `ms` milliseconds, returning early if
+  // interrupt_all() is called in the meantime. ms <= 0 returns immediately.
+  void park_for_ms(double ms) {
+    if (ms <= 0.0) return;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(ms));
+    std::unique_lock<std::mutex> lock(mu_);
+    const std::uint64_t seen = epoch_;
+    cv_.wait_until(lock, deadline, [&] { return epoch_ != seen; });
+  }
+
+  // Wakes every parked thread immediately (teardown, next batch ready).
+  void interrupt_all() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++epoch_;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace gcsm::util

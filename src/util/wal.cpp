@@ -69,6 +69,7 @@ void Writer::append(RecordType type, std::uint64_t seq,
   static auto& m_records = metrics::Registry::global().counter(metric::kWalRecords);
   static auto& m_bytes = metrics::Registry::global().counter(metric::kWalBytes);
   const std::string rec = encode_record(type, seq, payload);
+  const std::lock_guard<std::mutex> lock(mu_);
   if (faults_ != nullptr && faults_->fires(fault_site::kWalWrite)) {
     // Fires before any byte reaches the file, so a retry simply re-appends.
     throw Error(ErrorCode::kWalWrite,
@@ -95,6 +96,7 @@ void Writer::sync() {
   static auto& m_fsyncs = metrics::Registry::global().counter(metric::kWalFsyncs);
   static auto& h_fsync =
       metrics::Registry::global().histogram(metric::kWalFsyncMs);
+  const std::lock_guard<std::mutex> lock(mu_);
   if (faults_ != nullptr && faults_->fires(fault_site::kWalFsync)) {
     throw Error(ErrorCode::kWalWrite,
                 "injected fault: WAL fsync failed (" + path_ + ")");
@@ -116,6 +118,7 @@ void Writer::sync() {
 }
 
 void Writer::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (::ftruncate(fd_, 0) != 0) {
     throw Error(ErrorCode::kWalWrite,
                 "cannot truncate WAL " + path_ + ": " + errno_text());

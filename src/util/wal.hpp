@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -62,6 +63,9 @@ struct Record {
 std::string encode_record(RecordType type, std::uint64_t seq,
                           std::string_view payload);
 
+// Thread-safe: append/sync/reset serialize on an internal mutex, so a
+// group-commit committer thread can fsync earlier records while the batch
+// thread appends the next ones (docs/ROBUSTNESS.md, "Group commit").
 class Writer {
  public:
   // Opens `path` for appending, creating it if needed. `sync` off skips the
@@ -84,7 +88,10 @@ class Writer {
   void reset();
 
   const std::string& path() const { return path_; }
-  std::uint64_t bytes_appended() const { return bytes_appended_; }
+  std::uint64_t bytes_appended() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return bytes_appended_;
+  }
 
  private:
   std::string path_;
@@ -93,6 +100,7 @@ class Writer {
   bool dirty_ = false;
   std::uint64_t bytes_appended_ = 0;
   FaultInjector* faults_;
+  mutable std::mutex mu_;  // serializes append/sync/reset across threads
 };
 
 struct ReadResult {

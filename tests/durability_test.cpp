@@ -20,6 +20,7 @@
 #include "graph/snapshot.hpp"
 #include "graph/update_stream.hpp"
 #include "query/patterns.hpp"
+#include "server/multi_query_engine.hpp"
 #include "util/durable_io.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
@@ -550,6 +551,119 @@ TEST(Durability, TransientWalFaultsAreRetriedInternally) {
   for (std::size_t k = 0; k < 4; ++k) p.process_batch(fx.stream.batches[k]);
   EXPECT_EQ(p.cumulative().batches_committed, 4U);
   expect_counts(p.cumulative(), baseline_counters(fx, query, 4));
+}
+
+// ---------------------------------------------------------------------------
+// Group commit (multi-query process_stream; docs/ROBUSTNESS.md, "Group
+// commit"): batch records are appended by the engine thread, commit markers
+// by a dedicated committer thread coalescing up to N batches per fsync. A
+// kill at ANY WAL write/fsync probe — the engine thread's appends, the
+// committer's marker writes, the group fsync, the snapshot compactions —
+// must recover bit-identical to an uninterrupted run, at every coalescing
+// window. Crashed commits are re-exposed: their batch records lack a
+// durable marker, so the client re-submits from batches_committed.
+
+server::MultiQueryOptions group_commit_options(const std::string& dir,
+                                               FaultInjector* inj,
+                                               std::uint64_t window) {
+  server::MultiQueryOptions opt;
+  opt.kind = EngineKind::kCpu;
+  opt.workers = 2;
+  opt.cache_budget_bytes = 4 << 20;
+  opt.estimator.num_walks = 512;
+  opt.recovery.backoff_initial_ms = 0.0;
+  opt.durability.wal_dir = dir;
+  opt.durability.snapshot_interval = 3;
+  opt.durability.recover_on_start = true;
+  opt.durability.fsync = false;  // protocol + fault sites identical
+  opt.durability.group_commit_batches = window;
+  opt.fault_injector = inj;
+  return opt;
+}
+
+TEST(Durability, GroupCommitCrashMatrixRecoversAtEveryProbe) {
+  StreamFixture fx(29);
+  ASSERT_GE(fx.stream.batches.size(), kBatches);
+
+  // Synchronous (serial process_batch) baseline, no durability: what every
+  // crashed-and-recovered stream must reproduce exactly.
+  server::MultiQueryEngine ref(fx.stream.initial,
+                               group_commit_options("", nullptr, 1));
+  ref.register_query(make_triangle());
+  ref.register_query(make_path(4));
+  durable::DurableCounters want;
+  for (std::size_t k = 0; k < kBatches; ++k) {
+    const server::ServerBatchReport r =
+        ref.process_batch(fx.stream.batches[k]);
+    want.batches_committed += 1;
+    want.cum_signed += r.shared.stats.signed_embeddings;
+    want.cum_positive += r.shared.stats.positive;
+    want.cum_negative += r.shared.stats.negative;
+  }
+  const std::vector<Edge> want_edges = ref.graph().to_csr().edge_list();
+
+  int cases = 0;
+  int total_crashes = 0;
+  for (const std::uint64_t window : {1U, 4U, 8U}) {
+    for (std::uint64_t nth = 1;; ++nth) {
+      const std::string dir =
+          fresh_dir("gc_" + std::to_string(window) + "_" +
+                    std::to_string(nth));
+      FaultInjector inj(33);
+      inj.arm(fault_site::kCrashAt, {0.0, nth, 11});
+      int crashes = 0;
+      durable::DurableCounters got;
+      std::vector<Edge> got_edges;
+      bool finished = false;
+      for (int lives = 0; lives < 12 && !finished; ++lives) {
+        try {
+          server::MultiQueryEngine engine(
+              fx.stream.initial, group_commit_options(dir, &inj, window));
+          // A crash can land between the two registrations; top the
+          // recovered registry back up to the full set.
+          if (engine.registry().empty()) {
+            engine.register_query(make_triangle());
+          }
+          if (engine.registry().size() < 2) {
+            engine.register_query(make_path(4));
+          }
+          // Exactly-once resumption: re-submit everything not durably
+          // committed (enqueued-but-not-fsynced commits are re-exposed).
+          const std::size_t from = engine.cumulative().batches_committed;
+          engine.process_stream(
+              {fx.stream.batches.begin() + static_cast<std::ptrdiff_t>(from),
+               fx.stream.batches.begin() + kBatches});
+          got = engine.cumulative();
+          got_edges = engine.graph().to_csr().edge_list();
+          finished = true;
+        } catch (const CrashError&) {
+          ++crashes;  // killed mid-write (either thread); restart + recover
+        }
+      }
+      ASSERT_TRUE(finished)
+          << "crash storm: window=" << window << " nth=" << nth;
+      ASSERT_EQ(got.batches_committed, want.batches_committed)
+          << "window=" << window << " nth=" << nth;
+      ASSERT_EQ(got.cum_signed, want.cum_signed)
+          << "window=" << window << " nth=" << nth;
+      ASSERT_EQ(got.cum_positive, want.cum_positive)
+          << "window=" << window << " nth=" << nth;
+      ASSERT_EQ(got.cum_negative, want.cum_negative)
+          << "window=" << window << " nth=" << nth;
+      ASSERT_EQ(got_edges, want_edges)
+          << "window=" << window << " nth=" << nth;
+      ++cases;
+      total_crashes += crashes;
+      // nth beyond the probe count of a full run: the sweep is complete
+      // for this window.
+      if (crashes == 0) break;
+      ASSERT_LT(nth, 300U) << "sweep did not terminate, window=" << window;
+    }
+  }
+  // The matrix must actually have killed the committer somewhere at every
+  // window, or it tested nothing.
+  EXPECT_GT(cases, 3 * static_cast<int>(kBatches));
+  EXPECT_GT(total_crashes, 0);
 }
 
 TEST(Durability, RecoverOnStartOffDiscardsStaleState) {
