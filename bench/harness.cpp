@@ -9,6 +9,7 @@
 #include "util/durable_io.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
+#include "util/timer.hpp"
 
 namespace gcsm::bench {
 
@@ -33,6 +34,11 @@ RunConfig RunConfig::from_cli(const CliArgs& args,
   c.cache_budget_bytes =
       static_cast<std::uint64_t>(args.get_int("budget", 0)) << 20;
   c.num_walks = static_cast<std::uint64_t>(args.get_int("walks", 0));
+  c.duration_s = args.get_double("duration-s", 0.0);
+  if (c.duration_s < 0.0) {
+    throw Error(ErrorCode::kConfig,
+                "duration-s: " + args.get("duration-s", ""));
+  }
   c.json_path = args.get("json", "");
   return c;
 }
@@ -94,7 +100,14 @@ EngineResult run_engine(EngineKind kind, const PreparedStream& stream,
   const std::size_t n =
       std::min(config.num_batches, stream.batches.size());
   const gpusim::SimParams params = pipe.options().sim;
+  const Timer cap;
   for (std::size_t i = 0; i < n; ++i) {
+    if (config.duration_s > 0.0 && cap.seconds() >= config.duration_s) {
+      // Wall-clock cap: stop cleanly mid-stream. Batches already processed
+      // are fully committed; the report below simply covers fewer batches.
+      std::printf("duration cap reached after %zu/%zu batches\n", i, n);
+      break;
+    }
     const BatchReport report = pipe.process_batch(stream.batches[i]);
     BatchRecord rec;
     rec.index = i;
@@ -121,7 +134,10 @@ EngineResult run_engine(EngineKind kind, const PreparedStream& stream,
     r.wall_dc_ms += report.wall_pack_ms;
     r.wall_reorg_ms += report.wall_reorg_ms;
   }
-  const double inv = n == 0 ? 0.0 : 1.0 / static_cast<double>(n);
+  // A duration-capped run processed fewer than n batches; average over what
+  // actually ran.
+  const std::size_t done = r.per_batch.size();
+  const double inv = done == 0 ? 0.0 : 1.0 / static_cast<double>(done);
   r.wall_ms *= inv;
   r.sim_ms *= inv;
   r.sim_match_ms *= inv;
@@ -134,7 +150,7 @@ EngineResult run_engine(EngineKind kind, const PreparedStream& stream,
   r.wall_reorg_ms *= inv;
   r.cached_vertices =
       static_cast<std::uint64_t>(static_cast<double>(r.cached_vertices) * inv);
-  r.batches = n;
+  r.batches = done;
   return r;
 }
 
@@ -213,7 +229,8 @@ void print_result_row(const std::string& query, const EngineResult& r,
 
 void write_json_report(const std::string& path, const RunConfig& config,
                        const std::vector<std::string>& query_names,
-                       const std::vector<EngineResult>& results) {
+                       const std::vector<EngineResult>& results,
+                       const OverloadSummary* overload) {
   json::Writer w;
   w.begin_object();
   w.key("dataset").value(std::string_view(config.dataset));
@@ -229,6 +246,7 @@ void write_json_report(const std::string& path, const RunConfig& config,
   w.key("seed").value(config.seed);
   w.key("budget_bytes").value(config.cache_budget_bytes);
   w.key("walks").value(config.num_walks);
+  w.key("duration_s").value(config.duration_s);
   w.end_object();
 
   double agg_wall_ms = 0.0;
@@ -296,6 +314,24 @@ void write_json_report(const std::string& path, const RunConfig& config,
                                     static_cast<double>(agg_total));
   w.end_object();
   w.end_object();
+
+  if (overload != nullptr) {
+    w.key("overload").begin_object();
+    w.key("offered").value(overload->offered);
+    w.key("admitted").value(overload->admitted);
+    w.key("committed").value(overload->committed);
+    w.key("shed").value(overload->shed);
+    w.key("rejected").value(overload->rejected);
+    w.key("overload_factor").value(overload->overload_factor);
+    w.key("goodput_batches_per_s").value(overload->goodput_batches_per_s);
+    w.key("shed_rate").value(overload->shed_rate);
+    w.key("latency_ms").begin_object();
+    w.key("p50").value(overload->latency_p50_ms);
+    w.key("p95").value(overload->latency_p95_ms);
+    w.key("p99").value(overload->latency_p99_ms);
+    w.end_object();
+    w.end_object();
+  }
   w.end_object();
 
   // Atomic (temp + rename): a consumer polling the report path never reads

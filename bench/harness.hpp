@@ -41,6 +41,13 @@ struct RunConfig {
   std::uint64_t seed = 7;
   std::uint64_t cache_budget_bytes = 256ull << 20;
   std::uint64_t num_walks = 0;  // 0 = paper default formula
+  // --duration-s=F: wall-clock cap on an engine run (0 = unlimited). A run
+  // that hits the cap stops cleanly mid-stream: the batch in flight
+  // finishes, durable state is flushed, and the --json report covers the
+  // batches actually processed (a PARTIAL report, flagged by its smaller
+  // per_batch[] count). Soak and overload drivers use this instead of an
+  // external kill.
+  double duration_s = 0.0;
   // --json=PATH: write the machine-readable run report described in
   // docs/OBSERVABILITY.md ({dataset, queries, config, per_batch[],
   // aggregate{...}}). Empty = no report.
@@ -128,15 +135,35 @@ int run_comparison(const std::string& title, const std::string& expectation,
                    const std::vector<EngineKind>& engines,
                    bool include_rapidflow = false);
 
+// Overload-run summary for bench/overload's --json report (the "overload"
+// top-level section; validated by scripts/check_bench_json.py). Counts obey
+// offered == admitted + rejected and admitted == committed + shed; latency
+// percentiles are nearest-rank over admission-to-commit latencies.
+struct OverloadSummary {
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t rejected = 0;
+  double overload_factor = 0.0;  // offered rate / calibrated capacity
+  double goodput_batches_per_s = 0.0;  // committed / driven duration
+  double shed_rate = 0.0;              // shed / admitted (0 when none)
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+};
+
 // Writes the --json report for a finished comparison:
 //   {dataset, queries[], config{}, per_batch[], aggregate{wall_ms, sim_s,
 //    latency_ms{p50, p95, p99}, cache{hits, misses, hit_rate}}}
 // latency_ms holds nearest-rank percentiles over every per-batch wall time.
+// `overload`, when non-null, adds the "overload" section described above.
 // Schema changes must update docs/OBSERVABILITY.md and the checker in
 // scripts/check_bench_json.py together.
 void write_json_report(const std::string& path, const RunConfig& config,
                        const std::vector<std::string>& query_names,
-                       const std::vector<EngineResult>& results);
+                       const std::vector<EngineResult>& results,
+                       const OverloadSummary* overload = nullptr);
 
 // Shared main() body for the bench binaries: runs `body`, converting any
 // thrown gcsm::Error (e.g. a malformed --batch=abc) into the one-line

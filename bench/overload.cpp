@@ -1,0 +1,303 @@
+// Adversarial overload run: the admission controller in front of the
+// multi-query engine, driven past capacity by the seeded traffic generator
+// (docs/ROBUSTNESS.md, "Overload & admission control").
+//
+// The run first CALIBRATES capacity — a scratch engine with the same eight
+// standing queries serves a few batches and the mean simulated service time
+// sets batches-per-second — then replays the stream as timed arrivals at
+// `--overload` times that capacity (Poisson, uniform, or self-similar
+// bursty interarrivals; hot-source churn; optional all-duplicate and
+// all-invalid floods) through a bounded ingress queue with deadline
+// shedding and the walk-scale degradation ladder. Everything runs on a
+// virtual clock whose service time is the deterministic simulated cost, so
+// one seed reproduces the same admit/shed/reject sequence bit-for-bit.
+//
+// Reported: goodput (committed batches per virtual second), shed rate, and
+// p50/p95/p99 admission-to-commit latency — in the standard --json schema
+// under the "overload" section (validated by scripts/check_bench_json.py).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "harness.hpp"
+#include "server/admission.hpp"
+#include "server/multi_query_engine.hpp"
+#include "server/traffic_gen.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace {
+using namespace gcsm;
+using namespace gcsm::bench;
+
+constexpr std::size_t kNumQueries = 8;
+
+server::MultiQueryOptions engine_options(const RunConfig& config,
+                                         std::uint64_t budget) {
+  server::MultiQueryOptions opt;
+  opt.kind = EngineKind::kGcsm;
+  opt.cache_budget_bytes = budget;
+  opt.estimator.num_walks = config.num_walks;
+  opt.workers = config.workers;
+  opt.seed = config.seed;
+  return opt;
+}
+
+void register_paper_queries(server::MultiQueryEngine& engine,
+                            const RunConfig& config) {
+  for (std::size_t i = 0; i < kNumQueries; ++i) {
+    engine.register_query(paper_query(static_cast<int>(i % 6) + 1, config));
+  }
+}
+
+double nearest_rank(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size()) + 0.5);
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+}  // namespace
+
+static int run(const gcsm::CliArgs& args) {
+  RunConfig config = RunConfig::from_cli(args, "FR", 512, 0.25);
+  // An overload story needs a real stream; default well past the 200-batch
+  // acceptance floor unless the caller chose a count.
+  config.num_batches =
+      static_cast<std::size_t>(args.get_int("batches", 208));
+
+  const double overload_factor = args.get_double("overload", 4.0);
+  if (overload_factor <= 0.0) {
+    throw Error(ErrorCode::kConfig,
+                "overload: " + args.get("overload", ""));
+  }
+  const long long max_queue = args.get_int("max-queue", 48);
+  if (max_queue <= 0) {
+    throw Error(ErrorCode::kConfig,
+                "max-queue: " + args.get("max-queue", ""));
+  }
+  const double admit_rate = args.get_double("admit-rate", 0.0);
+  if (admit_rate < 0.0) {
+    throw Error(ErrorCode::kConfig,
+                "admit-rate: " + args.get("admit-rate", ""));
+  }
+  const double shed_deadline_ms = args.get_double("shed-deadline-ms", -1.0);
+  if (args.has("shed-deadline-ms") && shed_deadline_ms < 0.0) {
+    throw Error(ErrorCode::kConfig,
+                "shed-deadline-ms: " + args.get("shed-deadline-ms", ""));
+  }
+  const server::ShedPolicy policy =
+      server::parse_shed_policy(args.get("shed-policy", "oldest"));
+  const server::ArrivalKind arrival =
+      server::parse_arrival(args.get("arrival", "poisson"));
+  const long long sources = args.get_int("sources", 4);
+  if (sources <= 0) {
+    throw Error(ErrorCode::kConfig, "sources: " + args.get("sources", ""));
+  }
+  const double dup_flood = args.get_double("dup-flood", 0.05);
+  const double invalid_flood = args.get_double("invalid-flood", 0.05);
+  const long long churn = args.get_int("churn", 0);
+  if (churn < 0) {
+    throw Error(ErrorCode::kConfig, "churn: " + args.get("churn", ""));
+  }
+
+  print_title(
+      "Overload protection — admission control, shedding, degradation",
+      "goodput holds near calibrated capacity while the shed rate absorbs "
+      "the excess; latency percentiles stay bounded by the queue deadline "
+      "instead of growing with the backlog");
+
+  // prepare_stream would cap FR's pool at the paper's 12 * 8192 edges —
+  // 192 batches at the default size, under the 200-batch overload floor.
+  // Grow the pool to cover the requested count (make_update_stream still
+  // clamps it to the graph's edge count at small --scale).
+  PreparedStream stream;
+  stream.dataset = config.dataset;
+  {
+    CsrGraph base_graph = make_workload_graph(
+        config.dataset, config.scale, config.num_labels, config.seed);
+    UpdateStreamOptions sopt = default_stream_options(
+        config.dataset, config.batch_size, config.seed + 1);
+    if (sopt.pool_edge_count != 0) {
+      sopt.pool_edge_count = std::max<std::uint64_t>(
+          sopt.pool_edge_count, config.num_batches * config.batch_size);
+    }
+    UpdateStream s = make_update_stream(base_graph, sopt);
+    stream.initial = std::move(s.initial);
+    stream.batches = std::move(s.batches);
+  }
+  print_workload_line(stream.initial, config.dataset, config);
+  const std::uint64_t budget = resolve_cache_budget(config, stream.initial);
+
+  // --- Calibration: mean simulated service time with all queries standing.
+  double mean_service_s = 0.0;
+  {
+    server::MultiQueryEngine scratch(stream.initial,
+                                     engine_options(config, budget));
+    register_paper_queries(scratch, config);
+    const std::size_t probe =
+        std::min<std::size_t>(8, stream.batches.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < probe; ++i) {
+      const server::ServerBatchReport r =
+          scratch.process_batch(stream.batches[i]);
+      double s = r.shared.sim_total_s();
+      for (const server::QueryReport& q : r.queries) {
+        s += q.report.sim_match_s;
+      }
+      total += s;
+    }
+    mean_service_s = probe == 0 ? 1e-3 : total / static_cast<double>(probe);
+    if (mean_service_s <= 0.0) mean_service_s = 1e-6;
+  }
+  const double capacity = 1.0 / mean_service_s;
+  std::printf(
+      "calibrated capacity: %.1f batches/s (mean service %.3f ms sim); "
+      "driving at %.2fx over %zu batches\n",
+      capacity, mean_service_s * 1e3, overload_factor, config.num_batches);
+
+  // --- The adversarial schedule.
+  server::TrafficOptions traffic;
+  traffic.arrival = arrival;
+  traffic.rate = capacity * overload_factor;
+  traffic.num_sources = static_cast<std::uint32_t>(sources);
+  traffic.duplicate_flood_prob = dup_flood;
+  traffic.invalid_flood_prob = invalid_flood;
+  traffic.hot_churn_every = 32;
+  traffic.num_vertices =
+      static_cast<std::uint64_t>(stream.initial.num_vertices());
+  traffic.seed = config.seed + 101;
+  server::TrafficGenerator gen(traffic);
+  std::vector<EdgeBatch> base(stream.batches.begin(),
+                              stream.batches.begin() +
+                                  static_cast<std::ptrdiff_t>(std::min(
+                                      config.num_batches,
+                                      stream.batches.size())));
+  std::vector<server::TrafficItem> schedule = gen.generate(base);
+  const std::vector<server::ChurnStep> churn_plan = gen.churn_plan(
+      schedule.size(), static_cast<std::uint32_t>(churn),
+      static_cast<std::size_t>(max_queue));
+
+  // --- The protected engine.
+  server::MultiQueryEngine engine(stream.initial,
+                                  engine_options(config, budget));
+  register_paper_queries(engine, config);
+  server::AdmissionOptions admission;
+  admission.max_queue = static_cast<std::size_t>(max_queue);
+  admission.admit_rate = admit_rate;
+  admission.shed_policy = policy;
+  admission.queue_deadline_s = args.has("shed-deadline-ms")
+                                   ? shed_deadline_ms / 1e3
+                                   : mean_service_s *
+                                         static_cast<double>(max_queue) / 2.0;
+  server::AdmissionController ctrl(engine, admission);
+
+  EngineResult result;
+  result.engine = "overload";
+  result.query = "x" + std::to_string(kNumQueries);
+  std::vector<server::QueryId> churn_ids;
+  std::uint64_t churn_registered = 0;
+  const auto sink = [&](server::AdmissionCommit&& c) {
+    BatchRecord rec;
+    rec.index = result.per_batch.size();
+    rec.wall_ms = c.report.shared.wall_total_ms();
+    rec.sim_s = c.report.shared.sim_total_s();
+    rec.embeddings = c.report.shared.stats.signed_embeddings;
+    rec.cached_vertices = c.report.shared.cached_vertices;
+    rec.retries = c.report.shared.retries;
+    for (const server::QueryReport& q : c.report.queries) {
+      rec.sim_s += q.report.sim_match_s;
+      rec.cache_hits += q.report.traffic.cache_hits;
+      rec.cache_misses += q.report.traffic.cache_misses;
+      rec.retries += q.report.retries;
+      rec.cpu_fallback = rec.cpu_fallback || q.report.cpu_fallback;
+    }
+    result.wall_ms += rec.wall_ms;
+    result.per_batch.push_back(rec);
+  };
+
+  const Timer wall;
+  bool capped = false;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    if (config.duration_s > 0.0 && wall.seconds() >= config.duration_s) {
+      std::printf("duration cap reached after %zu/%zu arrivals\n", i,
+                  schedule.size());
+      capped = true;
+      break;
+    }
+    if (i < churn_plan.size()) {
+      for (std::uint32_t r = 0; r < churn_plan[i].registers; ++r) {
+        churn_ids.push_back(engine.register_query(
+            paper_query(static_cast<int>(churn_registered % 6) + 1, config)));
+        ++churn_registered;
+      }
+      for (std::uint32_t u = 0; u < churn_plan[i].unregisters; ++u) {
+        if (churn_ids.empty()) break;
+        engine.unregister_query(churn_ids.front());
+        churn_ids.erase(churn_ids.begin());
+      }
+    }
+    server::TrafficItem& item = schedule[i];
+    ctrl.pump(item.arrival_s, sink);
+    ctrl.offer(std::move(item.batch), item.source, item.arrival_s);
+  }
+  ctrl.finish(sink);
+
+  // --- Summary.
+  const server::AdmissionStats& st = ctrl.stats();
+  std::vector<double> lat(st.latency_s);
+  std::sort(lat.begin(), lat.end());
+  const double driven_s =
+      std::max(ctrl.server_free_s(),
+               schedule.empty() ? 0.0 : schedule.back().arrival_s);
+  OverloadSummary sum;
+  sum.offered = st.offered;
+  sum.admitted = st.admitted;
+  sum.committed = st.committed;
+  sum.shed = st.shed;
+  sum.rejected = st.rejected;
+  sum.overload_factor = overload_factor;
+  sum.goodput_batches_per_s =
+      driven_s > 0.0 ? static_cast<double>(st.committed) / driven_s : 0.0;
+  sum.shed_rate = st.admitted == 0
+                      ? 0.0
+                      : static_cast<double>(st.shed) /
+                            static_cast<double>(st.admitted);
+  sum.latency_p50_ms = nearest_rank(lat, 0.50) * 1e3;
+  sum.latency_p95_ms = nearest_rank(lat, 0.95) * 1e3;
+  sum.latency_p99_ms = nearest_rank(lat, 0.99) * 1e3;
+
+  std::printf(
+      "\noffered %llu = admitted %llu + rejected %llu; admitted = committed "
+      "%llu + shed %llu%s\n",
+      static_cast<unsigned long long>(st.offered),
+      static_cast<unsigned long long>(st.admitted),
+      static_cast<unsigned long long>(st.rejected),
+      static_cast<unsigned long long>(st.committed),
+      static_cast<unsigned long long>(st.shed),
+      capped ? " (duration-capped: partial report)" : "");
+  std::printf(
+      "goodput %.1f batches/s (capacity %.1f), shed rate %.1f%%, walk scale "
+      "%.3f, latency p50/p95/p99 = %.2f/%.2f/%.2f ms\n",
+      sum.goodput_batches_per_s, capacity, 100.0 * sum.shed_rate,
+      ctrl.walk_scale(), sum.latency_p50_ms, sum.latency_p95_ms,
+      sum.latency_p99_ms);
+  std::printf(
+      "ladder: %llu scale-downs, %llu scale-ups; first scale-down/shed/"
+      "reject at ordinal %llu/%llu/%llu\n",
+      static_cast<unsigned long long>(st.scale_downs),
+      static_cast<unsigned long long>(st.scale_ups),
+      static_cast<unsigned long long>(st.first_scale_down_ordinal),
+      static_cast<unsigned long long>(st.first_shed_ordinal),
+      static_cast<unsigned long long>(st.first_reject_ordinal));
+
+  if (!config.json_path.empty()) {
+    write_json_report(config.json_path, config, {result.query}, {result},
+                      &sum);
+  }
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  return gcsm::bench::bench_main("overload", argc, argv, run);
+}

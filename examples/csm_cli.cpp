@@ -21,12 +21,15 @@
 #include "graph/update_stream.hpp"
 #include "query/automorphism.hpp"
 #include "query/patterns.hpp"
+#include "server/admission.hpp"
 #include "server/multi_query_engine.hpp"
+#include "server/traffic_gen.hpp"
 #include "util/cli.hpp"
 #include "util/durable_io.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 #include "util/metrics.hpp"
+#include "util/timer.hpp"
 #include "util/trace.hpp"
 
 using namespace gcsm;
@@ -53,6 +56,20 @@ void write_observability(const CliArgs& args,
     write_text_file(path, collector.to_chrome_json());
     std::printf("trace written to %s\n", path.c_str());
   }
+}
+
+// --duration-s=F: wall-clock cap on the batch loop (0 = unlimited). A
+// capped run stops cleanly between batches: the batch in flight finishes
+// and commits (WAL flushed), then the loop prints "duration cap reached"
+// and exits 0 with whatever reports it produced. scripts/soak.sh uses this
+// to bound every pass instead of killing the process.
+double parse_duration_s(const CliArgs& args) {
+  const double duration_s = args.get_double("duration-s", 0.0);
+  if (duration_s < 0.0) {
+    throw Error(ErrorCode::kConfig,
+                "duration-s: " + args.get("duration-s", ""));
+  }
+  return duration_s;
 }
 
 QueryGraph parse_query(const std::string& name, int labels) {
@@ -123,6 +140,18 @@ int usage() {
       "               [--debt-window=N] [--match-deadline-ms=T]\n"
       "                (multi-query circuit breaker tuning;\n"
       "                docs/ROBUSTNESS.md \"Tenant isolation\")\n"
+      "               [--duration-s=F]       (wall-clock cap: stop cleanly\n"
+      "                between batches after F seconds, committed state\n"
+      "                flushed; used by scripts/soak.sh)\n"
+      "               [--max-queue=N] [--admit-rate=F]\n"
+      "               [--shed-policy=oldest|lowest-impact]\n"
+      "               [--shed-deadline-ms=T]\n"
+      "               [--arrival=uniform|poisson|bursty] "
+      "[--arrival-rate=F]\n"
+      "                (multi-query only: bounded admission queue, load\n"
+      "                shedding, and timed arrivals in front of the engine;\n"
+      "                docs/ROBUSTNESS.md \"Overload & admission "
+      "control\")\n"
       "exit codes: 0 ok, 1 permanent error, 2 config/parse error,\n"
       "            3 unrecoverable device error\n"
       "Repeat --query to serve several patterns from one shared engine\n"
@@ -236,8 +265,8 @@ int run_multi_query(const CliArgs& args, const UpdateStream& stream,
         srv.registry().size(), start_batch);
   }
 
-  for (std::size_t k = start_batch; k < max_batches; ++k) {
-    const server::ServerBatchReport r = srv.process_batch(stream.batches[k]);
+  const auto print_batch = [](std::size_t k,
+                              const server::ServerBatchReport& r) {
     std::printf(
         "batch %zu: %+lld embeddings across %zu queries | shared sim "
         "(FE %.3f, DC %.3f, reorg %.3f ms) | wall %.1f ms | cache %llu "
@@ -275,6 +304,109 @@ int run_multi_query(const CliArgs& args, const UpdateStream& stream,
           static_cast<unsigned long long>(r.shared.effective_cache_budget),
           static_cast<unsigned long long>(r.shared.faults_observed),
           static_cast<unsigned long long>(r.shared.quarantine.total()));
+    }
+  };
+
+  const double duration_s = parse_duration_s(args);
+  const Timer wall;
+
+  // --- overload protection (docs/ROBUSTNESS.md, "Overload & admission
+  // control"): any admission flag puts the bounded-queue controller in
+  // front of the engine. Without --arrival-rate each batch arrives exactly
+  // as the server frees (pass-through pacing); with it, arrivals follow the
+  // seeded traffic generator and the queue can build, shed, and reject.
+  const bool admission_on =
+      args.has("max-queue") || args.has("admit-rate") ||
+      args.has("shed-policy") || args.has("shed-deadline-ms") ||
+      args.has("arrival") || args.has("arrival-rate");
+  if (admission_on) {
+    const std::int64_t max_queue = args.get_int("max-queue", 64);
+    if (max_queue <= 0) {
+      throw Error(ErrorCode::kConfig,
+                  "max-queue: " + args.get("max-queue", ""));
+    }
+    const double admit_rate = args.get_double("admit-rate", 0.0);
+    if (admit_rate < 0.0) {
+      throw Error(ErrorCode::kConfig,
+                  "admit-rate: " + args.get("admit-rate", ""));
+    }
+    const double shed_deadline_ms = args.get_double("shed-deadline-ms", 0.0);
+    if (shed_deadline_ms < 0.0) {
+      throw Error(ErrorCode::kConfig,
+                  "shed-deadline-ms: " + args.get("shed-deadline-ms", ""));
+    }
+    const double arrival_rate = args.get_double("arrival-rate", 0.0);
+    if (arrival_rate < 0.0) {
+      throw Error(ErrorCode::kConfig,
+                  "arrival-rate: " + args.get("arrival-rate", ""));
+    }
+    server::AdmissionOptions aopt;
+    aopt.max_queue = static_cast<std::size_t>(max_queue);
+    aopt.admit_rate = admit_rate;
+    aopt.shed_policy =
+        server::parse_shed_policy(args.get("shed-policy", "oldest"));
+    aopt.queue_deadline_s = shed_deadline_ms / 1e3;
+    const server::ArrivalKind arrival =
+        server::parse_arrival(args.get("arrival", "poisson"));
+    server::AdmissionController ctrl(srv, aopt);
+
+    std::vector<server::TrafficItem> schedule;
+    if (arrival_rate > 0.0) {
+      server::TrafficOptions topt;
+      topt.arrival = arrival;
+      topt.rate = arrival_rate;
+      topt.num_vertices =
+          static_cast<std::uint64_t>(stream.initial.num_vertices());
+      topt.seed = seed + 3;
+      server::TrafficGenerator gen(topt);
+      const std::vector<EdgeBatch> base(
+          stream.batches.begin() + static_cast<std::ptrdiff_t>(start_batch),
+          stream.batches.begin() + static_cast<std::ptrdiff_t>(max_batches));
+      schedule = gen.generate(base);
+    }
+
+    const auto sink = [&](server::AdmissionCommit&& c) {
+      print_batch(start_batch + static_cast<std::size_t>(c.ordinal) - 1,
+                  c.report);
+    };
+    for (std::size_t k = start_batch; k < max_batches; ++k) {
+      if (duration_s > 0.0 && wall.seconds() >= duration_s) {
+        std::printf("duration cap reached after %zu/%zu batches\n", k,
+                    max_batches);
+        break;
+      }
+      const std::size_t j = k - start_batch;
+      const double now = j < schedule.size()
+                             ? schedule[j].arrival_s
+                             : ctrl.server_free_s();
+      ctrl.pump(now, sink);
+      EdgeBatch batch = j < schedule.size() ? std::move(schedule[j].batch)
+                                            : stream.batches[k];
+      const std::uint32_t source =
+          j < schedule.size() ? schedule[j].source : 0;
+      if (ctrl.offer(std::move(batch), source, now) !=
+          server::AdmitResult::kAdmitted) {
+        std::printf("batch %zu: rejected at admission (queue full)\n", k);
+      }
+    }
+    ctrl.finish(sink);
+    const server::AdmissionStats& st = ctrl.stats();
+    std::printf(
+        "admission: offered %llu = admitted %llu + rejected %llu; admitted "
+        "= committed %llu + shed %llu | walk scale %.3f\n",
+        static_cast<unsigned long long>(st.offered),
+        static_cast<unsigned long long>(st.admitted),
+        static_cast<unsigned long long>(st.rejected),
+        static_cast<unsigned long long>(st.committed),
+        static_cast<unsigned long long>(st.shed), ctrl.walk_scale());
+  } else {
+    for (std::size_t k = start_batch; k < max_batches; ++k) {
+      if (duration_s > 0.0 && wall.seconds() >= duration_s) {
+        std::printf("duration cap reached after %zu/%zu batches\n", k,
+                    max_batches);
+        break;
+      }
+      print_batch(k, srv.process_batch(stream.batches[k]));
     }
   }
   trace::set_collector(nullptr);
@@ -331,9 +463,19 @@ int main(int argc, char** argv) try {
 
   // --- multi-query serving mode (repeated --query) ------------------------
   const std::vector<std::string> query_names = args.get_all("query");
-  if (query_names.size() > 1) {
-    return run_multi_query(args, stream, query_names, labels, seed,
-                           max_batches);
+  // Any admission flag routes through the serving engine too — the overload
+  // controller fronts MultiQueryEngine, and a malformed flag value must
+  // exit 2 on every path, never be silently ignored by the classic one.
+  const bool admission_flags =
+      args.has("max-queue") || args.has("admit-rate") ||
+      args.has("shed-policy") || args.has("shed-deadline-ms") ||
+      args.has("arrival") || args.has("arrival-rate");
+  if (query_names.size() > 1 || admission_flags) {
+    return run_multi_query(
+        args, stream,
+        query_names.empty() ? std::vector<std::string>{args.get("query", "Q1")}
+                            : query_names,
+        labels, seed, max_batches);
   }
 
   // --- query --------------------------------------------------------------
@@ -417,7 +559,14 @@ int main(int argc, char** argv) try {
   }
 
   const gpusim::SimParams params = popt.sim;
+  const double duration_s = parse_duration_s(args);
+  const Timer wall;
   for (std::size_t k = start_batch; k < max_batches; ++k) {
+    if (duration_s > 0.0 && wall.seconds() >= duration_s) {
+      std::printf("duration cap reached after %zu/%zu batches\n", k,
+                  max_batches);
+      break;
+    }
     const BatchReport r = pipeline.process_batch(stream.batches[k], sink_ptr);
     std::printf(
         "batch %zu: %+lld embeddings (+%llu/-%llu) | sim %.3f ms "

@@ -91,6 +91,12 @@ run_preset() {
     if ! run ctest --preset pipeline-asan -j "${JOBS}"; then
       failures+=("pipeline-asan: tests")
     fi
+    # Overload protection (admission control, bounded ingress queue,
+    # deadline shedding + kShed audit, degradation ladder, traffic
+    # generator) under asan/ubsan.
+    if ! run ctest --preset overload-asan -j "${JOBS}"; then
+      failures+=("overload-asan: tests")
+    fi
   fi
   # The match fan-out across queries is the concurrency hot spot: the
   # multiquery label (engine suite + ThreadPool stress) is the tsan target,
@@ -107,6 +113,12 @@ run_preset() {
     # while the group-commit committer drains — tsan's richest target.
     if ! run ctest --preset pipeline-tsan -j "${JOBS}"; then
       failures+=("pipeline-tsan: tests")
+    fi
+    # Overload controller wall-clock paths: submit() backpressure parks
+    # producer threads against serve_pending()'s drain — the ParkingLot
+    # handoff and the shed-while-parked wakeups are tsan's target here.
+    if ! run ctest --preset overload-tsan -j "${JOBS}"; then
+      failures+=("overload-tsan: tests")
     fi
   fi
   # Bench smoke + --json schema gate (docs/OBSERVABILITY.md): a reduced
@@ -138,6 +150,17 @@ run_preset() {
     elif command -v python3 > /dev/null 2>&1; then
       if ! run python3 scripts/check_bench_json.py "${mq_report}"; then
         failures+=("${preset}: multi_query bench json schema")
+      fi
+    fi
+    # The overload bench adds the "overload" section (goodput, shed rate,
+    # latency percentiles, conservation) to the same schema.
+    local ovl_report="build-${preset}/bench_overload_smoke.json"
+    if ! run "build-${preset}/bench/overload" --scale=0.05 --batches=8 \
+         --json="${ovl_report}" > /dev/null; then
+      failures+=("${preset}: overload bench smoke")
+    elif command -v python3 > /dev/null 2>&1; then
+      if ! run python3 scripts/check_bench_json.py "${ovl_report}"; then
+        failures+=("${preset}: overload bench json schema")
       fi
     fi
   fi

@@ -66,7 +66,42 @@ CONFIG_KEYS = {
     "seed": int,
     "budget_bytes": int,
     "walks": int,
+    "duration_s": numbers.Real,
 }
+
+# bench/overload adds this section: admission-control conservation plus the
+# goodput / shed-rate / latency summary of the overload run.
+OVERLOAD_KEYS = {
+    "offered": int,
+    "admitted": int,
+    "committed": int,
+    "shed": int,
+    "rejected": int,
+    "overload_factor": numbers.Real,
+    "goodput_batches_per_s": numbers.Real,
+    "shed_rate": numbers.Real,
+    "latency_ms": dict,
+}
+
+
+def check_overload(ovl):
+    check_keys(ovl, OVERLOAD_KEYS, "overload")
+    check_keys(
+        ovl["latency_ms"],
+        {"p50": numbers.Real, "p95": numbers.Real, "p99": numbers.Real},
+        "overload.latency_ms",
+    )
+    lat = ovl["latency_ms"]
+    if not lat["p50"] <= lat["p95"] <= lat["p99"]:
+        fail("overload.latency_ms: percentiles not monotone (p50<=p95<=p99)")
+    if ovl["offered"] != ovl["admitted"] + ovl["rejected"]:
+        fail("overload: offered != admitted + rejected (books not conserved)")
+    if ovl["admitted"] != ovl["committed"] + ovl["shed"]:
+        fail("overload: admitted != committed + shed (books not conserved)")
+    if not 0.0 <= ovl["shed_rate"]:
+        fail("overload.shed_rate negative")
+    if ovl["overload_factor"] <= 0.0:
+        fail("overload.overload_factor must be positive")
 
 
 def main():
@@ -78,17 +113,16 @@ def main():
     except (OSError, json.JSONDecodeError) as e:
         fail(f"{sys.argv[1]}: {e}")
 
-    check_keys(
-        doc,
-        {
-            "dataset": str,
-            "queries": list,
-            "config": dict,
-            "per_batch": list,
-            "aggregate": dict,
-        },
-        "report",
-    )
+    top = {
+        "dataset": str,
+        "queries": list,
+        "config": dict,
+        "per_batch": list,
+        "aggregate": dict,
+    }
+    if "overload" in doc:
+        top["overload"] = dict
+    check_keys(doc, top, "report")
     if not all(isinstance(q, str) for q in doc["queries"]):
         fail("queries: every entry must be a string")
     check_keys(doc["config"], CONFIG_KEYS, "config")
@@ -126,6 +160,9 @@ def main():
     )
     if not 0.0 <= agg["cache"]["hit_rate"] <= 1.0:
         fail("aggregate.cache.hit_rate outside [0, 1]")
+
+    if "overload" in doc:
+        check_overload(doc["overload"])
 
     print(
         f"check_bench_json: OK — {doc['dataset']}, "

@@ -95,6 +95,16 @@ void DcsrCache::build_into(Slot& slot, const DynamicGraph& graph,
   selected.erase(std::unique(selected.begin(), selected.end()),
                  selected.end());
 
+  // An empty hot set (every update quarantined, or a budget too small for a
+  // single row) leaves the slot cleared instead of packing a sentinel-only
+  // blob: validate() pins "no rows" to "no arrays, no blob".
+  if (selected.empty()) {
+    slot.reset();
+    m_builds.add();
+    m_blob_gauge.set(0.0);
+    return;
+  }
+
   // Everything below works on locals; the slot is assigned only once the
   // allocation and the DMA have both succeeded, so a throw from either
   // leaves it in its cleared (valid, empty) state.

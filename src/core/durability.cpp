@@ -107,6 +107,13 @@ RecoveredState DurabilityManager::recover() {
       state.server_states.emplace_back(rec.seq, rec.payload);
       continue;
     }
+    if (rec.type == wal::RecordType::kShed) {
+      // Admission-control audit record: the seq was consumed but the batch
+      // was intentionally dropped. Reported so callers (and the integrity
+      // gate) can tell a shed gap from a lost batch; never replayed.
+      state.shed_seqs.push_back(rec.seq);
+      continue;
+    }
     // Commit marker: its counters are the integrity target; its batch is
     // replayed when the snapshot does not already cover it.
     const auto counters = durable::decode_counters(rec.payload);
@@ -310,6 +317,12 @@ void DurabilityManager::commit_batch(std::uint64_t seq,
   append_and_sync(wal::RecordType::kCommit, seq,
                   durable::encode_counters(counters));
   ++commits_since_snapshot_;
+}
+
+std::uint64_t DurabilityManager::log_shed(const std::string& payload) {
+  const std::uint64_t seq = next_seq_++;
+  append_and_sync(wal::RecordType::kShed, seq, payload);
+  return seq;
 }
 
 void DurabilityManager::log_server_state(std::uint64_t seq,

@@ -91,6 +91,12 @@ struct RecoveredState {
   // durable even if the batch that carried it never committed.
   std::vector<std::pair<std::uint64_t, std::string>> server_states;
 
+  // Sequence numbers the admission layer shed under overload (kShed audit
+  // records, ascending log order). Never replayed, never counted as dropped:
+  // the gap in the committed stream is explained, not anomalous
+  // (docs/ROBUSTNESS.md, "Overload & admission control").
+  std::vector<std::uint64_t> shed_seqs;
+
   std::size_t dropped_uncommitted = 0;  // logged but never committed
   bool wal_tail_truncated = false;
   std::string warning;  // accumulated recovery warnings (also on stderr)
@@ -150,6 +156,15 @@ class DurabilityManager {
   // truncates the whole log, which is only sound once every queued marker
   // has landed. No-op when the committer was never started.
   void drain();
+
+  // Durably logs a kShed audit record (admission control dropped a batch
+  // under overload) and returns the sequence number it consumed. The seq is
+  // allocated from the SAME space as begin_batch so every gap in the
+  // committed stream has a durable explanation; the record is never
+  // replayed and never advances the aggregate counters. Engine-thread only
+  // (shares next_seq_ with begin_batch, which has no extra synchronization).
+  // Same retry contract as begin_batch.
+  std::uint64_t log_shed(const std::string& payload);
 
   // Durably logs a kServerState record (multi-query health transition)
   // under `seq` — the wal_seq of the batch the transition belongs to.

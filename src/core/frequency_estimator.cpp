@@ -87,17 +87,23 @@ FrequencyEstimator::FrequencyEstimator(const QueryGraph& query,
 
 EstimateResult FrequencyEstimator::estimate(const DynamicGraph& graph,
                                             const EdgeBatch& batch,
-                                            Rng& rng) const {
+                                            Rng& rng,
+                                            double walk_scale) const {
   EstimateResult result;
   result.frequency.assign(static_cast<std::size_t>(graph.num_vertices()),
                           0.0);
   const std::uint32_t max_degree = std::max(1u, graph.max_degree_bound());
-  const std::uint64_t walks =
+  std::uint64_t walks =
       options_.num_walks != 0
           ? options_.num_walks
           : default_num_walks(batch.updates.size(), max_degree,
                               query_.num_vertices(), options_.min_walks,
                               options_.max_walks);
+  if (walk_scale > 0.0 && walk_scale < 1.0) {
+    walks = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(static_cast<double>(walks) *
+                                      walk_scale));
+  }
   result.walks = walks;
 
   WalkState st;

@@ -52,8 +52,15 @@ class FrequencyEstimator {
   // Estimates access frequency for matching `batch` against `graph` (which
   // must already have the batch applied, pre-reorganization, so that OLD and
   // NEW views are both visible — the same state the matcher will see).
+  //
+  // `walk_scale` multiplies the resolved walk count M (clamped to keep at
+  // least one walk). The overload controller's degradation ladder shrinks it
+  // below 1.0 under sustained load: fewer walks cost less sim time but only
+  // coarsen the cache's row ranking — match counts never depend on cache
+  // content, so scaling is count-neutral (docs/ROBUSTNESS.md, "Overload &
+  // admission control").
   EstimateResult estimate(const DynamicGraph& graph, const EdgeBatch& batch,
-                          Rng& rng) const;
+                          Rng& rng, double walk_scale = 1.0) const;
 
   // Reference implementation that runs `num_walks` genuinely independent
   // random walks (one root-to-stop path each), as described in Sec. IV-A

@@ -1,0 +1,402 @@
+#include "server/admission.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/durable_io.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+
+namespace gcsm::server {
+namespace {
+
+// Deterministic simulated service time of one batch: the shared phases once,
+// plus every query's match (the same accounting bench/multi_query uses).
+double simulated_service_s(const ServerBatchReport& report) {
+  double s = report.shared.sim_total_s();
+  for (const QueryReport& q : report.queries) s += q.report.sim_match_s;
+  return s;
+}
+
+constexpr std::size_t kShedPayloadBytes = 4 + 8 + 8 + 1 + 8;
+
+}  // namespace
+
+const char* shed_policy_name(ShedPolicy policy) {
+  switch (policy) {
+    case ShedPolicy::kOldestFirst:
+      return "oldest";
+    case ShedPolicy::kLowestImpact:
+      return "lowest-impact";
+  }
+  return "?";
+}
+
+ShedPolicy parse_shed_policy(const std::string& text) {
+  if (text == "oldest") return ShedPolicy::kOldestFirst;
+  if (text == "lowest-impact") return ShedPolicy::kLowestImpact;
+  throw Error(ErrorCode::kConfig, "shed-policy: " + text);
+}
+
+std::string encode_shed_payload(const ShedPayload& payload) {
+  std::string out;
+  out.reserve(kShedPayloadBytes);
+  io::put_u32(out, payload.source);
+  io::put_u64(out, payload.ordinal);
+  io::put_u64(out, payload.edges);
+  io::put_u8(out, payload.reason);
+  io::put_u64(out, payload.arrival_us);
+  return out;
+}
+
+bool decode_shed_payload(const std::string& bytes, ShedPayload* out) {
+  if (bytes.size() != kShedPayloadBytes) return false;
+  io::ByteReader r(bytes);
+  out->source = r.get_u32();
+  out->ordinal = r.get_u64();
+  out->edges = r.get_u64();
+  out->reason = r.get_u8();
+  out->arrival_us = r.get_u64();
+  return true;
+}
+
+AdmissionController::AdmissionController(MultiQueryEngine& engine,
+                                         AdmissionOptions options)
+    : engine_(engine),
+      options_(options),
+      global_bucket_(options.admit_rate, options.admit_burst) {
+  if (options_.max_queue == 0) {
+    throw Error(ErrorCode::kConfig, "max-queue: 0");
+  }
+  if (options_.admit_rate < 0.0) {
+    throw Error(ErrorCode::kConfig,
+                "admit-rate: " + std::to_string(options_.admit_rate));
+  }
+  if (options_.per_source_rate < 0.0) {
+    throw Error(ErrorCode::kConfig,
+                "per-source-rate: " + std::to_string(options_.per_source_rate));
+  }
+  if (options_.queue_deadline_s < 0.0) {
+    throw Error(ErrorCode::kConfig,
+                "shed-deadline: " + std::to_string(options_.queue_deadline_s));
+  }
+  if (options_.overload_low_watermark < 0.0 ||
+      options_.overload_high_watermark > 1.0 ||
+      options_.overload_low_watermark >= options_.overload_high_watermark) {
+    throw Error(ErrorCode::kConfig,
+                "overload-watermarks: " +
+                    std::to_string(options_.overload_low_watermark) + ".." +
+                    std::to_string(options_.overload_high_watermark));
+  }
+  if (options_.sustain_ticks < 1) {
+    throw Error(ErrorCode::kConfig,
+                "sustain-ticks: " + std::to_string(options_.sustain_ticks));
+  }
+  if (options_.walk_scale_floor <= 0.0 || options_.walk_scale_floor > 1.0) {
+    throw Error(ErrorCode::kConfig,
+                "walk-scale-floor: " +
+                    std::to_string(options_.walk_scale_floor));
+  }
+  metrics::Registry::global()
+      .gauge(metric::kServerAdmissionWalkScale)
+      .set(scale_);
+}
+
+util::TokenBucket& AdmissionController::source_bucket_locked(
+    std::uint32_t source) {
+  auto it = source_buckets_.find(source);
+  if (it == source_buckets_.end()) {
+    it = source_buckets_
+             .emplace(source, util::TokenBucket(options_.per_source_rate,
+                                                options_.per_source_burst))
+             .first;
+  }
+  return it->second;
+}
+
+double AdmissionController::head_start_locked(double from_s) {
+  const Queued& head = queue_.front();
+  double t = std::max(head.arrival_s, std::max(from_s, server_free_s_));
+  t += global_bucket_.seconds_until(t);
+  t += source_bucket_locked(head.source).seconds_until(t);
+  return t;
+}
+
+void AdmissionController::shed_one_locked(double now_s) {
+  static auto& m_batches =
+      metrics::Registry::global().counter(metric::kServerShedBatches);
+  static auto& m_edges =
+      metrics::Registry::global().counter(metric::kServerShedEdges);
+  static auto& g_depth =
+      metrics::Registry::global().gauge(metric::kServerAdmissionQueueDepth);
+  // Pick the victim: the expired head, or the cheapest batch in the queue
+  // (fewest edges; ties keep the oldest so the choice is deterministic).
+  std::size_t victim = 0;
+  if (options_.shed_policy == ShedPolicy::kLowestImpact) {
+    for (std::size_t i = 1; i < queue_.size(); ++i) {
+      if (queue_[i].batch.updates.size() <
+          queue_[victim].batch.updates.size()) {
+        victim = i;
+      }
+    }
+  }
+  const Queued& q = queue_[victim];
+  ShedEvent ev;
+  ev.payload.source = q.source;
+  ev.payload.ordinal = q.ordinal;
+  ev.payload.edges = q.batch.updates.size();
+  ev.payload.reason = static_cast<std::uint8_t>(options_.shed_policy);
+  ev.payload.arrival_us =
+      static_cast<std::uint64_t>(std::max(0.0, q.arrival_s) * 1e6);
+  ev.shed_s = now_s;
+  // Durable audit first: the kShed record consumes the seq the batch would
+  // have taken, so recovery and catch-up see an explained gap, never a
+  // missing batch (no-op when durability is off).
+  ev.wal_seq = engine_.log_shed_batch(encode_shed_payload(ev.payload));
+  ++stats_.shed;
+  if (stats_.first_shed_ordinal == 0) stats_.first_shed_ordinal = q.ordinal;
+  m_batches.add();
+  m_edges.add(ev.payload.edges);
+  shed_events_.push_back(std::move(ev));
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(victim));
+  g_depth.set(static_cast<double>(queue_.size()));
+  not_full_.interrupt_all();
+}
+
+void AdmissionController::ladder_tick_locked(std::uint64_t ordinal) {
+  static auto& g_scale =
+      metrics::Registry::global().gauge(metric::kServerAdmissionWalkScale);
+  const double occupancy = static_cast<double>(queue_.size()) /
+                           static_cast<double>(options_.max_queue);
+  if (occupancy >= options_.overload_high_watermark) {
+    low_ticks_ = 0;
+    if (++high_ticks_ >= options_.sustain_ticks) {
+      high_ticks_ = 0;
+      if (scale_ > options_.walk_scale_floor) {
+        scale_ = std::max(options_.walk_scale_floor, scale_ * 0.5);
+        ++stats_.scale_downs;
+        if (stats_.first_scale_down_ordinal == 0) {
+          stats_.first_scale_down_ordinal = ordinal;
+        }
+        g_scale.set(scale_);
+      }
+    }
+  } else if (occupancy <= options_.overload_low_watermark) {
+    high_ticks_ = 0;
+    if (++low_ticks_ >= options_.sustain_ticks) {
+      low_ticks_ = 0;
+      if (scale_ < 1.0) {
+        scale_ = std::min(1.0, scale_ * 2.0);
+        ++stats_.scale_ups;
+        g_scale.set(scale_);
+      }
+    }
+  } else {
+    high_ticks_ = 0;
+    low_ticks_ = 0;
+  }
+}
+
+AdmitResult AdmissionController::offer(EdgeBatch batch, std::uint32_t source,
+                                       double now_s) {
+  static auto& m_admitted =
+      metrics::Registry::global().counter(metric::kServerAdmissionAdmitted);
+  static auto& m_rejected =
+      metrics::Registry::global().counter(metric::kServerAdmissionRejected);
+  static auto& g_depth =
+      metrics::Registry::global().gauge(metric::kServerAdmissionQueueDepth);
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t ordinal = ++stats_.offered;
+  if (closed_ || queue_.size() >= options_.max_queue) {
+    ++stats_.rejected;
+    if (stats_.first_reject_ordinal == 0) {
+      stats_.first_reject_ordinal = ordinal;
+    }
+    m_rejected.add();
+    ladder_tick_locked(ordinal);
+    engine_.set_walk_scale(scale_);
+    return closed_ ? AdmitResult::kRejectedClosed
+                   : AdmitResult::kRejectedQueueFull;
+  }
+  queue_.push_back(Queued{std::move(batch), source, ordinal, now_s});
+  ++stats_.admitted;
+  m_admitted.add();
+  g_depth.set(static_cast<double>(queue_.size()));
+  ladder_tick_locked(ordinal);
+  // offer() runs on the engine thread, so the new scale applies immediately.
+  engine_.set_walk_scale(scale_);
+  return AdmitResult::kAdmitted;
+}
+
+AdmitResult AdmissionController::submit(EdgeBatch batch,
+                                        std::uint32_t source) {
+  static auto& m_admitted =
+      metrics::Registry::global().counter(metric::kServerAdmissionAdmitted);
+  static auto& m_rejected =
+      metrics::Registry::global().counter(metric::kServerAdmissionRejected);
+  static auto& m_throttled =
+      metrics::Registry::global().counter(metric::kServerAdmissionThrottled);
+  static auto& g_depth =
+      metrics::Registry::global().gauge(metric::kServerAdmissionQueueDepth);
+  std::uint64_t ordinal = 0;
+  bool counted_throttle = false;
+  for (;;) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (ordinal == 0) ordinal = ++stats_.offered;
+      if (closed_) {
+        ++stats_.rejected;
+        if (stats_.first_reject_ordinal == 0) {
+          stats_.first_reject_ordinal = ordinal;
+        }
+        m_rejected.add();
+        return AdmitResult::kRejectedClosed;
+      }
+      if (queue_.size() < options_.max_queue) {
+        queue_.push_back(
+            Queued{std::move(batch), source, ordinal, clock_.seconds()});
+        ++stats_.admitted;
+        m_admitted.add();
+        g_depth.set(static_cast<double>(queue_.size()));
+        // Scale changes are applied by the engine thread (serve_pending);
+        // the tick only updates the ladder state here.
+        ladder_tick_locked(ordinal);
+        not_full_.interrupt_all();  // doorbell for a parked server thread
+        return AdmitResult::kAdmitted;
+      }
+      if (!options_.block_on_full) {
+        ++stats_.rejected;
+        if (stats_.first_reject_ordinal == 0) {
+          stats_.first_reject_ordinal = ordinal;
+        }
+        m_rejected.add();
+        ladder_tick_locked(ordinal);
+        return AdmitResult::kRejectedQueueFull;
+      }
+      if (!counted_throttle) {
+        counted_throttle = true;
+        ++stats_.throttled;
+        m_throttled.add();
+      }
+    }
+    // Backpressure: park until a slot frees (pop/shed/close interrupt).
+    not_full_.park_for_ms(50.0);
+  }
+}
+
+void AdmissionController::submit_or_throw(EdgeBatch batch,
+                                          std::uint32_t source) {
+  const AdmitResult r = submit(std::move(batch), source);
+  if (r == AdmitResult::kAdmitted) return;
+  throw Error(ErrorCode::kOverload,
+              r == AdmitResult::kRejectedClosed
+                  ? "admission refused: controller closed"
+                  : "admission refused: ingress queue full (max-queue " +
+                        std::to_string(options_.max_queue) + ")");
+}
+
+std::size_t AdmissionController::run_queue(double now_s, bool wait,
+                                           const AdmissionCommitSink& on_commit) {
+  static auto& g_depth =
+      metrics::Registry::global().gauge(metric::kServerAdmissionQueueDepth);
+  static auto& h_latency =
+      metrics::Registry::global().histogram(metric::kServerAdmissionLatencyMs);
+  std::size_t served = 0;
+  for (;;) {
+    Queued item;
+    double start = 0.0;
+    double park_ms = -1.0;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      for (;;) {
+        if (queue_.empty()) return served;
+        start = head_start_locked(wait ? clock_.seconds() : 0.0);
+        if (options_.queue_deadline_s > 0.0 &&
+            start - queue_.front().arrival_s > options_.queue_deadline_s) {
+          shed_one_locked(start);
+          continue;
+        }
+        if (start > now_s) {
+          if (!wait) return served;
+          const double now = clock_.seconds();
+          if (start > now) {
+            // Token pacing: park out the gap (outside the lock) and
+            // recompute — a shed or a close may change the head meanwhile.
+            park_ms = (start - now) * 1e3;
+            break;
+          }
+          now_s = now;
+        }
+        global_bucket_.try_take(start);
+        source_bucket_locked(queue_.front().source).try_take(start);
+        item = std::move(queue_.front());
+        queue_.pop_front();
+        g_depth.set(static_cast<double>(queue_.size()));
+        // Apply any ladder scale decided since the last service on this,
+        // the engine thread.
+        engine_.set_walk_scale(scale_);
+        not_full_.interrupt_all();
+        break;
+      }
+    }
+    if (park_ms >= 0.0) {
+      not_full_.park_for_ms(park_ms);
+      continue;
+    }
+    // Service outside the lock: producers keep submitting meanwhile.
+    ServerBatchReport report = engine_.process_batch(item.batch);
+    ++served;
+
+    AdmissionCommit commit;
+    commit.ordinal = item.ordinal;
+    commit.source = item.source;
+    commit.arrival_s = item.arrival_s;
+    if (wait) {
+      commit.commit_s = clock_.seconds();
+    } else {
+      commit.commit_s = start + simulated_service_s(report);
+    }
+    commit.latency_s = std::max(0.0, commit.commit_s - item.arrival_s);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      server_free_s_ = commit.commit_s;
+      ++stats_.committed;
+      stats_.latency_s.push_back(commit.latency_s);
+    }
+    h_latency.observe(commit.latency_s * 1e3);
+    if (on_commit) {
+      commit.report = std::move(report);
+      on_commit(std::move(commit));
+    }
+  }
+}
+
+void AdmissionController::pump(double now_s,
+                               const AdmissionCommitSink& on_commit) {
+  run_queue(now_s, false, on_commit);
+}
+
+void AdmissionController::finish(const AdmissionCommitSink& on_commit) {
+  run_queue(std::numeric_limits<double>::infinity(), false, on_commit);
+}
+
+std::size_t AdmissionController::serve_pending(
+    const AdmissionCommitSink& on_commit) {
+  return run_queue(clock_.seconds(), true, on_commit);
+}
+
+void AdmissionController::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_full_.interrupt_all();
+}
+
+std::size_t AdmissionController::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace gcsm::server

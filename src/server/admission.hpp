@@ -1,0 +1,240 @@
+// Overload controller in front of MultiQueryEngine (docs/ROBUSTNESS.md,
+// "Overload & admission control").
+//
+// The engine itself assumes batches arrive at a rate the device can absorb;
+// this layer makes a standing-query service survive bursty, adversarial, and
+// sustained-overload traffic with bounded memory and an explicit, audited
+// degradation story. Four mechanisms, engaged in a documented order:
+//
+//   1. degrade   — sustained high queue occupancy shrinks the walk-count
+//                  scale (MultiQueryEngine::set_walk_scale) step by step
+//                  toward walk_scale_floor: cheaper estimates, identical
+//                  match counts (cache content never changes counts);
+//   2. shed      — a batch whose queue wait exceeds queue_deadline_s is
+//                  dropped whole by policy (oldest-first, or lowest-impact:
+//                  the queued batch with the fewest edges goes first). Every
+//                  shed batch is durably logged as a kShed WAL record, so
+//                  the committed stream's seq gaps stay explained and
+//                  recovery plus exact catch-up remain exactly-once;
+//   3. reject    — a full ingress queue refuses the submission outright:
+//                  kOverload for callers that asked not to block;
+//   4. backpressure — blocking callers park on a util::ParkingLot until a
+//                  slot frees; the queue NEVER grows past max_queue.
+//
+// Admission pacing is a global token bucket plus one bucket per source
+// (util/token_bucket.hpp): tokens gate when a queued batch may START
+// service, so a flooding source is throttled without starving the rest.
+//
+// Two driving modes share one controller and one accounting:
+//
+//   * virtual clock (offer/pump/finish) — the caller advances an explicit
+//     clock and service time is the batch's deterministic SIMULATED cost,
+//     so a seeded overload run reproduces the same admit/shed/reject
+//     sequence bit-for-bit (bench/overload, tests);
+//   * wall clock (submit/serve_pending/close) — producer threads submit
+//     with real backpressure while the engine thread serves (csm_cli).
+//
+// Conservation invariants (stats()): offered == admitted + rejected, and
+// admitted == committed + shed + queue_depth (== committed + shed once
+// finish()/close() drained the queue).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "server/multi_query_engine.hpp"
+#include "util/parking.hpp"
+#include "util/timer.hpp"
+#include "util/token_bucket.hpp"
+
+namespace gcsm::server {
+
+// Which queued batch is dropped when the head has outlived the deadline.
+enum class ShedPolicy : std::uint8_t {
+  kOldestFirst = 1,   // drop the expired head itself
+  kLowestImpact = 2,  // drop the queued batch with the fewest edges
+};
+
+const char* shed_policy_name(ShedPolicy policy);
+// "oldest" / "lowest-impact"; anything else throws Error(kConfig) with the
+// CLI contract message "shed-policy: <text>".
+ShedPolicy parse_shed_policy(const std::string& text);
+
+struct AdmissionOptions {
+  // Bounded ingress queue: the hard memory cap (> 0).
+  std::size_t max_queue = 64;
+  // Global admission governor, batches per second (0 = unlimited).
+  double admit_rate = 0.0;
+  double admit_burst = 8.0;
+  // Per-source token bucket (0 = unlimited).
+  double per_source_rate = 0.0;
+  double per_source_burst = 4.0;
+  ShedPolicy shed_policy = ShedPolicy::kOldestFirst;
+  // Shed a batch whose queue wait would exceed this (0 = never shed).
+  double queue_deadline_s = 0.0;
+  // Wall-clock submit(): block on backpressure (true) or refuse with
+  // kOverload (false). The virtual-clock offer() always refuses when full —
+  // its caller owns the clock, so blocking is meaningless there.
+  bool block_on_full = true;
+  // Degradation ladder: occupancy at or above `high` for sustain_ticks
+  // consecutive arrivals halves the walk scale (down to the floor);
+  // occupancy at or below `low` for sustain_ticks arrivals doubles it back
+  // toward 1.0.
+  double overload_high_watermark = 0.75;
+  double overload_low_watermark = 0.25;
+  int sustain_ticks = 4;
+  double walk_scale_floor = 0.125;
+};
+
+enum class AdmitResult : std::uint8_t {
+  kAdmitted = 0,
+  kRejectedQueueFull,  // bounded queue full (kOverload to throwing callers)
+  kRejectedClosed,     // controller closed while the caller was blocked
+};
+
+// Decoded kShed WAL payload (util serialization; stable on-disk order:
+// source, ordinal, edges, reason, arrival_us).
+struct ShedPayload {
+  std::uint32_t source = 0;
+  std::uint64_t ordinal = 0;  // 1-based submission ordinal
+  std::uint64_t edges = 0;
+  std::uint8_t reason = 0;  // ShedPolicy that selected the victim
+  std::uint64_t arrival_us = 0;
+};
+
+std::string encode_shed_payload(const ShedPayload& payload);
+// False on truncated/garbled bytes.
+bool decode_shed_payload(const std::string& bytes, ShedPayload* out);
+
+// One shed decision, for audits and tests (mirrors the WAL payload plus the
+// seq the audit record consumed; 0 when durability is off).
+struct ShedEvent {
+  std::uint64_t wal_seq = 0;
+  ShedPayload payload;
+  double shed_s = 0.0;  // controller clock when the drop happened
+};
+
+struct AdmissionStats {
+  std::uint64_t offered = 0;    // submit()/offer() calls
+  std::uint64_t admitted = 0;   // entered the bounded queue
+  std::uint64_t committed = 0;  // served through the engine
+  std::uint64_t shed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t throttled = 0;  // submissions that blocked at least once
+  std::uint64_t scale_downs = 0;
+  std::uint64_t scale_ups = 0;
+  // 1-based submission ordinal at each first escalation (0 = never); the
+  // degradation ladder contract is first_scale_down <= first_shed <=
+  // first_reject under a monotonically building overload.
+  std::uint64_t first_scale_down_ordinal = 0;
+  std::uint64_t first_shed_ordinal = 0;
+  std::uint64_t first_reject_ordinal = 0;
+  // Admission-to-commit latency per committed batch, in admission order.
+  std::vector<double> latency_s;
+};
+
+// Per-commit notification: the admitted batch's engine report plus its
+// admission-to-commit latency on the controller's clock.
+struct AdmissionCommit {
+  std::uint64_t ordinal = 0;
+  std::uint32_t source = 0;
+  double arrival_s = 0.0;
+  double commit_s = 0.0;
+  double latency_s = 0.0;
+  ServerBatchReport report;
+};
+using AdmissionCommitSink = std::function<void(AdmissionCommit&&)>;
+
+class AdmissionController {
+ public:
+  // Validates options (Error(kConfig) on a zero queue, negative rates, or
+  // inverted watermarks). The engine must outlive the controller; the
+  // controller owns the engine's walk scale while alive.
+  AdmissionController(MultiQueryEngine& engine, AdmissionOptions options);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  // --- Deterministic virtual-clock mode (single engine thread) ----------
+  // Offers one batch arriving at `now_s`. Admits into the bounded queue or
+  // refuses when full. now_s must be non-decreasing across calls.
+  AdmitResult offer(EdgeBatch batch, std::uint32_t source, double now_s);
+  // Services every queued batch whose (arrival, server-busy, token) start
+  // time lands at or before now_s, shedding expired batches first. The sink
+  // sees each commit in service order.
+  void pump(double now_s, const AdmissionCommitSink& on_commit = {});
+  // Drains the queue completely (deadline shedding still applies, measured
+  // at each batch's would-be service start).
+  void finish(const AdmissionCommitSink& on_commit = {});
+
+  // --- Wall-clock mode (producer threads + one engine thread) -----------
+  // Thread-safe producer entry: admits, blocks on backpressure (when
+  // block_on_full), or refuses. Arrival time is the controller's wall clock.
+  AdmitResult submit(EdgeBatch batch, std::uint32_t source);
+  // submit() that converts a refusal into Error(kOverload).
+  void submit_or_throw(EdgeBatch batch, std::uint32_t source);
+  // Engine-thread service loop body: serves (and sheds) what is currently
+  // queued, waiting out token-bucket pacing, then returns. Returns the
+  // number of batches served.
+  std::size_t serve_pending(const AdmissionCommitSink& on_commit = {});
+  // Wakes every blocked submitter with kRejectedClosed and refuses all
+  // future submissions. serve_pending may still drain the queue afterwards.
+  void close();
+
+  const AdmissionOptions& options() const { return options_; }
+  const AdmissionStats& stats() const { return stats_; }
+  const std::vector<ShedEvent>& shed_events() const { return shed_events_; }
+  std::size_t queue_depth() const;
+  double walk_scale() const { return scale_; }
+  // The virtual clock's server-free time (when the last service finished).
+  double server_free_s() const { return server_free_s_; }
+
+ private:
+  struct Queued {
+    EdgeBatch batch;
+    std::uint32_t source = 0;
+    std::uint64_t ordinal = 0;
+    double arrival_s = 0.0;
+  };
+
+  // All *_locked helpers require mu_ held.
+  util::TokenBucket& source_bucket_locked(std::uint32_t source);
+  // Earliest time the queue head could start service at or after `from_s`
+  // (server-busy + global + per-source tokens). Queue must be non-empty.
+  double head_start_locked(double from_s);
+  // Drops one batch per policy because the head's wait blew the deadline.
+  void shed_one_locked(double now_s);
+  // Occupancy tick of the degradation ladder, at each arrival.
+  void ladder_tick_locked(std::uint64_t ordinal);
+  // Serves queued batches until the head's start exceeds now_s; `wait`
+  // (wall-clock mode) parks until pacing allows the head to start instead
+  // of returning. Returns batches served.
+  std::size_t run_queue(double now_s, bool wait,
+                        const AdmissionCommitSink& on_commit);
+
+  MultiQueryEngine& engine_;
+  AdmissionOptions options_;
+  Timer clock_;  // wall-clock mode arrival/commit timestamps
+
+  mutable std::mutex mu_;
+  std::deque<Queued> queue_;
+  util::TokenBucket global_bucket_;
+  std::unordered_map<std::uint32_t, util::TokenBucket> source_buckets_;
+  util::ParkingLot not_full_;  // blocked submitters park here
+  bool closed_ = false;
+
+  // Engine-thread state (virtual clock, ladder, accounting). The wall-clock
+  // mode shares it: serve_pending runs on the single engine thread.
+  double server_free_s_ = 0.0;
+  double scale_ = 1.0;
+  int high_ticks_ = 0;
+  int low_ticks_ = 0;
+  AdmissionStats stats_;
+  std::vector<ShedEvent> shed_events_;
+};
+
+}  // namespace gcsm::server

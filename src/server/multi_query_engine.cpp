@@ -446,7 +446,8 @@ MultiQueryEngine::StagedEstimate MultiQueryEngine::compute_shared_estimate(
     for (std::size_t i = 0; i < states_.size(); ++i) {
       if (roles[i] != MatchRole::kMatch) continue;
       QueryState& qs = *states_[i];
-      const EstimateResult est = qs.estimator->estimate(graph_, batch, qs.rng);
+      const EstimateResult est =
+          qs.estimator->estimate(graph_, batch, qs.rng, walk_scale_);
       qs.metrics->note_estimate(est);
       out.walks += est.walks;
       total_ops += est.ops;
@@ -779,11 +780,14 @@ bool MultiQueryEngine::replay_missed_batches(QueryState& qs,
   wal::ReadResult log = wal::read_all(durability_.wal_path());
   std::unordered_map<std::uint64_t, const std::string*> batches;
   std::unordered_set<std::uint64_t> committed;
+  std::unordered_set<std::uint64_t> shed;
   for (const wal::Record& rec : log.records) {
     if (rec.type == wal::RecordType::kBatch) {
       batches[rec.seq] = &rec.payload;
     } else if (rec.type == wal::RecordType::kCommit) {
       committed.insert(rec.seq);
+    } else if (rec.type == wal::RecordType::kShed) {
+      shed.insert(rec.seq);
     }
   }
 
@@ -795,6 +799,9 @@ bool MultiQueryEngine::replay_missed_batches(QueryState& qs,
   HostPolicy policy(shadow);
   gpusim::TrafficCounters scratch;
   for (std::uint64_t seq = shadow_seq + 1; seq <= target; ++seq) {
+    // A shed seq is an explained gap in the committed stream (the admission
+    // layer dropped that batch for every query): nothing to apply or match.
+    if (shed.count(seq) != 0) continue;
     const auto it = batches.find(seq);
     if (it == batches.end() || committed.count(seq) == 0) return false;
     auto batch = durable::decode_batch(*it->second);
@@ -815,6 +822,19 @@ bool MultiQueryEngine::replay_missed_batches(QueryState& qs,
 
 ServerBatchReport MultiQueryEngine::process_batch(const EdgeBatch& batch) {
   return process_batch_inner(batch, nullptr);
+}
+
+void MultiQueryEngine::set_walk_scale(double scale) {
+  walk_scale_ = std::min(1.0, std::max(scale, 1.0 / 1024.0));
+}
+
+std::uint64_t MultiQueryEngine::log_shed_batch(const std::string& payload) {
+  static auto& m_records =
+      metrics::Registry::global().counter(metric::kServerShedWalRecords);
+  if (!durability_.options().enabled() || replaying_) return 0;
+  const std::uint64_t seq = durability_.log_shed(payload);
+  m_records.add();
+  return seq;
 }
 
 ServerBatchReport MultiQueryEngine::process_batch_inner(const EdgeBatch& batch,

@@ -201,6 +201,21 @@ class MultiQueryEngine {
   // query (diagnostic; fault injection suspended).
   std::uint64_t count_current_embeddings(QueryId id);
 
+  // Degradation-ladder walk scale (docs/ROBUSTNESS.md, "Overload &
+  // admission control"): the admission controller shrinks it below 1.0
+  // under sustained overload, multiplying every per-query walk count in the
+  // shared estimate. Count-neutral — cache content never changes match
+  // counts. Clamped to (0, 1]. Call between batches (same thread contract
+  // as process_batch).
+  void set_walk_scale(double scale);
+  double walk_scale() const { return walk_scale_; }
+
+  // Durably logs a kShed audit record for a batch the admission layer
+  // dropped, consuming the next WAL seq (so the committed stream's seq gap
+  // is explained; see DurabilityManager::log_shed). Returns the seq, or 0
+  // when durability is off. Engine-thread only, between batches.
+  std::uint64_t log_shed_batch(const std::string& payload);
+
   const DynamicGraph& graph() const { return graph_; }
   gpusim::Device& device() { return device_; }
   const MultiQueryOptions& options() const { return options_; }
@@ -367,6 +382,9 @@ class MultiQueryEngine {
   bool force_snapshot_pending_ = false;
   std::uint32_t degradation_level_ = 0;
   int clean_device_batches_ = 0;
+  // Overload degradation: multiplies every per-query walk count in the
+  // shared estimate (1.0 = no degradation; see set_walk_scale).
+  double walk_scale_ = 1.0;
 };
 
 }  // namespace gcsm::server

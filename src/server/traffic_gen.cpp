@@ -1,0 +1,192 @@
+#include "server/traffic_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gcsm::server {
+
+const char* arrival_kind_name(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kUniform:
+      return "uniform";
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kBursty:
+      return "bursty";
+  }
+  return "?";
+}
+
+ArrivalKind parse_arrival(const std::string& text) {
+  if (text == "uniform") return ArrivalKind::kUniform;
+  if (text == "poisson") return ArrivalKind::kPoisson;
+  if (text == "bursty") return ArrivalKind::kBursty;
+  throw Error(ErrorCode::kConfig, "arrival: " + text);
+}
+
+TrafficGenerator::TrafficGenerator(TrafficOptions options,
+                                   FaultInjector* faults)
+    : options_(options), faults_(faults), rng_(options.seed) {
+  if (!(options_.rate > 0.0)) {
+    throw Error(ErrorCode::kConfig,
+                "rate: " + std::to_string(options_.rate));
+  }
+  if (options_.num_sources == 0) {
+    throw Error(ErrorCode::kConfig, "sources: 0");
+  }
+  if (options_.hot_source_fraction < 0.0 ||
+      options_.hot_source_fraction > 1.0) {
+    throw Error(ErrorCode::kConfig,
+                "hot-fraction: " +
+                    std::to_string(options_.hot_source_fraction));
+  }
+  if (options_.duplicate_flood_prob < 0.0 ||
+      options_.invalid_flood_prob < 0.0 ||
+      options_.duplicate_flood_prob + options_.invalid_flood_prob > 1.0) {
+    throw Error(ErrorCode::kConfig,
+                "flood-prob: " +
+                    std::to_string(options_.duplicate_flood_prob) + "+" +
+                    std::to_string(options_.invalid_flood_prob));
+  }
+  if (options_.burst_factor < 1.0) {
+    throw Error(ErrorCode::kConfig,
+                "burst-factor: " + std::to_string(options_.burst_factor));
+  }
+  if (options_.pareto_alpha <= 1.0) {
+    throw Error(ErrorCode::kConfig,
+                "pareto-alpha: " + std::to_string(options_.pareto_alpha));
+  }
+}
+
+double TrafficGenerator::next_gap() {
+  auto exponential = [&](double rate) {
+    return -std::log(1.0 - rng_.uniform()) / rate;
+  };
+  // Pareto(x_m, alpha) period durations; ON periods get x_m scaled so the
+  // duty cycle is ~1/burst_factor and the long-run mean rate stays `rate`.
+  auto pareto = [&](double x_m) {
+    return x_m / std::pow(1.0 - rng_.uniform(), 1.0 / options_.pareto_alpha);
+  };
+  double gap = 0.0;
+  switch (options_.arrival) {
+    case ArrivalKind::kUniform:
+      gap = 1.0 / options_.rate;
+      break;
+    case ArrivalKind::kPoisson:
+      gap = exponential(options_.rate);
+      break;
+    case ArrivalKind::kBursty: {
+      const double x_m_on = 4.0 / options_.rate;
+      const double x_m_off = x_m_on * (options_.burst_factor - 1.0);
+      for (;;) {
+        if (period_left_s_ <= 0.0) {
+          burst_on_ = !burst_on_;
+          period_left_s_ = pareto(burst_on_ ? x_m_on : x_m_off);
+        }
+        if (!burst_on_) {
+          // Silence: the whole OFF period precedes the next arrival.
+          gap += period_left_s_;
+          period_left_s_ = 0.0;
+          continue;
+        }
+        const double g = exponential(options_.rate * options_.burst_factor);
+        if (g <= period_left_s_) {
+          period_left_s_ -= g;
+          gap += g;
+          break;
+        }
+        gap += period_left_s_;
+        period_left_s_ = 0.0;
+      }
+      break;
+    }
+  }
+  if (faults_ != nullptr && faults_->fires(fault_site::kSourceBurst)) {
+    gap = 0.0;  // injected stampede: this batch lands with the previous one
+  }
+  return gap;
+}
+
+std::vector<TrafficItem> TrafficGenerator::generate(
+    const std::vector<EdgeBatch>& base) {
+  std::vector<TrafficItem> out;
+  out.reserve(base.size());
+  double t = 0.0;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    t += next_gap();
+    TrafficItem item;
+    item.arrival_s = t;
+
+    // Source attribution: one hot source concentrates hot_source_fraction
+    // of the traffic; its identity rotates every hot_churn_every batches.
+    std::uint32_t hot = 0;
+    if (options_.hot_churn_every != 0) {
+      hot = static_cast<std::uint32_t>(
+          (i / options_.hot_churn_every) % options_.num_sources);
+    }
+    item.source = rng_.bernoulli(options_.hot_source_fraction)
+                      ? hot
+                      : static_cast<std::uint32_t>(
+                            rng_.bounded(options_.num_sources));
+
+    const double flood = rng_.uniform();
+    if (flood < options_.duplicate_flood_prob) {
+      // All-duplicate flood: the batch's own first record repeated, so the
+      // sanitizer quarantines everything past the first application.
+      item.kind = TrafficKind::kDuplicateFlood;
+      EdgeUpdate seed{0, 1, +1};
+      if (!base[i].updates.empty()) seed = base[i].updates.front();
+      seed.sign = +1;
+      item.batch.updates.assign(std::max<std::size_t>(
+                                    1, base[i].updates.size()),
+                                seed);
+      item.batch.new_vertex_labels = base[i].new_vertex_labels;
+    } else if (flood < options_.duplicate_flood_prob +
+                           options_.invalid_flood_prob) {
+      // All-invalid flood: self-loops and out-of-range endpoints only;
+      // sanitize_batches screens the whole batch into quarantine.
+      item.kind = TrafficKind::kInvalidFlood;
+      const std::size_t n = std::max<std::size_t>(1, base[i].updates.size());
+      const VertexId beyond =
+          static_cast<VertexId>(options_.num_vertices + 1 + rng_.bounded(64));
+      item.batch.updates.reserve(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        if (k % 2 == 0) {
+          item.batch.updates.push_back(EdgeUpdate{beyond, beyond, +1});
+        } else {
+          item.batch.updates.push_back(
+              EdgeUpdate{static_cast<VertexId>(beyond + k), beyond, +1});
+        }
+      }
+    } else {
+      item.batch = base[i];
+    }
+    out.push_back(std::move(item));
+  }
+  return out;
+}
+
+std::vector<ChurnStep> TrafficGenerator::churn_plan(
+    std::size_t arrivals, std::uint32_t total_registers,
+    std::size_t lag) const {
+  std::vector<ChurnStep> plan(arrivals);
+  if (arrivals == 0 || total_registers == 0) return plan;
+  // Spread registrations evenly over the prefix that leaves room for the
+  // trailing unregistrations, each unregistration `lag` steps behind its
+  // registration (clamped into the schedule).
+  const std::size_t span =
+      arrivals > lag ? arrivals - lag : std::size_t{1};
+  for (std::uint32_t i = 0; i < total_registers; ++i) {
+    const std::size_t reg_step =
+        std::min(arrivals - 1, static_cast<std::size_t>(i) * span /
+                                   total_registers);
+    const std::size_t unreg_step = std::min(arrivals - 1, reg_step + lag);
+    ++plan[reg_step].registers;
+    ++plan[unreg_step].unregisters;
+  }
+  return plan;
+}
+
+}  // namespace gcsm::server

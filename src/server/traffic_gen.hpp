@@ -1,0 +1,125 @@
+// Seeded adversarial traffic generator for overload testing
+// (docs/ROBUSTNESS.md, "Overload & admission control").
+//
+// Takes a prepared, well-formed batch stream and turns it into a timed,
+// multi-source arrival schedule shaped to hurt: Poisson or self-similar
+// bursty interarrivals driven at a configurable multiple of capacity, a hot
+// source that concentrates (and periodically churns) the traffic, and
+// probabilistic floods — all-duplicate batches (every record re-applies an
+// edge the stream already inserted) and all-invalid batches (out-of-range
+// endpoints and self-loops) that the sanitizer quarantines wholesale. The
+// whole schedule is a pure function of (options, base stream): one seed
+// reproduces the same arrivals, sources, and floods bit-for-bit.
+//
+// The self-similar mode alternates ON/OFF periods with Pareto-distributed
+// durations (the classic heavy-tailed on-off construction whose aggregate is
+// self-similar); ON periods emit at a multiple of the mean rate, OFF periods
+// emit nothing. The `source.burst` fault site, when armed, additionally
+// collapses individual interarrival gaps to zero — a worst-case stampede a
+// fault sweep can inject anywhere.
+//
+// Register/unregister churn of standing queries is a schedule here, not an
+// action: churn_plan() deterministically marks, per arrival, how many
+// register and unregister operations the driver should perform before
+// offering that batch (bench/overload and the churn tests own the engine
+// calls).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/fault.hpp"
+#include "util/rng.hpp"
+
+namespace gcsm::server {
+
+enum class ArrivalKind : std::uint8_t {
+  kUniform = 0,  // fixed interarrival 1/rate
+  kPoisson,      // exponential interarrivals
+  kBursty,       // self-similar Pareto on-off
+};
+
+const char* arrival_kind_name(ArrivalKind kind);
+// "uniform" / "poisson" / "bursty"; anything else throws Error(kConfig)
+// with the CLI contract message "arrival: <text>".
+ArrivalKind parse_arrival(const std::string& text);
+
+// What a TrafficItem carries besides a plain stream batch.
+enum class TrafficKind : std::uint8_t {
+  kNormal = 0,
+  kDuplicateFlood,  // every record re-applies an already-present edge
+  kInvalidFlood,    // out-of-range endpoints and self-loops only
+};
+
+struct TrafficOptions {
+  ArrivalKind arrival = ArrivalKind::kPoisson;
+  // Mean arrival rate, batches per second (> 0).
+  double rate = 100.0;
+  std::uint32_t num_sources = 4;
+  // Fraction of batches attributed to the hot source (the rest spread
+  // uniformly over the others). The hot source's identity rotates every
+  // `hot_churn_every` batches (0 = never) — hot-key churn.
+  double hot_source_fraction = 0.5;
+  std::uint64_t hot_churn_every = 0;
+  // Bursty mode: ON-period rate multiplier and Pareto shape of the period
+  // durations (1 < alpha < 2 gives the self-similar heavy tail).
+  double burst_factor = 8.0;
+  double pareto_alpha = 1.5;
+  // Per-batch probability of replacing the batch with a flood.
+  double duplicate_flood_prob = 0.0;
+  double invalid_flood_prob = 0.0;
+  // Vertex-id space of the base stream; invalid floods aim past it.
+  std::uint64_t num_vertices = 0;
+  std::uint64_t seed = 1;
+};
+
+struct TrafficItem {
+  EdgeBatch batch;
+  double arrival_s = 0.0;
+  std::uint32_t source = 0;
+  TrafficKind kind = TrafficKind::kNormal;
+};
+
+// Per-arrival query-churn instruction (see churn_plan()).
+struct ChurnStep {
+  std::uint32_t registers = 0;
+  std::uint32_t unregisters = 0;
+};
+
+class TrafficGenerator {
+ public:
+  // Validates options: rate must be positive, num_sources nonzero,
+  // probabilities in [0, 1] (Error(kConfig) otherwise). The injector is
+  // non-owning and optional; only `source.burst` is probed.
+  explicit TrafficGenerator(TrafficOptions options,
+                            FaultInjector* faults = nullptr);
+
+  // Schedules one timed arrival per base batch, in base order (the stream's
+  // batch order is the engine's replay order, so it is preserved; only
+  // timing, attribution, and flood substitution are adversarial).
+  std::vector<TrafficItem> generate(const std::vector<EdgeBatch>& base);
+
+  // Deterministic register/unregister churn schedule: `total_registers`
+  // query registrations spread over `arrivals` steps, each later mirrored
+  // by an unregistration (so the standing set returns to its initial size).
+  // Unregistrations trail registrations by roughly `lag` steps.
+  std::vector<ChurnStep> churn_plan(std::size_t arrivals,
+                                    std::uint32_t total_registers,
+                                    std::size_t lag) const;
+
+  const TrafficOptions& options() const { return options_; }
+
+ private:
+  double next_gap();  // interarrival time ahead of the next batch
+
+  TrafficOptions options_;
+  FaultInjector* faults_;
+  Rng rng_;
+  // Bursty on-off state: time left in the current period.
+  bool burst_on_ = true;
+  double period_left_s_ = 0.0;
+};
+
+}  // namespace gcsm::server

@@ -40,6 +40,9 @@ enum class ErrorCode {
   kGraphApply,     // batch apply interrupted mid-append (transient)
   kBatchRejected,  // a batch failed permanently after all recovery
   kConfig,         // a setting the pipeline cannot satisfy
+  kOverload,       // admission refused: the ingress queue is full and the
+                   // caller asked not to block (docs/ROBUSTNESS.md,
+                   // "Overload & admission control")
   // Durability layer (docs/ROBUSTNESS.md, "Durability & recovery").
   kWalWrite,       // a WAL append or fsync failed (transient)
   kSnapshotWrite,  // a snapshot write failed pre-rename (transient)
@@ -73,6 +76,8 @@ inline const char* error_code_name(ErrorCode code) {
       return "batch-rejected";
     case ErrorCode::kConfig:
       return "config";
+    case ErrorCode::kOverload:
+      return "overload";
     case ErrorCode::kWalWrite:
       return "wal-write";
     case ErrorCode::kSnapshotWrite:

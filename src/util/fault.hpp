@@ -61,13 +61,13 @@ inline constexpr Info kSiteTable[] = {
 
 // Every site covered by arm_all (crash.at is deliberately excluded; see
 // above).
-inline constexpr std::array<const char*, 11> kAllFaultSites = {
+inline constexpr std::array<const char*, 12> kAllFaultSites = {
     fault_site::kDeviceAlloc,   fault_site::kDeviceDma,
     fault_site::kKernelLaunch,  fault_site::kKernelHang,
     fault_site::kCacheBuild,    fault_site::kGraphApply,
     fault_site::kBatchCorrupt,  fault_site::kWalWrite,
     fault_site::kWalFsync,      fault_site::kSnapshotWrite,
-    fault_site::kMatchQuery,
+    fault_site::kMatchQuery,    fault_site::kSourceBurst,
 };
 
 struct FaultSpec {

@@ -1,0 +1,60 @@
+// Deterministic token-bucket rate limiter (docs/ROBUSTNESS.md, "Overload &
+// admission control").
+//
+// The bucket holds up to `burst` tokens and refills continuously at `rate`
+// tokens per second. Time is an explicit parameter — the caller advances a
+// clock (wall or virtual) and the bucket never reads one itself — so a
+// seeded overload run is reproducible bit-for-bit: the same arrival
+// timestamps always produce the same admit/deny sequence. A rate of 0 means
+// unlimited (every try_take succeeds and the bucket stays full).
+#pragma once
+
+#include <algorithm>
+
+namespace gcsm::util {
+
+class TokenBucket {
+ public:
+  // rate: tokens refilled per second (0 = unlimited). burst: bucket
+  // capacity; the bucket starts full so an idle source can burst.
+  TokenBucket(double rate, double burst)
+      : rate_(rate), burst_(std::max(burst, 1.0)), tokens_(burst_) {}
+
+  // Takes `cost` tokens at time `now_s` (seconds, monotone per bucket).
+  // Returns true and debits on success; false leaves the bucket untouched
+  // apart from the refill.
+  bool try_take(double now_s, double cost = 1.0) {
+    if (rate_ <= 0.0) return true;
+    refill(now_s);
+    if (tokens_ + 1e-9 < cost) return false;
+    tokens_ -= cost;
+    return true;
+  }
+
+  // Seconds from `now_s` until `cost` tokens will be available (0 when they
+  // already are; callers use this to park instead of spinning).
+  double seconds_until(double now_s, double cost = 1.0) {
+    if (rate_ <= 0.0) return 0.0;
+    refill(now_s);
+    if (tokens_ + 1e-9 >= cost) return 0.0;
+    return (cost - tokens_) / rate_;
+  }
+
+  double tokens() const { return rate_ <= 0.0 ? burst_ : tokens_; }
+  double rate() const { return rate_; }
+
+ private:
+  void refill(double now_s) {
+    if (now_s > last_s_) {
+      tokens_ = std::min(burst_, tokens_ + (now_s - last_s_) * rate_);
+      last_s_ = now_s;
+    }
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_s_ = 0.0;
+};
+
+}  // namespace gcsm::util

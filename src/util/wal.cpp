@@ -158,7 +158,8 @@ ReadResult read_all(const std::string& path) {
     }
     if (type != static_cast<std::uint8_t>(RecordType::kBatch) &&
         type != static_cast<std::uint8_t>(RecordType::kCommit) &&
-        type != static_cast<std::uint8_t>(RecordType::kServerState)) {
+        type != static_cast<std::uint8_t>(RecordType::kServerState) &&
+        type != static_cast<std::uint8_t>(RecordType::kShed)) {
       damaged("unknown record type " + std::to_string(type));
       break;
     }

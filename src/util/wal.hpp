@@ -6,7 +6,8 @@
 //   offset  size  field
 //        0     4  magic   0x4C415747 ("GWAL")
 //        4     1  type    1 = batch payload, 2 = commit marker,
-//                         3 = server state (query-health transition)
+//                         3 = server state (query-health transition),
+//                         4 = shed marker (admission dropped the batch)
 //        5     8  seq     batch sequence number (1-based, monotonic)
 //       13     4  len     payload length in bytes
 //       17     4  crc     CRC32C over bytes [0, 17) + payload
@@ -47,10 +48,20 @@ inline constexpr std::uint32_t kMaxPayloadBytes = 1U << 30;
 // against the batch stream so recovery can reconstruct which queries
 // participated in which committed batches. Single-query pipelines never
 // write them.
+//
+// kShed records are the overload controller's audit trail
+// (docs/ROBUSTNESS.md, "Overload & admission control"): a batch the
+// admission layer dropped under load. The record consumes a sequence number
+// from the SAME space as kBatch — so the committed stream has an explicit,
+// durable explanation for every seq gap — but it is never replayed, never
+// gets a commit marker, and never advances the aggregate counters. Recovery
+// reports shed seqs (RecoveredState::shed_seqs) instead of treating the gap
+// as a missing batch.
 enum class RecordType : std::uint8_t {
   kBatch = 1,
   kCommit = 2,
   kServerState = 3,
+  kShed = 4,
 };
 
 struct Record {

@@ -558,5 +558,210 @@ TEST(QueryRegistryImage, RejectsNonPositiveWeights) {
   EXPECT_TRUE(reg.empty());
 }
 
+// ---------------------------------------------------------------------------
+// Registration churn at scale (docs/ROBUSTNESS.md, "Overload & admission
+// control"): thousands of register/unregister cycles mid-stream must never
+// reuse a QueryId, never grow the shared cache past its budget, and never
+// perturb the surviving queries' counts.
+
+TEST(MultiQuery, ThousandsOfChurnedQueriesLeaveSurvivorsBitIdentical) {
+  const StreamFixture f(50, 300, 32, 512);  // 16 batches of 32
+  MultiQueryOptions opt = multi_options(EngineKind::kGcsm);
+  opt.estimator.num_walks = 128;
+  MultiQueryEngine engine(f.stream.initial, opt);
+  const QueryId tri = engine.register_query(make_triangle());
+  const QueryId pat = engine.register_query(make_path(3));
+
+  PipelineOptions sopt = single_options(EngineKind::kGcsm);
+  sopt.estimator.num_walks = 128;
+  Pipeline ref_tri(f.stream.initial, make_triangle(), sopt);
+  Pipeline ref_pat(f.stream.initial, make_path(3), sopt);
+
+  constexpr std::size_t kRounds = 16;
+  constexpr std::size_t kPerRound = 128;  // 2048 registrations in total
+  QueryId last_id = pat;
+  std::vector<QueryId> transients;
+  std::uint64_t churned = 0;
+  for (std::size_t k = 0; k < kRounds; ++k) {
+    // Last round's transients leave, this round's arrive: every batch is
+    // processed with a different population of bystander queries.
+    for (const QueryId id : transients) {
+      EXPECT_TRUE(engine.unregister_query(id));
+      EXPECT_FALSE(engine.unregister_query(id));  // ids are never reused
+    }
+    transients.clear();
+    for (std::size_t i = 0; i < kPerRound; ++i) {
+      const QueryId id = engine.register_query(
+          i % 2 == 0 ? make_path(3) : make_triangle());
+      EXPECT_GT(id, last_id) << "QueryId reused";
+      last_id = id;
+      transients.push_back(id);
+      ++churned;
+    }
+
+    const ServerBatchReport got = engine.process_batch(f.stream.batches[k]);
+    // The shared cache stays inside its budget no matter how many queries
+    // have ever been registered.
+    EXPECT_LE(got.shared.cache_bytes, opt.cache_budget_bytes);
+    // Survivors first (reports are in ascending QueryId order).
+    ASSERT_GE(got.queries.size(), 2u);
+    ASSERT_EQ(got.queries[0].id, tri);
+    ASSERT_EQ(got.queries[1].id, pat);
+    const BatchReport want_tri = ref_tri.process_batch(f.stream.batches[k]);
+    const BatchReport want_pat = ref_pat.process_batch(f.stream.batches[k]);
+    EXPECT_EQ(got.queries[0].report.stats.signed_embeddings,
+              want_tri.stats.signed_embeddings)
+        << "triangle diverged at batch " << k;
+    EXPECT_EQ(got.queries[0].report.stats.positive, want_tri.stats.positive);
+    EXPECT_EQ(got.queries[0].report.stats.negative, want_tri.stats.negative);
+    EXPECT_EQ(got.queries[1].report.stats.signed_embeddings,
+              want_pat.stats.signed_embeddings)
+        << "path diverged at batch " << k;
+    EXPECT_EQ(got.queries[1].report.stats.positive, want_pat.stats.positive);
+    EXPECT_EQ(got.queries[1].report.stats.negative, want_pat.stats.negative);
+  }
+  for (const QueryId id : transients) {
+    EXPECT_TRUE(engine.unregister_query(id));
+  }
+  EXPECT_EQ(churned, kRounds * kPerRound);
+  EXPECT_EQ(engine.registry().size(), 2u);
+  EXPECT_EQ(static_cast<std::uint64_t>(last_id),
+            static_cast<std::uint64_t>(pat) + churned);
+}
+
+TEST(MultiQuery, ChurnDuringCatchUpDebtKeepsExactlyOnce) {
+  const StreamFixture f(51, 250, 32, 256);
+  const std::string dir = fresh_dir("debtchurn");
+  FaultInjector inj(0xC0DE);
+  MultiQueryOptions opt = multi_options(EngineKind::kGcsm);
+  opt.fault_injector = &inj;
+  opt.durability.wal_dir = dir;
+  opt.durability.snapshot_interval = 100;
+  opt.durability.fsync = false;
+  opt.breaker.trip_after_failures = 1;
+  opt.breaker.cooldown_batches = 2;
+  opt.breaker.max_debt_batches = 64;
+
+  MultiQueryEngine engine(f.stream.initial, opt);
+  const QueryId tri = engine.register_query(make_triangle());
+  const QueryId poison = engine.register_query(make_fig1_diamond());
+  FaultSpec spec;
+  spec.probability = 1.0;
+  spec.match_query_id = poison;
+  inj.arm(fault_site::kMatchQuery, spec);
+
+  MultiQueryOptions ref_opt = multi_options(EngineKind::kGcsm);
+  MultiQueryEngine ref(f.stream.initial, ref_opt);
+  const QueryId ref_tri = ref.register_query(make_triangle());
+  const QueryId ref_poison = ref.register_query(make_fig1_diamond());
+
+  // Batch 0 trips the poison query; batches 1-2 are its cooldown — and
+  // ~100 transient queries REGISTER right through that debt window. A
+  // registration defers the registry snapshot while exact catch-up is
+  // owed (an unregistration would force compaction and drop the debtor to
+  // re-baseline — covered below), so the poison query still replays its
+  // debt bit-exactly at rejoin. The transients churn out after the rejoin,
+  // still mid-stream.
+  QueryId last_id = poison;
+  std::vector<QueryId> transients;
+  bool rejoined = false;
+  for (std::size_t k = 0; k < 6; ++k) {
+    if (k == 1 || k == 2) {
+      for (std::size_t i = 0; i < 50; ++i) {
+        const QueryId id = engine.register_query(make_path(3));
+        EXPECT_GT(id, last_id) << "QueryId reused during debt";
+        last_id = id;
+        transients.push_back(id);
+      }
+    }
+    if (k == 3) inj.disarm(fault_site::kMatchQuery);
+    if (k == 4) {  // rejoin landed in batch 3's commit: churn back out
+      for (const QueryId id : transients) {
+        EXPECT_TRUE(engine.unregister_query(id));
+        EXPECT_FALSE(engine.unregister_query(id));  // ids are never reused
+      }
+      transients.clear();
+    }
+    const ServerBatchReport out = engine.process_batch(f.stream.batches[k]);
+    ref.process_batch(f.stream.batches[k]);
+    for (const auto& q : out.queries) {
+      if (q.id == poison && q.rejoined) rejoined = true;
+    }
+  }
+  EXPECT_TRUE(rejoined);
+
+  // Exactly-once for the survivors: counters match the churn-free,
+  // fault-free reference bit for bit.
+  EXPECT_EQ(engine.query_health(poison).counters,
+            ref.query_health(ref_poison).counters);
+  EXPECT_EQ(engine.query_health(tri).counters,
+            ref.query_health(ref_tri).counters);
+  EXPECT_EQ(engine.cumulative().batches_committed,
+            ref.cumulative().batches_committed);
+
+  // And the churned registry recovers cleanly.
+  MultiQueryOptions ropt = opt;
+  ropt.fault_injector = nullptr;
+  ropt.durability.recover_on_start = true;
+  MultiQueryEngine recovered(f.stream.initial, ropt);
+  EXPECT_EQ(recovered.registry().size(), 2u);
+  EXPECT_EQ(recovered.query_health(poison).counters,
+            engine.query_health(poison).counters);
+}
+
+// The other half of the churn-during-debt contract: an UNREGISTRATION
+// while exact catch-up is owed forces the WAL prefix to compact, so the
+// debtor cannot replay — the rejoin must take the documented re-baseline
+// fallback, and the rebaselined query still tracks the true standing
+// count from there on.
+TEST(MultiQuery, UnregisterDuringDebtFallsBackToRebaseline) {
+  const StreamFixture f(52, 250, 32, 256);
+  const std::string dir = fresh_dir("debtrebase");
+  FaultInjector inj(0xBEEF);
+  MultiQueryOptions opt = multi_options(EngineKind::kGcsm);
+  opt.fault_injector = &inj;
+  opt.durability.wal_dir = dir;
+  opt.durability.snapshot_interval = 100;
+  opt.durability.fsync = false;
+  opt.breaker.trip_after_failures = 1;
+  opt.breaker.cooldown_batches = 2;
+
+  MultiQueryEngine engine(f.stream.initial, opt);
+  engine.register_query(make_triangle());
+  const QueryId poison = engine.register_query(make_fig1_diamond());
+  FaultSpec spec;
+  spec.probability = 1.0;
+  spec.match_query_id = poison;
+  inj.arm(fault_site::kMatchQuery, spec);
+
+  bool rejoined = false;
+  bool rebaselined = false;
+  for (std::size_t k = 0; k < 6; ++k) {
+    if (k == 1) {  // register + unregister inside the debt window
+      const QueryId t = engine.register_query(make_path(3));
+      EXPECT_TRUE(engine.unregister_query(t));  // forces compaction
+    }
+    if (k == 3) inj.disarm(fault_site::kMatchQuery);
+    const ServerBatchReport out = engine.process_batch(f.stream.batches[k]);
+    for (const auto& q : out.queries) {
+      if (q.id != poison) continue;
+      rejoined = rejoined || q.rejoined;
+      rebaselined = rebaselined || q.rebaselined;
+    }
+  }
+  EXPECT_TRUE(rejoined);
+  EXPECT_TRUE(rebaselined) << "compacted debt must re-baseline, not replay";
+
+  // The rebaselined cumulative signed count equals the true standing
+  // count: a reference engine that saw every batch agrees on the CURRENT
+  // graph, even though the two took different paths to it.
+  MultiQueryEngine ref(f.stream.initial, multi_options(EngineKind::kGcsm));
+  ref.register_query(make_triangle());
+  const QueryId ref_poison = ref.register_query(make_fig1_diamond());
+  for (std::size_t k = 0; k < 6; ++k) ref.process_batch(f.stream.batches[k]);
+  EXPECT_EQ(engine.count_current_embeddings(poison),
+            ref.count_current_embeddings(ref_poison));
+}
+
 }  // namespace
 }  // namespace gcsm

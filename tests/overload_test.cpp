@@ -1,0 +1,793 @@
+// Overload-protection suite (docs/ROBUSTNESS.md, "Overload & admission
+// control").
+//
+// The contract under test: the AdmissionController in front of a
+// MultiQueryEngine keeps memory bounded (the ingress queue never exceeds
+// max_queue), keeps the books conserved (offered == admitted + rejected,
+// admitted == committed + shed), sheds by its documented policy with a
+// durable kShed audit record per drop, degrades walk counts before it
+// sheds and sheds before it rejects under a building overload, and leaves
+// recovery plus exact catch-up exactly-once across the seq gaps the shed
+// records explain. Counts over the admitted subsequence stay bit-identical
+// to an unprotected engine fed exactly those batches.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/update_stream.hpp"
+#include "query/patterns.hpp"
+#include "server/admission.hpp"
+#include "server/multi_query_engine.hpp"
+#include "server/traffic_gen.hpp"
+#include "util/durable_io.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+#include "util/token_bucket.hpp"
+
+namespace gcsm {
+namespace {
+
+using server::AdmissionCommit;
+using server::AdmissionController;
+using server::AdmissionOptions;
+using server::AdmissionStats;
+using server::AdmitResult;
+using server::ArrivalKind;
+using server::MultiQueryEngine;
+using server::MultiQueryOptions;
+using server::QueryId;
+using server::ServerBatchReport;
+using server::ShedEvent;
+using server::ShedPayload;
+using server::ShedPolicy;
+
+struct StreamFixture {
+  explicit StreamFixture(int seed, VertexId n = 300, std::size_t batch = 32,
+                         std::size_t pool = 384) {
+    Rng rng(seed);
+    base = generate_barabasi_albert(n, 4, 2, rng);
+    UpdateStreamOptions opt;
+    opt.pool_edge_count = pool;
+    opt.batch_size = batch;
+    opt.seed = seed + 1;
+    stream = make_update_stream(base, opt);
+  }
+  CsrGraph base;
+  UpdateStream stream;
+};
+
+MultiQueryOptions engine_options() {
+  MultiQueryOptions opt;
+  opt.kind = EngineKind::kGcsm;
+  opt.workers = 2;
+  opt.cache_budget_bytes = 4 << 20;
+  opt.estimator.num_walks = 256;
+  opt.recovery.backoff_initial_ms = 0.0;  // no sleeping in tests
+  opt.recovery.watchdog_timeout_ms = 2.0;
+  opt.check_invariants = true;
+  return opt;
+}
+
+std::string fresh_dir(const std::string& tag) {
+  static int counter = 0;
+  const std::string dir = std::string(::testing::TempDir()) + "gcsm_ovl_" +
+                          tag + "_" + std::to_string(counter++);
+  std::filesystem::remove_all(dir);
+  io::ensure_dir(dir);
+  return dir;
+}
+
+// The two standing queries most of the suite serves (registered in place:
+// the engine is neither copyable nor movable).
+void register_two(MultiQueryEngine& engine) {
+  engine.register_query(make_triangle());
+  engine.register_query(make_path(4));
+}
+
+// The controller's virtual-clock service time for one batch: the shared
+// phases plus every query's match time (mirrors simulated_service_s).
+double service_s(const ServerBatchReport& r) {
+  double s = r.shared.sim_total_s();
+  for (const auto& q : r.queries) s += q.report.sim_match_s;
+  return s;
+}
+
+// Conservation invariants every finished run must satisfy.
+void expect_conserved(const AdmissionStats& st) {
+  EXPECT_EQ(st.offered, st.admitted + st.rejected);
+  EXPECT_EQ(st.admitted, st.committed + st.shed);
+  EXPECT_EQ(st.latency_s.size(), st.committed);
+}
+
+// ---------------------------------------------------------------------------
+// Token bucket: explicit-time, deterministic.
+
+TEST(TokenBucket, RefillAndWaitAreDeterministic) {
+  util::TokenBucket b(/*rate=*/2.0, /*burst=*/4.0);
+  // The burst drains immediately...
+  EXPECT_TRUE(b.try_take(0.0));
+  EXPECT_TRUE(b.try_take(0.0));
+  EXPECT_TRUE(b.try_take(0.0));
+  EXPECT_TRUE(b.try_take(0.0));
+  EXPECT_FALSE(b.try_take(0.0));
+  // ...then the 2/s refill gates: one token every 0.5 s.
+  EXPECT_NEAR(b.seconds_until(0.0), 0.5, 1e-9);
+  EXPECT_FALSE(b.try_take(0.25));
+  EXPECT_TRUE(b.try_take(0.5));
+  EXPECT_FALSE(b.try_take(0.5));
+  // Refill caps at the burst, regardless of idle time.
+  EXPECT_TRUE(b.try_take(1000.0));
+  EXPECT_NEAR(b.tokens(), 3.0, 1e-9);
+}
+
+TEST(TokenBucket, ZeroRateIsUnlimited) {
+  util::TokenBucket b(0.0, 1.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(b.try_take(0.0));
+    EXPECT_DOUBLE_EQ(b.seconds_until(0.0), 0.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration contract.
+
+TEST(Admission, ConstructorValidatesOptions) {
+  const StreamFixture f(31);
+  MultiQueryEngine engine(f.stream.initial, engine_options());
+  register_two(engine);
+  const auto expect_config = [&](AdmissionOptions opt, const char* what) {
+    try {
+      AdmissionController ctrl(engine, opt);
+      FAIL() << "expected Error(kConfig) for " << what;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kConfig) << what;
+    }
+  };
+  AdmissionOptions opt;
+  opt.max_queue = 0;
+  expect_config(opt, "max-queue 0");
+  opt = AdmissionOptions{};
+  opt.admit_rate = -1.0;
+  expect_config(opt, "negative admit rate");
+  opt = AdmissionOptions{};
+  opt.queue_deadline_s = -0.5;
+  expect_config(opt, "negative deadline");
+  opt = AdmissionOptions{};
+  opt.overload_low_watermark = 0.9;
+  opt.overload_high_watermark = 0.1;
+  expect_config(opt, "inverted watermarks");
+  opt = AdmissionOptions{};
+  opt.sustain_ticks = 0;
+  expect_config(opt, "zero sustain ticks");
+  opt = AdmissionOptions{};
+  opt.walk_scale_floor = 0.0;
+  expect_config(opt, "zero walk-scale floor");
+}
+
+TEST(Admission, ParsersFollowTheFlagMessageContract) {
+  EXPECT_EQ(server::parse_shed_policy("oldest"), ShedPolicy::kOldestFirst);
+  EXPECT_EQ(server::parse_shed_policy("lowest-impact"),
+            ShedPolicy::kLowestImpact);
+  try {
+    server::parse_shed_policy("newest");
+    FAIL() << "expected Error(kConfig)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kConfig);
+    EXPECT_STREQ(e.what(), "shed-policy: newest");
+  }
+  EXPECT_EQ(server::parse_arrival("uniform"), ArrivalKind::kUniform);
+  EXPECT_EQ(server::parse_arrival("poisson"), ArrivalKind::kPoisson);
+  EXPECT_EQ(server::parse_arrival("bursty"), ArrivalKind::kBursty);
+  try {
+    server::parse_arrival("steady");
+    FAIL() << "expected Error(kConfig)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kConfig);
+    EXPECT_STREQ(e.what(), "arrival: steady");
+  }
+}
+
+TEST(Admission, ShedPayloadRoundTripsAndRejectsDamage) {
+  ShedPayload in;
+  in.source = 7;
+  in.ordinal = 123456789;
+  in.edges = 4096;
+  in.reason = static_cast<std::uint8_t>(ShedPolicy::kLowestImpact);
+  in.arrival_us = 987654321;
+  const std::string bytes = server::encode_shed_payload(in);
+  ShedPayload out;
+  ASSERT_TRUE(server::decode_shed_payload(bytes, &out));
+  EXPECT_EQ(out.source, in.source);
+  EXPECT_EQ(out.ordinal, in.ordinal);
+  EXPECT_EQ(out.edges, in.edges);
+  EXPECT_EQ(out.reason, in.reason);
+  EXPECT_EQ(out.arrival_us, in.arrival_us);
+  EXPECT_FALSE(server::decode_shed_payload(bytes.substr(1), &out));
+  EXPECT_FALSE(server::decode_shed_payload(bytes + "x", &out));
+  EXPECT_FALSE(server::decode_shed_payload("", &out));
+}
+
+// ---------------------------------------------------------------------------
+// Virtual-clock admission: pass-through, rejection, shedding.
+
+TEST(Admission, UnderloadedRunCommitsEverythingInOrder) {
+  const StreamFixture f(32);
+  MultiQueryEngine engine(f.stream.initial, engine_options());
+  register_two(engine);
+  AdmissionOptions opt;
+  opt.max_queue = 4;
+  AdmissionController ctrl(engine, opt);
+
+  std::vector<std::uint64_t> order;
+  const auto sink = [&](AdmissionCommit&& c) {
+    order.push_back(c.ordinal);
+    EXPECT_GE(c.latency_s, 0.0);
+  };
+  // Each batch arrives only once the server is free: nothing ever queues.
+  for (std::size_t k = 0; k < 6; ++k) {
+    const double now = ctrl.server_free_s();
+    ctrl.pump(now, sink);
+    EXPECT_EQ(ctrl.offer(f.stream.batches[k], 0, now),
+              AdmitResult::kAdmitted);
+    EXPECT_LE(ctrl.queue_depth(), opt.max_queue);
+  }
+  ctrl.finish(sink);
+
+  const AdmissionStats& st = ctrl.stats();
+  expect_conserved(st);
+  EXPECT_EQ(st.offered, 6u);
+  EXPECT_EQ(st.committed, 6u);
+  EXPECT_EQ(st.shed, 0u);
+  EXPECT_EQ(st.rejected, 0u);
+  const std::vector<std::uint64_t> want{1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(order, want);
+  EXPECT_DOUBLE_EQ(ctrl.walk_scale(), 1.0);
+}
+
+TEST(Admission, FullQueueRejectsAndNeverGrows) {
+  const StreamFixture f(33);
+  MultiQueryEngine engine(f.stream.initial, engine_options());
+  register_two(engine);
+  AdmissionOptions opt;
+  opt.max_queue = 3;
+  AdmissionController ctrl(engine, opt);
+
+  // A stampede at t=0 with no service in between: exactly max_queue admit.
+  std::size_t rejected = 0;
+  for (std::size_t k = 0; k < 10; ++k) {
+    const AdmitResult r = ctrl.offer(f.stream.batches[k % 4], 0, 0.0);
+    if (r != AdmitResult::kAdmitted) {
+      EXPECT_EQ(r, AdmitResult::kRejectedQueueFull);
+      ++rejected;
+    }
+    EXPECT_LE(ctrl.queue_depth(), opt.max_queue);
+  }
+  EXPECT_EQ(rejected, 7u);
+  EXPECT_EQ(ctrl.stats().first_reject_ordinal, 4u);
+  ctrl.finish();
+  expect_conserved(ctrl.stats());
+  EXPECT_EQ(ctrl.stats().committed, 3u);
+}
+
+TEST(Admission, SubmitOrThrowRaisesOverload) {
+  const StreamFixture f(34);
+  MultiQueryEngine engine(f.stream.initial, engine_options());
+  register_two(engine);
+  AdmissionOptions opt;
+  opt.max_queue = 1;
+  opt.block_on_full = false;  // non-blocking producers get kOverload
+  AdmissionController ctrl(engine, opt);
+
+  ctrl.submit_or_throw(f.stream.batches[0], 0);
+  try {
+    ctrl.submit_or_throw(f.stream.batches[1], 0);
+    FAIL() << "expected Error(kOverload)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kOverload);
+    EXPECT_STREQ(error_code_name(e.code()), "overload");
+  }
+  EXPECT_EQ(ctrl.serve_pending(), 1u);
+  ctrl.close();
+  try {
+    ctrl.submit_or_throw(f.stream.batches[2], 0);
+    FAIL() << "expected Error(kOverload) after close";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kOverload);
+  }
+  expect_conserved(ctrl.stats());
+}
+
+TEST(Admission, DeadlineShedsOldestFirstDeterministically) {
+  const auto run_once = [](std::vector<std::uint64_t>* shed_ordinals) {
+    const StreamFixture f(35);
+    MultiQueryEngine engine(f.stream.initial, engine_options());
+  register_two(engine);
+    // One batch's simulated service, to size the deadline below.
+    const double svc =
+        engine.process_batch(f.stream.batches[0]).shared.sim_total_s();
+    MultiQueryEngine fresh(f.stream.initial, engine_options());
+  register_two(fresh);
+    AdmissionOptions opt;
+    opt.max_queue = 16;
+    opt.queue_deadline_s = 2.5 * svc;
+    opt.walk_scale_floor = 1.0;  // pin the service time: no ladder here
+    AdmissionController ctrl(fresh, opt);
+    for (std::size_t k = 0; k < 10; ++k) {
+      EXPECT_EQ(ctrl.offer(f.stream.batches[k], 0, 0.0),
+                AdmitResult::kAdmitted);
+    }
+    ctrl.finish();
+    const AdmissionStats& st = ctrl.stats();
+    expect_conserved(st);
+    EXPECT_GT(st.shed, 0u);
+    EXPECT_GT(st.committed, 0u);
+    for (const ShedEvent& ev : ctrl.shed_events()) {
+      EXPECT_EQ(ev.payload.reason,
+                static_cast<std::uint8_t>(ShedPolicy::kOldestFirst));
+      EXPECT_EQ(ev.wal_seq, 0u);  // durability off: audit is in-memory only
+      shed_ordinals->push_back(ev.payload.ordinal);
+    }
+    // Oldest-first sheds queue heads: ordinals arrive in FIFO order.
+    EXPECT_TRUE(
+        std::is_sorted(shed_ordinals->begin(), shed_ordinals->end()));
+  };
+  std::vector<std::uint64_t> first;
+  std::vector<std::uint64_t> second;
+  run_once(&first);
+  run_once(&second);
+  EXPECT_EQ(first, second) << "seeded shed sequence must be reproducible";
+}
+
+TEST(Admission, LowestImpactShedsFewestEdgesFirst) {
+  const StreamFixture f(36);
+  MultiQueryEngine engine(f.stream.initial, engine_options());
+  register_two(engine);
+  const double svc =
+      engine.process_batch(f.stream.batches[0]).shared.sim_total_s();
+  MultiQueryEngine fresh(f.stream.initial, engine_options());
+  register_two(fresh);
+  AdmissionOptions opt;
+  opt.max_queue = 16;
+  opt.queue_deadline_s = 1.5 * svc;
+  opt.shed_policy = ShedPolicy::kLowestImpact;
+  opt.walk_scale_floor = 1.0;
+  AdmissionController ctrl(fresh, opt);
+
+  // Batches with strictly decreasing edge counts: the cheapest (fewest
+  // edges) sit at the BACK of the queue, so oldest-first would never pick
+  // them but lowest-impact must.
+  std::vector<std::size_t> sizes;
+  for (std::size_t k = 0; k < 8; ++k) {
+    EdgeBatch b = f.stream.batches[k];
+    b.updates.resize(std::max<std::size_t>(1, 40 - 5 * k));
+    sizes.push_back(b.updates.size());
+    EXPECT_EQ(ctrl.offer(std::move(b), 0, 0.0), AdmitResult::kAdmitted);
+  }
+  ctrl.finish();
+  const AdmissionStats& st = ctrl.stats();
+  expect_conserved(st);
+  ASSERT_GT(st.shed, 0u);
+  // Every victim must be no larger than any batch that survived to commit:
+  // committed ordinals' sizes all >= the largest shed size.
+  std::set<std::uint64_t> shed_ordinals;
+  std::size_t largest_shed = 0;
+  for (const ShedEvent& ev : ctrl.shed_events()) {
+    EXPECT_EQ(ev.payload.reason,
+              static_cast<std::uint8_t>(ShedPolicy::kLowestImpact));
+    EXPECT_EQ(ev.payload.edges, sizes[ev.payload.ordinal - 1]);
+    largest_shed = std::max(largest_shed,
+                            static_cast<std::size_t>(ev.payload.edges));
+    shed_ordinals.insert(ev.payload.ordinal);
+  }
+  for (std::uint64_t ord = 1; ord <= st.offered; ++ord) {
+    if (shed_ordinals.count(ord) != 0) continue;
+    EXPECT_GE(sizes[ord - 1], largest_shed)
+        << "a cheaper batch survived while ordinal " << ord << " was kept";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Degradation ladder: degrade, then shed, then reject.
+
+TEST(Admission, LadderDegradesBeforeSheddingBeforeRejecting) {
+  const StreamFixture f(37);
+  // Nothing is served until finish(), and by then the 16 offers have driven
+  // the ladder to its floor — the whole backlog drains at the FLOOR rate
+  // (the ladder ticks on offers, not on services). Size the deadline in
+  // floor-scale services: the early queue (ordinals 2-4, waiting up to ~3
+  // services) survives, the tail (waiting 4+) sheds — so the first shed
+  // lands after the first scale-down, never before.
+  double svc_floor = 0.0;
+  {
+    MultiQueryEngine probe(f.stream.initial, engine_options());
+    register_two(probe);
+    probe.set_walk_scale(0.125);
+    svc_floor = service_s(probe.process_batch(f.stream.batches[0]));
+  }
+
+  MultiQueryEngine engine(f.stream.initial, engine_options());
+  register_two(engine);
+  AdmissionOptions opt;
+  opt.max_queue = 8;
+  opt.overload_high_watermark = 0.5;
+  opt.overload_low_watermark = 0.125;
+  opt.sustain_ticks = 1;
+  opt.walk_scale_floor = 0.125;
+  opt.queue_deadline_s = 3.5 * svc_floor;
+  AdmissionController ctrl(engine, opt);
+
+  // A monotonically building overload: 16 arrivals at t=0, no service.
+  for (std::size_t k = 0; k < 16; ++k) {
+    ctrl.offer(f.stream.batches[k % 8], 0, 0.0);
+  }
+  const AdmissionStats& before = ctrl.stats();
+  EXPECT_GT(before.scale_downs, 0u);
+  EXPECT_LT(ctrl.walk_scale(), 1.0);
+  EXPECT_LT(engine.walk_scale(), 1.0);  // applied to the engine immediately
+  EXPECT_GT(before.first_reject_ordinal, 0u);
+  EXPECT_EQ(before.shed, 0u);  // shedding happens at service time
+
+  ctrl.finish();
+  const AdmissionStats& st = ctrl.stats();
+  expect_conserved(st);
+  EXPECT_GT(st.shed, 0u);
+  EXPECT_GT(st.committed, 0u);
+  // The documented escalation order under a building overload.
+  EXPECT_GT(st.first_scale_down_ordinal, 0u);
+  EXPECT_GT(st.first_shed_ordinal, 0u);
+  EXPECT_LE(st.first_scale_down_ordinal, st.first_shed_ordinal);
+  EXPECT_LE(st.first_shed_ordinal, st.first_reject_ordinal);
+}
+
+TEST(Admission, LadderRecoversWhenLoadDrains) {
+  const StreamFixture f(38);
+  MultiQueryEngine engine(f.stream.initial, engine_options());
+  register_two(engine);
+  AdmissionOptions opt;
+  opt.max_queue = 4;
+  opt.overload_high_watermark = 0.5;
+  opt.overload_low_watermark = 0.25;
+  opt.sustain_ticks = 1;
+  AdmissionController ctrl(engine, opt);
+
+  // Build: two back-to-back arrivals keep occupancy at/above high.
+  ctrl.offer(f.stream.batches[0], 0, 0.0);
+  ctrl.offer(f.stream.batches[1], 0, 0.0);
+  EXPECT_LT(ctrl.walk_scale(), 1.0);
+  ctrl.finish();
+  // Drain: arrivals spaced past the service time tick the ladder back up.
+  for (std::size_t k = 2; k < 6; ++k) {
+    const double now = ctrl.server_free_s();
+    ctrl.pump(now);
+    ctrl.offer(f.stream.batches[k], 0, now);
+  }
+  ctrl.finish();
+  EXPECT_DOUBLE_EQ(ctrl.walk_scale(), 1.0);
+  EXPECT_GT(ctrl.stats().scale_ups, 0u);
+  EXPECT_DOUBLE_EQ(engine.walk_scale(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Walk scale is count-neutral.
+
+TEST(Admission, WalkScaleNeverChangesMatchCounts) {
+  const StreamFixture f(39);
+  MultiQueryEngine full(f.stream.initial, engine_options());
+  register_two(full);
+  MultiQueryEngine scaled(f.stream.initial, engine_options());
+  register_two(scaled);
+  scaled.set_walk_scale(0.125);
+  for (std::size_t k = 0; k < 4; ++k) {
+    const ServerBatchReport a = full.process_batch(f.stream.batches[k]);
+    const ServerBatchReport b = scaled.process_batch(f.stream.batches[k]);
+    ASSERT_EQ(a.queries.size(), b.queries.size());
+    for (std::size_t i = 0; i < a.queries.size(); ++i) {
+      EXPECT_EQ(a.queries[i].report.stats.signed_embeddings,
+                b.queries[i].report.stats.signed_embeddings)
+          << "walk scale changed counts at batch " << k << " query " << i;
+      EXPECT_EQ(a.queries[i].report.stats.positive,
+                b.queries[i].report.stats.positive);
+      EXPECT_EQ(a.queries[i].report.stats.negative,
+                b.queries[i].report.stats.negative);
+    }
+    // The scaled run really did fewer walks.
+    EXPECT_LT(b.shared.walks, a.shared.walks);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Durable shed audit: kShed records, recovery, bit-identical survivors.
+
+TEST(Admission, ShedWalRecordsExplainSeqGapsThroughRecovery) {
+  const StreamFixture f(40);
+  const std::string dir = fresh_dir("shedwal");
+
+  MultiQueryOptions mopt = engine_options();
+  mopt.durability.wal_dir = dir;
+  mopt.durability.snapshot_interval = 100;  // keep every record in the WAL
+  mopt.durability.fsync = false;
+  MultiQueryEngine engine(f.stream.initial, mopt);
+  engine.register_query(make_triangle());
+  engine.register_query(make_path(4));
+
+  const double svc =
+      engine.process_batch(f.stream.batches[0]).shared.sim_total_s();
+
+  AdmissionOptions opt;
+  opt.max_queue = 16;
+  opt.queue_deadline_s = 2.0 * svc;
+  opt.walk_scale_floor = 1.0;
+  AdmissionController ctrl(engine, opt);
+  std::vector<std::size_t> committed_idx;  // ordinal-1 == batch index 1..8
+  const auto sink = [&](AdmissionCommit&& c) {
+    committed_idx.push_back(static_cast<std::size_t>(c.ordinal));
+  };
+  for (std::size_t k = 1; k <= 8; ++k) {
+    EXPECT_EQ(ctrl.offer(f.stream.batches[k], 2, 0.0),
+              AdmitResult::kAdmitted);
+  }
+  ctrl.finish(sink);
+  const AdmissionStats& st = ctrl.stats();
+  expect_conserved(st);
+  ASSERT_GT(st.shed, 0u);
+
+  // Every shed got a durable audit record with a real seq.
+  std::set<std::uint64_t> shed_seqs;
+  for (const ShedEvent& ev : ctrl.shed_events()) {
+    EXPECT_GT(ev.wal_seq, 0u);
+    EXPECT_EQ(ev.payload.source, 2u);
+    shed_seqs.insert(ev.wal_seq);
+  }
+  EXPECT_EQ(shed_seqs.size(), st.shed);
+  const durable::DurableCounters cum = engine.cumulative();
+  EXPECT_EQ(cum.batches_committed, 1 + st.committed);
+
+  // Restart with recovery: the integrity gate must pass despite the seq
+  // gaps, and the gaps must be reported as shed — exactly the audit set.
+  MultiQueryOptions ropt = mopt;
+  ropt.durability.recover_on_start = true;
+  MultiQueryEngine recovered(f.stream.initial, ropt);
+  const RecoveredState& rec = recovered.recovery_info();
+  EXPECT_EQ(std::set<std::uint64_t>(rec.shed_seqs.begin(),
+                                    rec.shed_seqs.end()),
+            shed_seqs);
+  EXPECT_EQ(rec.dropped_uncommitted, 0u);
+  EXPECT_EQ(recovered.cumulative().batches_committed,
+            cum.batches_committed);
+  EXPECT_EQ(recovered.cumulative().cum_signed, cum.cum_signed);
+
+  // Bit-identical over the admitted-and-committed subsequence: an
+  // unprotected engine fed exactly those batches lands on the same books.
+  MultiQueryEngine ref(f.stream.initial, engine_options());
+  ref.register_query(make_triangle());
+  ref.register_query(make_path(4));
+  ref.process_batch(f.stream.batches[0]);
+  for (const std::size_t idx : committed_idx) {
+    ref.process_batch(f.stream.batches[idx]);
+  }
+  EXPECT_EQ(ref.cumulative().cum_signed, cum.cum_signed);
+  EXPECT_EQ(ref.cumulative().cum_positive, cum.cum_positive);
+  EXPECT_EQ(ref.cumulative().cum_negative, cum.cum_negative);
+}
+
+TEST(Admission, CrashDuringOverloadRecoversAndResumes) {
+  const StreamFixture f(41);
+  const std::string dir = fresh_dir("crash");
+  FaultInjector inj(0xD1E5);
+  inj.arm(fault_site::kCrashAt, {0.0, 4, 16});
+
+  std::uint64_t observed_commits = 0;
+  std::uint64_t durable_commits = 0;
+  bool crashed = false;
+  for (int lives = 0; lives < 12; ++lives) {
+    MultiQueryOptions mopt = engine_options();
+    mopt.durability.wal_dir = dir;
+    mopt.durability.snapshot_interval = 3;
+    mopt.durability.recover_on_start = lives > 0;
+    mopt.fault_injector = &inj;
+    try {
+      MultiQueryEngine engine(f.stream.initial, mopt);
+      if (engine.registry().empty()) {
+        engine.register_query(make_triangle());
+        engine.register_query(make_path(4));
+      }
+      AdmissionOptions opt;
+      opt.max_queue = 2;
+      AdmissionController ctrl(engine, opt);
+      // Overdrive: two offers per pump step so rejections and queueing are
+      // constantly in play while the crash probe ticks down.
+      for (std::size_t k = 0; k < 12; ++k) {
+        const double now = ctrl.server_free_s();
+        ctrl.pump(now, [&](AdmissionCommit&&) { ++observed_commits; });
+        ctrl.offer(f.stream.batches[k % 8], 0, now);
+        ctrl.offer(f.stream.batches[(k + 1) % 8], 1, now);
+      }
+      ctrl.finish([&](AdmissionCommit&&) { ++observed_commits; });
+      expect_conserved(ctrl.stats());
+      durable_commits = engine.cumulative().batches_committed;
+      break;
+    } catch (const CrashError&) {
+      crashed = true;  // died mid-durable-write; restart recovers
+    }
+  }
+  EXPECT_TRUE(crashed);
+  // Every commit the sink saw is durable; at most the in-flight one more.
+  EXPECT_GE(durable_commits, observed_commits);
+
+  // A clean restart passes the integrity gate over everything that landed.
+  MultiQueryOptions ropt = engine_options();
+  ropt.durability.wal_dir = dir;
+  ropt.durability.snapshot_interval = 3;
+  ropt.durability.recover_on_start = true;
+  MultiQueryEngine recovered(f.stream.initial, ropt);
+  EXPECT_EQ(recovered.cumulative().batches_committed, durable_commits);
+}
+
+// ---------------------------------------------------------------------------
+// Exact catch-up over shed gaps: quarantine + shed + rejoin.
+
+TEST(Admission, CatchUpSkipsShedSeqsAndStaysExactlyOnce) {
+  const StreamFixture f(42);
+  const std::string dir = fresh_dir("catchup");
+  FaultInjector inj(0xCA7D);
+  MultiQueryOptions mopt = engine_options();
+  mopt.fault_injector = &inj;
+  mopt.durability.wal_dir = dir;
+  mopt.durability.snapshot_interval = 100;
+  mopt.durability.fsync = false;
+  mopt.breaker.trip_after_failures = 1;
+  mopt.breaker.cooldown_batches = 2;
+  mopt.breaker.max_debt_batches = 64;
+
+  MultiQueryEngine engine(f.stream.initial, mopt);
+  const QueryId tri = engine.register_query(make_triangle());
+  const QueryId poison = engine.register_query(make_fig1_diamond());
+  FaultSpec spec;
+  spec.probability = 1.0;
+  spec.match_query_id = poison;
+  inj.arm(fault_site::kMatchQuery, spec);
+
+  // Fault-free reference fed only the ADMITTED subsequence (batch 2 is
+  // shed below and must count nowhere).
+  MultiQueryEngine ref(f.stream.initial, engine_options());
+  const QueryId ref_tri = ref.register_query(make_triangle());
+  const QueryId ref_poison = ref.register_query(make_fig1_diamond());
+
+  // Batch 0 trips the poison query (commits), batch 1 ticks the cooldown;
+  // batch 2 is SHED by the admission layer mid-quarantine — its kShed
+  // record consumes the seq, leaving a gap inside the catch-up window.
+  // The poison clears before batch 3, whose probe passes and re-admits via
+  // exact catch-up, which must skip the shed seq or fail the whole rejoin.
+  bool rejoined = false;
+  for (std::size_t k = 0; k < 6; ++k) {
+    if (k == 2) {
+      ShedPayload payload;
+      payload.source = 0;
+      payload.ordinal = k + 1;
+      payload.edges = f.stream.batches[k].updates.size();
+      payload.reason = static_cast<std::uint8_t>(ShedPolicy::kOldestFirst);
+      const std::uint64_t seq =
+          engine.log_shed_batch(server::encode_shed_payload(payload));
+      EXPECT_GT(seq, 0u);
+      continue;  // the batch itself is dropped whole
+    }
+    if (k == 3) inj.disarm(fault_site::kMatchQuery);
+    const ServerBatchReport out = engine.process_batch(f.stream.batches[k]);
+    ref.process_batch(f.stream.batches[k]);
+    for (const auto& q : out.queries) {
+      if (q.id == poison && q.rejoined) rejoined = true;
+    }
+  }
+  EXPECT_TRUE(rejoined);
+
+  // Exactly-once across the gap: the rejoined query's counters match the
+  // fault-free reference that never saw the shed batch, and so does the
+  // aggregate.
+  EXPECT_EQ(engine.query_health(poison).counters,
+            ref.query_health(ref_poison).counters);
+  EXPECT_EQ(engine.query_health(tri).counters,
+            ref.query_health(ref_tri).counters);
+  EXPECT_EQ(engine.cumulative().cum_signed, ref.cumulative().cum_signed);
+  EXPECT_EQ(engine.cumulative().batches_committed,
+            ref.cumulative().batches_committed);
+
+  // And a restart recovers through the same gap.
+  MultiQueryOptions ropt = mopt;
+  ropt.fault_injector = nullptr;
+  ropt.durability.recover_on_start = true;
+  MultiQueryEngine recovered(f.stream.initial, ropt);
+  EXPECT_EQ(recovered.cumulative().cum_signed,
+            engine.cumulative().cum_signed);
+  ASSERT_EQ(recovered.recovery_info().shed_seqs.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Traffic generator: determinism and adversarial shapes.
+
+TEST(Traffic, SeededScheduleIsReproducible) {
+  const StreamFixture f(43, 300, 32, 512);  // 16 batches for the slice below
+  server::TrafficOptions topt;
+  topt.arrival = ArrivalKind::kBursty;
+  topt.rate = 50.0;
+  topt.duplicate_flood_prob = 0.2;
+  topt.invalid_flood_prob = 0.2;
+  topt.num_vertices = static_cast<std::uint64_t>(f.base.num_vertices());
+  topt.seed = 99;
+  const std::vector<EdgeBatch> base(f.stream.batches.begin(),
+                                    f.stream.batches.begin() + 16);
+  server::TrafficGenerator g1(topt);
+  server::TrafficGenerator g2(topt);
+  const auto a = g1.generate(base);
+  const auto b = g2.generate(base);
+  ASSERT_EQ(a.size(), b.size());
+  bool saw_flood = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival_s, b[i].arrival_s);
+    EXPECT_EQ(a[i].source, b[i].source);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].batch.updates.size(), b[i].batch.updates.size());
+    if (i > 0) {
+      EXPECT_GE(a[i].arrival_s, a[i - 1].arrival_s);
+    }
+    saw_flood = saw_flood || a[i].kind != server::TrafficKind::kNormal;
+  }
+  EXPECT_TRUE(saw_flood);
+}
+
+TEST(Traffic, FloodBatchesAreQuarantinedNotFatal) {
+  const StreamFixture f(44);
+  server::TrafficOptions topt;
+  topt.rate = 100.0;
+  topt.duplicate_flood_prob = 0.5;
+  topt.invalid_flood_prob = 0.5;  // every batch is a flood of some kind
+  topt.num_vertices = static_cast<std::uint64_t>(f.base.num_vertices());
+  topt.seed = 7;
+  server::TrafficGenerator gen(topt);
+  const std::vector<EdgeBatch> base(f.stream.batches.begin(),
+                                    f.stream.batches.begin() + 6);
+  auto schedule = gen.generate(base);
+
+  MultiQueryEngine engine(f.stream.initial, engine_options());
+  register_two(engine);
+  for (auto& item : schedule) {
+    ASSERT_NE(item.kind, server::TrafficKind::kNormal);
+    // The sanitizer screens the garbage; the batch still commits.
+    const ServerBatchReport r = engine.process_batch(item.batch);
+    if (item.kind == server::TrafficKind::kInvalidFlood) {
+      EXPECT_EQ(r.shared.quarantine.total(), item.batch.updates.size());
+    } else {
+      EXPECT_GT(r.shared.quarantine.total(), 0u);
+    }
+  }
+}
+
+TEST(Traffic, ChurnPlanBalancesRegistersAndUnregisters) {
+  server::TrafficOptions topt;
+  topt.rate = 10.0;
+  const server::TrafficGenerator gen(topt);
+  const auto plan = gen.churn_plan(/*arrivals=*/64, /*total_registers=*/256,
+                                   /*lag=*/8);
+  ASSERT_EQ(plan.size(), 64u);
+  std::uint32_t regs = 0;
+  std::uint32_t unregs = 0;
+  std::int64_t live = 0;
+  for (const auto& step : plan) {
+    regs += step.registers;
+    live += step.registers;
+    live -= step.unregisters;
+    unregs += step.unregisters;
+    EXPECT_GE(live, 0);
+  }
+  EXPECT_EQ(regs, 256u);
+  EXPECT_EQ(unregs, 256u);
+  EXPECT_EQ(live, 0);
+}
+
+}  // namespace
+}  // namespace gcsm
