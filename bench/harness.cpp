@@ -230,7 +230,8 @@ void print_result_row(const std::string& query, const EngineResult& r,
 void write_json_report(const std::string& path, const RunConfig& config,
                        const std::vector<std::string>& query_names,
                        const std::vector<EngineResult>& results,
-                       const OverloadSummary* overload) {
+                       const OverloadSummary* overload,
+                       const ShardedSummary* sharded) {
   json::Writer w;
   w.begin_object();
   w.key("dataset").value(std::string_view(config.dataset));
@@ -330,6 +331,29 @@ void write_json_report(const std::string& path, const RunConfig& config,
     w.key("p95").value(overload->latency_p95_ms);
     w.key("p99").value(overload->latency_p99_ms);
     w.end_object();
+    w.end_object();
+  }
+
+  if (sharded != nullptr) {
+    w.key("sharded").begin_object();
+    w.key("single_device_peak_cache_bytes")
+        .value(sharded->single_device_peak_cache_bytes);
+    w.key("configs").begin_array();
+    for (const ShardedConfig& c : sharded->configs) {
+      w.begin_object();
+      w.key("shards").value(static_cast<std::uint64_t>(c.shards));
+      w.key("partition").value(std::string_view(c.partition));
+      w.key("max_shard_cache_bytes").value(c.max_shard_cache_bytes);
+      w.key("routed_joins").value(c.routed_joins);
+      w.key("stitch_candidates").value(c.stitch_candidates);
+      w.key("stitch_share").value(c.stitch_share);
+      w.key("speedup_vs_1shard").value(c.speedup_vs_1shard);
+      w.key("sim_s").value(c.sim_s);
+      w.key("cut_edges").value(c.cut_edges);
+      w.key("imbalance").value(c.imbalance);
+      w.end_object();
+    }
+    w.end_array();
     w.end_object();
   }
   w.end_object();

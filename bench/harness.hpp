@@ -153,17 +153,42 @@ struct OverloadSummary {
   double latency_p99_ms = 0.0;
 };
 
+// Multi-device scaling summary for bench/sharded_match's --json report (the
+// "sharded" top-level section; validated by scripts/check_bench_json.py).
+// One entry per shard-count config over the same stream, plus the
+// single-device peak cache footprint the per-shard slices compare against.
+struct ShardedConfig {
+  std::size_t shards = 0;
+  std::string partition;  // "range" | "hash"
+  // Peak DCSR blob bytes on any one shard across the run.
+  std::uint64_t max_shard_cache_bytes = 0;
+  std::uint64_t routed_joins = 0;
+  std::uint64_t stitch_candidates = 0;
+  double stitch_share = 0.0;       // stitch wall / match wall (0..1)
+  double speedup_vs_1shard = 0.0;  // sim_total(1 shard) / sim_total(N)
+  double sim_s = 0.0;              // total simulated time across the run
+  std::uint64_t cut_edges = 0;     // after the last batch
+  double imbalance = 0.0;          // after the last batch
+};
+
+struct ShardedSummary {
+  std::uint64_t single_device_peak_cache_bytes = 0;
+  std::vector<ShardedConfig> configs;
+};
+
 // Writes the --json report for a finished comparison:
 //   {dataset, queries[], config{}, per_batch[], aggregate{wall_ms, sim_s,
 //    latency_ms{p50, p95, p99}, cache{hits, misses, hit_rate}}}
 // latency_ms holds nearest-rank percentiles over every per-batch wall time.
-// `overload`, when non-null, adds the "overload" section described above.
-// Schema changes must update docs/OBSERVABILITY.md and the checker in
-// scripts/check_bench_json.py together.
+// `overload`, when non-null, adds the "overload" section described above;
+// `sharded` likewise adds the "sharded" section. Schema changes must update
+// docs/OBSERVABILITY.md and the checker in scripts/check_bench_json.py
+// together.
 void write_json_report(const std::string& path, const RunConfig& config,
                        const std::vector<std::string>& query_names,
                        const std::vector<EngineResult>& results,
-                       const OverloadSummary* overload = nullptr);
+                       const OverloadSummary* overload = nullptr,
+                       const ShardedSummary* sharded = nullptr);
 
 // Shared main() body for the bench binaries: runs `body`, converting any
 // thrown gcsm::Error (e.g. a malformed --batch=abc) into the one-line

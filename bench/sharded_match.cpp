@@ -1,0 +1,168 @@
+// Multi-device sharded matching scaling run (DESIGN.md, "Multi-device
+// sharding") on the Fig. 9 workload (Q1..Q6 on the SF3K analog).
+//
+// One MultiQueryEngine run establishes the single-device peak DCSR cache
+// footprint; the same stream then replays through ShardedMatchEngine at 1,
+// 2, 4, and 8 shards (partition strategy from --partition, default hash).
+// Counts are asserted bit-identical to the single-device run on every
+// batch — this bench doubles as an end-to-end exactness check at bench
+// scale. Reported per config: the peak cache bytes on any ONE shard (the
+// per-device memory the partitioning buys back; strictly below the
+// single-device peak at >= 4 shards), routed delta-join items, migrated
+// stitch partials, the stitch share of the match wall, and the simulated
+// speedup versus the 1-shard run — in the standard --json schema under the
+// "sharded" section (validated by scripts/check_bench_json.py).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "server/multi_query_engine.hpp"
+#include "shard/sharded_engine.hpp"
+#include "util/error.hpp"
+
+namespace {
+using namespace gcsm;
+using namespace gcsm::bench;
+
+constexpr int kNumQueries = 6;
+
+std::vector<QueryGraph> fig09_queries(const RunConfig& config) {
+  std::vector<QueryGraph> out;
+  for (int i = 1; i <= kNumQueries; ++i) out.push_back(paper_query(i, config));
+  return out;
+}
+
+int run(const CliArgs& args) {
+  auto config = RunConfig::from_cli(args, "SF3K", 4096, 1.0);
+  if (config.num_batches < 2) config.num_batches = 2;
+  const shard::PartitionStrategy strategy =
+      shard::parse_partition_strategy(args.get("partition", "hash"));
+
+  print_title("Sharded matching — Q1..Q6 on SF3K-analog, 1/2/4/8 shards",
+              "per-shard peak cache < single-device peak from 4 shards; "
+              "counts bit-identical throughout");
+  const PreparedStream stream = prepare_stream(config);
+  print_workload_line(stream.initial, config.dataset, config);
+  const std::uint64_t budget = resolve_cache_budget(config, stream.initial);
+  const std::size_t batches =
+      std::min(config.num_batches, stream.batches.size());
+
+  // Single-device baseline: peak cache footprint and the per-batch signed
+  // counts every sharded config must reproduce exactly.
+  ShardedSummary summary;
+  std::vector<std::int64_t> want_signed;
+  {
+    server::MultiQueryOptions opt;
+    opt.kind = EngineKind::kGcsm;
+    opt.cache_budget_bytes = budget;
+    opt.estimator.num_walks = config.num_walks;
+    opt.workers = config.workers;
+    opt.seed = config.seed;
+    server::MultiQueryEngine engine(stream.initial, opt);
+    for (QueryGraph& q : fig09_queries(config)) {
+      engine.register_query(std::move(q));
+    }
+    for (std::size_t k = 0; k < batches; ++k) {
+      const server::ServerBatchReport r =
+          engine.process_batch(stream.batches[k]);
+      want_signed.push_back(r.shared.stats.signed_embeddings);
+      summary.single_device_peak_cache_bytes = std::max(
+          summary.single_device_peak_cache_bytes, r.shared.cache_bytes);
+    }
+  }
+  std::printf("single device: peak cache %.2f MB over %zu batches\n\n",
+              static_cast<double>(summary.single_device_peak_cache_bytes) /
+                  1e6,
+              batches);
+  std::printf("%8s %10s %12s %12s %10s %8s %9s\n", "shards", "sim ms",
+              "peak $/shard", "routed", "stitched", "share", "speedup");
+
+  std::vector<EngineResult> results;
+  double sim_1shard_s = 0.0;
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    shard::ShardedEngineOptions opt;
+    opt.num_shards = shards;
+    opt.partition = strategy;
+    opt.kind = EngineKind::kGcsm;
+    opt.cache_budget_bytes = budget;
+    opt.estimator.num_walks = config.num_walks;
+    opt.workers = config.workers;
+    opt.seed = config.seed;
+    shard::ShardedMatchEngine engine(stream.initial, opt);
+    for (QueryGraph& q : fig09_queries(config)) {
+      engine.register_query(std::move(q));
+    }
+
+    ShardedConfig c;
+    c.shards = shards;
+    c.partition = shard::partition_strategy_name(strategy);
+    EngineResult res;
+    res.engine = "sharded-" + std::to_string(shards);
+    res.query = "Q1-Q6";
+    double stitch_s = 0.0;
+    double match_wall_s = 0.0;
+    for (std::size_t k = 0; k < batches; ++k) {
+      const shard::ShardedBatchReport r =
+          engine.process_batch(stream.batches[k]);
+      if (r.shared.stats.signed_embeddings != want_signed[k]) {
+        throw Error(ErrorCode::kBatchRejected,
+                    "sharded counts diverged from single device at batch " +
+                        std::to_string(k) + " with " +
+                        std::to_string(shards) + " shard(s)");
+      }
+      for (const BatchReport& sr : r.shards) {
+        c.max_shard_cache_bytes =
+            std::max(c.max_shard_cache_bytes, sr.cache_bytes);
+      }
+      c.routed_joins += r.stitch.routed_items;
+      c.stitch_candidates += r.stitch.stitch_candidates;
+      c.sim_s += r.shared.sim_total_s();
+      c.cut_edges = r.cut_edges;
+      c.imbalance = r.imbalance;
+      stitch_s += r.stitch.stitch_seconds;
+      match_wall_s += r.shared.wall_match_ms / 1e3;
+      BatchRecord b;
+      b.index = k;
+      b.wall_ms = r.shared.wall_total_ms();
+      b.sim_s = r.shared.sim_total_s();
+      b.embeddings = r.shared.stats.signed_embeddings;
+      b.cache_hits = r.shared.traffic.cache_hits;
+      b.cache_misses = r.shared.traffic.cache_misses;
+      b.cached_vertices = r.shared.cached_vertices;
+      b.retries = r.shared.retries;
+      b.cpu_fallback = r.shared.cpu_fallback;
+      res.per_batch.push_back(b);
+      res.wall_ms += b.wall_ms;
+      res.sim_ms += b.sim_s * 1e3;
+      res.signed_embeddings += b.embeddings;
+    }
+    res.batches = batches;
+    res.wall_ms /= static_cast<double>(batches);
+    res.sim_ms /= static_cast<double>(batches);
+    c.stitch_share = match_wall_s > 0.0 ? stitch_s / match_wall_s : 0.0;
+    if (shards == 1) sim_1shard_s = c.sim_s;
+    c.speedup_vs_1shard = c.sim_s > 0.0 ? sim_1shard_s / c.sim_s : 0.0;
+    std::printf("%8zu %10.3f %9.2f MB %12llu %10llu %7.1f%% %8.2fx\n",
+                shards, c.sim_s * 1e3,
+                static_cast<double>(c.max_shard_cache_bytes) / 1e6,
+                static_cast<unsigned long long>(c.routed_joins),
+                static_cast<unsigned long long>(c.stitch_candidates),
+                100.0 * c.stitch_share, c.speedup_vs_1shard);
+    summary.configs.push_back(std::move(c));
+    results.push_back(std::move(res));
+  }
+
+  if (!config.json_path.empty()) {
+    write_json_report(config.json_path, config, {"Q1-Q6"}, results,
+                      /*overload=*/nullptr, &summary);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return gcsm::bench::bench_main("sharded_match", argc, argv, run);
+}

@@ -24,6 +24,7 @@
 #include "server/admission.hpp"
 #include "server/multi_query_engine.hpp"
 #include "server/traffic_gen.hpp"
+#include "shard/sharded_engine.hpp"
 #include "util/cli.hpp"
 #include "util/durable_io.hpp"
 #include "util/error.hpp"
@@ -143,6 +144,13 @@ int usage() {
       "               [--duration-s=F]       (wall-clock cap: stop cleanly\n"
       "                between batches after F seconds, committed state\n"
       "                flushed; used by scripts/soak.sh)\n"
+      "               [--shards=N] [--partition=range|hash]\n"
+      "                (multi-device sharded matching: partition the data\n"
+      "                graph across N simulated devices, route delta joins\n"
+      "                to their anchor's owner shard, stitch cross-shard\n"
+      "                partials at branch vertices; counts stay bit-identical\n"
+      "                to the single-device engines; see DESIGN.md\n"
+      "                \"Multi-device sharding\")\n"
       "               [--max-queue=N] [--admit-rate=F]\n"
       "               [--shed-policy=oldest|lowest-impact]\n"
       "               [--shed-deadline-ms=T]\n"
@@ -414,6 +422,136 @@ int run_multi_query(const CliArgs& args, const UpdateStream& stream,
   return 0;
 }
 
+// Multi-device sharded mode (--shards / --partition): the data graph is
+// partitioned across N simulated devices and every registered query is
+// served by the ShardedMatchEngine (DESIGN.md, "Multi-device
+// sharding"). Counts stay bit-identical to the single-device engines.
+int run_sharded(const CliArgs& args, const UpdateStream& stream,
+                const std::vector<std::string>& query_names, int labels,
+                std::uint64_t seed, std::size_t max_batches) {
+  const std::int64_t shards = args.get_int("shards", 2);
+  if (shards <= 0) {
+    throw Error(ErrorCode::kConfig, "shards: " + args.get("shards", ""));
+  }
+  const std::string engine = args.get("engine", "gcsm");
+  if (engine == "rf") {
+    throw Error(ErrorCode::kConfig,
+                "--engine=rf is single-device; --shards needs a pipeline "
+                "engine (gcsm|zp|um|naive|vsgm|cpu)");
+  }
+  if (args.has("recover")) {
+    throw Error(ErrorCode::kConfig,
+                "--recover is not wired for --shards; replay the WAL "
+                "through a single-device run (counts are identical)");
+  }
+
+  trace::TraceCollector collector;
+  if (args.has("trace-json")) trace::set_collector(&collector);
+
+  shard::ShardedEngineOptions sopt;
+  sopt.num_shards = static_cast<std::size_t>(shards);
+  sopt.partition =
+      shard::parse_partition_strategy(args.get("partition", "range"));
+  sopt.kind = parse_engine(engine);
+  sopt.seed = seed + 2;
+  if (args.has("budget")) {
+    sopt.cache_budget_bytes =
+        static_cast<std::uint64_t>(args.get_int("budget", 256)) << 20;
+  }
+  sopt.estimator.num_walks =
+      static_cast<std::uint64_t>(args.get_int("walks", 0));
+  if (args.has("wal-dir")) {
+    sopt.durability.wal_dir = args.get("wal-dir", "wal");
+    sopt.durability.snapshot_interval =
+        static_cast<std::uint64_t>(args.get_int("snapshot-every", 8));
+  }
+  FaultInjector faults(
+      static_cast<std::uint64_t>(args.get_int("fault-seed", 0x5eed)));
+  const double fault_p = args.get_double("faults", 0.0);
+  if (fault_p > 0.0) {
+    faults.arm_all(fault_p);
+    sopt.fault_injector = &faults;
+  }
+  shard::ShardedMatchEngine srv(stream.initial, sopt);
+  std::printf("sharded: %zu shard(s), %s partition, budget %llu B/shard\n",
+              sopt.num_shards, shard::partition_strategy_name(sopt.partition),
+              static_cast<unsigned long long>(srv.effective_cache_budget(0)));
+
+  const auto list_limit = static_cast<std::size_t>(args.get_int("list", 0));
+  std::size_t listed = 0;
+  std::vector<std::string> names;
+  for (const std::string& name : query_names) {
+    QueryGraph q = parse_query(name, labels);
+    names.push_back(q.name());
+    std::printf("query %s: %u vertices %u edges |Aut|=%llu\n",
+                q.name().c_str(), q.num_vertices(), q.num_edges(),
+                static_cast<unsigned long long>(count_automorphisms(q)));
+    MatchSink sink;
+    if (list_limit > 0) {
+      const auto id = static_cast<shard::QueryId>(names.size());
+      sink = [&listed, list_limit, id](const MatchPlan& plan,
+                                       std::span<const VertexId> b,
+                                       int sign) {
+        if (listed >= list_limit) return;
+        ++listed;
+        std::printf("  [q%u] %c match:", id, sign > 0 ? '+' : '-');
+        for (std::size_t pos = 0; pos < b.size(); ++pos) {
+          std::printf(" u%u->%d", plan.vertex_order[pos], b[pos]);
+        }
+        std::printf("\n");
+      };
+    }
+    srv.register_query(std::move(q), std::move(sink));
+  }
+
+  const double duration_s = parse_duration_s(args);
+  const Timer wall;
+  for (std::size_t k = 0; k < max_batches; ++k) {
+    if (duration_s > 0.0 && wall.seconds() >= duration_s) {
+      std::printf("duration cap reached after %zu/%zu batches\n", k,
+                  max_batches);
+      break;
+    }
+    const shard::ShardedBatchReport r = srv.process_batch(stream.batches[k]);
+    std::printf(
+        "batch %zu: %+lld embeddings across %zu queries on %zu shards | "
+        "sim (FE %.3f, DC %.3f, match %.3f, reorg %.3f ms) | wall %.1f ms "
+        "| cut %llu | imbalance %.2f\n",
+        k, static_cast<long long>(r.shared.stats.signed_embeddings),
+        r.queries.size(), r.shards.size(), r.shared.sim_estimate_s * 1e3,
+        r.shared.sim_pack_s * 1e3, r.shared.sim_match_s * 1e3,
+        r.shared.sim_reorg_s * 1e3, r.shared.wall_total_ms(),
+        static_cast<unsigned long long>(r.cut_edges), r.imbalance);
+    std::printf(
+        "  stitch: %llu routed joins, %llu migrated partials, %u "
+        "supersteps, %.3f ms\n",
+        static_cast<unsigned long long>(r.stitch.routed_items),
+        static_cast<unsigned long long>(r.stitch.stitch_candidates),
+        r.stitch.supersteps, r.stitch.stitch_seconds * 1e3);
+    for (const shard::ShardQueryReport& q : r.queries) {
+      std::printf("  q%u %s: %+lld (+%llu/-%llu)\n", q.id,
+                  names[q.id - 1].c_str(),
+                  static_cast<long long>(q.stats.signed_embeddings),
+                  static_cast<unsigned long long>(q.stats.positive),
+                  static_cast<unsigned long long>(q.stats.negative));
+    }
+    if (r.shared.retries > 0 || r.shared.cpu_fallback ||
+        r.shared.degradation_level > 0 || !r.shared.quarantine.empty()) {
+      std::printf(
+          "  recovery: %u retries%s, degradation L%u (budget %llu B), "
+          "%llu faults observed, %llu records quarantined\n",
+          r.shared.retries, r.shared.cpu_fallback ? " (CPU fallback)" : "",
+          r.shared.degradation_level,
+          static_cast<unsigned long long>(r.shared.effective_cache_budget),
+          static_cast<unsigned long long>(r.shared.faults_observed),
+          static_cast<unsigned long long>(r.shared.quarantine.total()));
+    }
+  }
+  trace::set_collector(nullptr);
+  write_observability(args, collector);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -470,6 +608,19 @@ int main(int argc, char** argv) try {
       args.has("max-queue") || args.has("admit-rate") ||
       args.has("shed-policy") || args.has("shed-deadline-ms") ||
       args.has("arrival") || args.has("arrival-rate");
+  // --- multi-device sharded mode (--shards / --partition) -----------------
+  if (args.has("shards") || args.has("partition")) {
+    if (admission_flags) {
+      throw Error(ErrorCode::kConfig,
+                  "--shards cannot combine with the admission flags "
+                  "(--max-queue/--admit-rate/--shed-*/--arrival*)");
+    }
+    return run_sharded(
+        args, stream,
+        query_names.empty() ? std::vector<std::string>{args.get("query", "Q1")}
+                            : query_names,
+        labels, seed, max_batches);
+  }
   if (query_names.size() > 1 || admission_flags) {
     return run_multi_query(
         args, stream,

@@ -97,6 +97,12 @@ run_preset() {
     if ! run ctest --preset overload-asan -j "${JOBS}"; then
       failures+=("overload-asan: tests")
     fi
+    # Multi-device sharding (partitioner, cut-edge replication, branch
+    # stitching, bit-identity vs the single-device engine with and without
+    # the fault matrix) under asan/ubsan.
+    if ! run ctest --preset shard-asan -j "${JOBS}"; then
+      failures+=("shard-asan: tests")
+    fi
   fi
   # The match fan-out across queries is the concurrency hot spot: the
   # multiquery label (engine suite + ThreadPool stress) is the tsan target,
@@ -119,6 +125,12 @@ run_preset() {
     # handoff and the shed-while-parked wakeups are tsan's target here.
     if ! run ctest --preset overload-tsan -j "${JOBS}"; then
       failures+=("overload-tsan: tests")
+    fi
+    # Sharded matching: shard tasks fan out on one pool and hand partials
+    # across per-shard outboxes at superstep barriers — that hand-off is
+    # tsan's target here.
+    if ! run ctest --preset shard-tsan -j "${JOBS}"; then
+      failures+=("shard-tsan: tests")
     fi
   fi
   # Bench smoke + --json schema gate (docs/OBSERVABILITY.md): a reduced
@@ -161,6 +173,18 @@ run_preset() {
     elif command -v python3 > /dev/null 2>&1; then
       if ! run python3 scripts/check_bench_json.py "${ovl_report}"; then
         failures+=("${preset}: overload bench json schema")
+      fi
+    fi
+    # The sharded-matching bench adds the "sharded" section (per-shard peak
+    # cache bytes vs the single-device peak, stitch share, speedup vs 1
+    # shard) to the same schema — and asserts bit-identical counts itself.
+    local shard_report="build-${preset}/bench_sharded_smoke.json"
+    if ! run "build-${preset}/bench/sharded_match" --scale=0.05 --batches=2 \
+         --json="${shard_report}" > /dev/null; then
+      failures+=("${preset}: sharded_match bench smoke")
+    elif command -v python3 > /dev/null 2>&1; then
+      if ! run python3 scripts/check_bench_json.py "${shard_report}"; then
+        failures+=("${preset}: sharded_match bench json schema")
       fi
     fi
   fi

@@ -84,6 +84,58 @@ OVERLOAD_KEYS = {
 }
 
 
+# bench/sharded_match adds this section: one entry per shard-count config
+# plus the single-device peak cache footprint the per-shard slices compare
+# against (DESIGN.md "Multi-device sharding").
+SHARDED_KEYS = {
+    "single_device_peak_cache_bytes": int,
+    "configs": list,
+}
+
+SHARDED_CONFIG_KEYS = {
+    "shards": int,
+    "partition": str,
+    "max_shard_cache_bytes": int,
+    "routed_joins": int,
+    "stitch_candidates": int,
+    "stitch_share": numbers.Real,
+    "speedup_vs_1shard": numbers.Real,
+    "sim_s": numbers.Real,
+    "cut_edges": int,
+    "imbalance": numbers.Real,
+}
+
+
+def check_sharded(sh):
+    check_keys(sh, SHARDED_KEYS, "sharded")
+    if not sh["configs"]:
+        fail("sharded.configs: empty (no shard-count configs in the run)")
+    peak = sh["single_device_peak_cache_bytes"]
+    for i, c in enumerate(sh["configs"]):
+        where = f"sharded.configs[{i}]"
+        check_keys(c, SHARDED_CONFIG_KEYS, where)
+        if c["shards"] <= 0:
+            fail(f"{where}.shards must be positive")
+        if c["partition"] not in ("range", "hash"):
+            fail(f"{where}.partition: unknown strategy {c['partition']!r}")
+        if not 0.0 <= c["stitch_share"]:
+            fail(f"{where}.stitch_share negative")
+        if c["speedup_vs_1shard"] <= 0.0:
+            fail(f"{where}.speedup_vs_1shard must be positive")
+        if c["imbalance"] < 1.0:
+            fail(f"{where}.imbalance below 1.0 (max/mean by definition)")
+        # The point of the exercise: partitioning must shrink the per-device
+        # peak footprint once the graph is spread over >= 4 devices.
+        if peak > 0 and c["shards"] >= 4 and not (
+            c["max_shard_cache_bytes"] < peak
+        ):
+            fail(
+                f"{where}: max_shard_cache_bytes "
+                f"{c['max_shard_cache_bytes']} not strictly below the "
+                f"single-device peak {peak} at {c['shards']} shards"
+            )
+
+
 def check_overload(ovl):
     check_keys(ovl, OVERLOAD_KEYS, "overload")
     check_keys(
@@ -122,6 +174,8 @@ def main():
     }
     if "overload" in doc:
         top["overload"] = dict
+    if "sharded" in doc:
+        top["sharded"] = dict
     check_keys(doc, top, "report")
     if not all(isinstance(q, str) for q in doc["queries"]):
         fail("queries: every entry must be a string")
@@ -163,6 +217,8 @@ def main():
 
     if "overload" in doc:
         check_overload(doc["overload"])
+    if "sharded" in doc:
+        check_sharded(doc["sharded"])
 
     print(
         f"check_bench_json: OK — {doc['dataset']}, "

@@ -1,0 +1,101 @@
+#include "query/branch_plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gcsm {
+
+BranchDecomposition make_branch_decomposition(const QueryGraph& q) {
+  BranchDecomposition d;
+  const std::uint32_t n = q.num_vertices();
+  if (n == 0) return d;
+
+  // Greedy high-degree-first root.
+  d.root = 0;
+  for (std::uint32_t v = 1; v < n; ++v) {
+    if (q.degree(v) > q.degree(d.root)) d.root = v;
+  }
+
+  // BFS spanning tree, expanding high-degree neighbors first.
+  std::array<std::uint8_t, kMaxQueryVertices> seen{};
+  std::array<std::uint32_t, kMaxQueryVertices> children{};
+  std::vector<std::uint32_t> frontier{d.root};
+  seen[d.root] = 1;
+  d.parent[d.root] = d.root;
+  while (!frontier.empty()) {
+    std::vector<std::uint32_t> next;
+    for (const std::uint32_t u : frontier) {
+      std::vector<std::uint32_t> nbrs;
+      for (std::uint32_t v = 0; v < n; ++v) {
+        if (q.adjacent(u, v) && !seen[v]) nbrs.push_back(v);
+      }
+      std::sort(nbrs.begin(), nbrs.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  if (q.degree(a) != q.degree(b)) {
+                    return q.degree(a) > q.degree(b);
+                  }
+                  return a < b;
+                });
+      for (const std::uint32_t v : nbrs) {
+        seen[v] = 1;
+        d.parent[v] = u;
+        ++children[u];
+        next.push_back(v);
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (children[v] >= 2) {
+      d.is_branch[v] = 1;
+      ++d.num_branch_vertices;
+    }
+  }
+
+  // Branch segments: a child of a branch vertex starts a new segment,
+  // numbered in BFS order; everything else inherits its parent's segment.
+  std::uint32_t next_segment = 0;
+  d.branch_number[d.root] = next_segment++;
+  std::vector<std::uint32_t> order{d.root};
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const std::uint32_t u = order[i];
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (v != d.root && d.parent[v] == u && seen[v]) {
+        d.branch_number[v] =
+            d.is_branch[u] ? next_segment++ : d.branch_number[u];
+        order.push_back(v);
+      }
+    }
+  }
+  d.num_branches = next_segment;
+  return d;
+}
+
+std::vector<std::uint8_t> stitch_levels(const BranchDecomposition& d,
+                                        const MatchPlan& plan) {
+  std::vector<std::uint8_t> out(plan.levels.size(), 0);
+  for (std::size_t l = 0; l < plan.levels.size(); ++l) {
+    const std::uint32_t qv = plan.levels[l].query_vertex;
+    if (qv < kMaxQueryVertices && d.is_branch[qv] != 0) out[l] = 1;
+  }
+  return out;
+}
+
+std::string describe_branches(const QueryGraph& q,
+                              const BranchDecomposition& d) {
+  std::string s = "root=" + std::to_string(d.root) +
+                  " branches=" + std::to_string(d.num_branches) +
+                  " branch_vertices={";
+  bool first = true;
+  for (std::uint32_t v = 0; v < q.num_vertices(); ++v) {
+    if (d.is_branch[v] == 0) continue;
+    if (!first) s += ",";
+    s += std::to_string(v);
+    first = false;
+  }
+  s += "}";
+  return s;
+}
+
+}  // namespace gcsm

@@ -1,0 +1,58 @@
+// Query-tree branch decomposition for sharded matching (DESIGN.md,
+// "Multi-device sharding").
+//
+// Following the Pregel+ subgraph-isomorphism decomposition, the query is
+// turned into a rooted spanning tree (greedy high-degree-first root, BFS
+// expansion that prefers high-degree children) and split into *branches*:
+// maximal root-to-leaf path segments separated at vertices with two or more
+// tree children. Partial matches crossing shard boundaries are migrated —
+// "stitched" — exactly when the enumeration binds a branch vertex, because
+// that is where independent sub-branches fan out and locality pays the most.
+//
+// The decomposition only steers WHERE a partial match continues executing;
+// the candidate sets themselves are computed from exact neighbor views
+// wherever the partial lands, so match counts never depend on it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/plan.hpp"
+#include "query/query_graph.hpp"
+
+namespace gcsm {
+
+struct BranchDecomposition {
+  std::uint32_t root = 0;
+  // Spanning-tree parent per query vertex; the root is its own parent.
+  std::array<std::uint32_t, kMaxQueryVertices> parent{};
+  // Branch-segment id per query vertex: a new segment starts below every
+  // branch vertex, numbered in BFS discovery order (the Pregel repo's
+  // branch_number).
+  std::array<std::uint32_t, kMaxQueryVertices> branch_number{};
+  // Tree vertices with >= 2 children — the stitch points.
+  std::array<std::uint8_t, kMaxQueryVertices> is_branch{};
+  std::uint32_t num_branches = 1;
+  std::uint32_t num_branch_vertices = 0;
+};
+
+// Builds the decomposition: root = highest-degree query vertex (ties to the
+// smaller id), spanning tree by BFS that visits neighbors in descending
+// degree order (ties to the smaller id). Deterministic for a given query.
+BranchDecomposition make_branch_decomposition(const QueryGraph& q);
+
+// Per extension level of `plan` (same indexing as MatchPlan::levels): 1 when
+// the level binds a branch vertex of `d` — a sharded enumerator may migrate
+// the partial match to the shard owning the level's first-constraint anchor
+// before expanding it.
+std::vector<std::uint8_t> stitch_levels(const BranchDecomposition& d,
+                                        const MatchPlan& plan);
+
+// Human-readable summary ("root=2 branches=3 branch_vertices={2}"), for
+// tests and the quickstart example.
+std::string describe_branches(const QueryGraph& q,
+                              const BranchDecomposition& d);
+
+}  // namespace gcsm

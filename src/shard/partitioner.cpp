@@ -1,0 +1,74 @@
+#include "shard/partitioner.hpp"
+
+#include <algorithm>
+
+#include "core/list_ref.hpp"
+#include "util/error.hpp"
+
+namespace gcsm::shard {
+
+const char* partition_strategy_name(PartitionStrategy s) {
+  switch (s) {
+    case PartitionStrategy::kRange:
+      return "range";
+    case PartitionStrategy::kHash:
+      return "hash";
+  }
+  return "?";
+}
+
+PartitionStrategy parse_partition_strategy(const std::string& text) {
+  if (text == "range") return PartitionStrategy::kRange;
+  if (text == "hash") return PartitionStrategy::kHash;
+  throw Error(ErrorCode::kConfig, "partition: " + text);
+}
+
+GraphPartitioner::GraphPartitioner(std::size_t num_shards,
+                                   PartitionStrategy strategy,
+                                   VertexId initial_vertices)
+    : num_shards_(num_shards), strategy_(strategy), range_width_(1) {
+  if (num_shards_ == 0) {
+    throw Error(ErrorCode::kConfig, "shards: 0");
+  }
+  const auto n = static_cast<std::uint64_t>(
+      std::max<VertexId>(initial_vertices, 1));
+  range_width_ = std::max<std::uint64_t>(1, (n + num_shards_ - 1) /
+                                                num_shards_);
+}
+
+PartitionStats GraphPartitioner::stats(const DynamicGraph& graph) const {
+  PartitionStats st;
+  st.owned_vertices.assign(num_shards_, 0);
+  st.owned_edges.assign(num_shards_, 0);
+
+  std::vector<VertexId> nbrs;
+  const VertexId n = graph.num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    const std::uint32_t ov = owner(v);
+    ++st.owned_vertices[ov];
+    nbrs.clear();
+    materialize_view(graph.view(v, ViewMode::kNew), nbrs);
+    for (const VertexId w : nbrs) {
+      if (w <= v) continue;  // each undirected edge once
+      const std::uint32_t ow = owner(w);
+      ++st.owned_edges[ov];
+      ++st.owned_edges[ow];
+      if (ov != ow) ++st.cut_edges;
+    }
+  }
+
+  const auto& load = graph.num_live_edges() > 0 ? st.owned_edges
+                                                : st.owned_vertices;
+  std::uint64_t max = 0;
+  std::uint64_t total = 0;
+  for (const std::uint64_t x : load) {
+    max = std::max(max, x);
+    total += x;
+  }
+  st.imbalance = total == 0 ? 1.0
+                            : static_cast<double>(max) * num_shards_ /
+                                  static_cast<double>(total);
+  return st;
+}
+
+}  // namespace gcsm::shard

@@ -1,0 +1,76 @@
+// Deterministic vertex partitioning for the multi-device sharded engine
+// (DESIGN.md, "Multi-device sharding").
+//
+// The partitioner is a pure function of (strategy, shard count, initial
+// vertex count): owner(v) never changes once a ShardedGraph is built, so
+// batch routing, cut-edge replication, and the stitch protocol all agree on
+// ownership without coordination. Vertices created by later batches are
+// covered too — range assigns them to the tail shard, hash by the same
+// mixer — so routing stays total as the graph grows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/dynamic_graph.hpp"
+#include "graph/types.hpp"
+
+namespace gcsm::shard {
+
+enum class PartitionStrategy {
+  kRange,  // contiguous id ranges of the initial vertex set
+  kHash,   // splitmix64 of the id, modulo shard count
+};
+
+const char* partition_strategy_name(PartitionStrategy s);
+
+// Parses "range" / "hash"; anything else throws Error(kConfig,
+// "partition: <text>") so csm_cli surfaces it with exit code 2.
+PartitionStrategy parse_partition_strategy(const std::string& text);
+
+// Per-shard load accounting over a live graph (NEW view).
+struct PartitionStats {
+  std::vector<std::uint64_t> owned_vertices;  // live-degree > 0 not required
+  std::vector<std::uint64_t> owned_edges;     // live edge endpoints owned
+  std::uint64_t cut_edges = 0;  // live edges whose endpoints differ in owner
+  // max / mean of owned_edges (owned_vertices when the graph is empty);
+  // 1.0 is a perfect balance.
+  double imbalance = 1.0;
+};
+
+class GraphPartitioner {
+ public:
+  // `initial_vertices` sizes the range strategy's slices; num_shards >= 1.
+  GraphPartitioner(std::size_t num_shards, PartitionStrategy strategy,
+                   VertexId initial_vertices);
+
+  std::size_t num_shards() const { return num_shards_; }
+  PartitionStrategy strategy() const { return strategy_; }
+
+  std::uint32_t owner(VertexId v) const {
+    if (strategy_ == PartitionStrategy::kRange) {
+      const auto s = static_cast<std::uint64_t>(v) / range_width_;
+      return static_cast<std::uint32_t>(
+          s < num_shards_ ? s : num_shards_ - 1);
+    }
+    // splitmix64 finalizer: deterministic, well spread even for dense ids.
+    std::uint64_t x = static_cast<std::uint64_t>(
+        static_cast<std::uint32_t>(v));
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::uint32_t>(x % num_shards_);
+  }
+
+  // Walks the NEW view of `graph` and accounts per-shard load and cut edges.
+  PartitionStats stats(const DynamicGraph& graph) const;
+
+ private:
+  std::size_t num_shards_;
+  PartitionStrategy strategy_;
+  std::uint64_t range_width_;
+};
+
+}  // namespace gcsm::shard

@@ -1,0 +1,168 @@
+#include "shard/sharded_graph.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace gcsm::shard {
+namespace {
+
+// Same undirected key as the single-device sanitizer.
+std::uint64_t undirected_key(VertexId u, VertexId v) {
+  const auto a = static_cast<std::uint64_t>(std::min(u, v));
+  const auto b = static_cast<std::uint64_t>(std::max(u, v));
+  return (a << 32) | b;
+}
+
+}  // namespace
+
+ShardedGraph::ShardedGraph(const CsrGraph& initial, std::size_t num_shards,
+                           PartitionStrategy strategy,
+                           const gpusim::SimParams& sim)
+    : partitioner_(num_shards, strategy, initial.num_vertices()) {
+  const VertexId n = initial.num_vertices();
+  std::vector<Label> labels(initial.labels());
+  if (labels.empty()) labels.assign(static_cast<std::size_t>(n), 0);
+
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    std::vector<Edge> edges;
+    for (VertexId u = 0; u < n; ++u) {
+      for (const VertexId v : initial.neighbors(u)) {
+        if (u >= v) continue;
+        const std::uint32_t ou = partitioner_.owner(u);
+        const std::uint32_t ov = partitioner_.owner(v);
+        if (ou == static_cast<std::uint32_t>(s) ||
+            ov == static_cast<std::uint32_t>(s)) {
+          edges.push_back({u, v});
+        }
+        if (s == 0 && ou != ov) ++cut_edges_;
+      }
+    }
+    shards_.push_back(std::make_unique<Shard>(
+        CsrGraph::from_edges(n, edges, labels), sim));
+  }
+}
+
+EdgeBatch ShardedGraph::sanitize(const EdgeBatch& batch,
+                                 QuarantineReport& report) const {
+  const VertexId n = num_vertices();
+
+  VertexId effective_n = n;
+  for (const auto& [v, label] : batch.new_vertex_labels) {
+    if (v >= effective_n) effective_n = v + 1;
+  }
+
+  EdgeBatch clean;
+  clean.new_vertex_labels = batch.new_vertex_labels;
+  clean.updates.reserve(batch.updates.size());
+
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(batch.updates.size() * 2);
+
+  for (const EdgeUpdate& e : batch.updates) {
+    if (e.u < 0 || e.v < 0 || e.u >= effective_n || e.v >= effective_n) {
+      ++report.out_of_range;
+      report.quarantined.push_back(e);
+      continue;
+    }
+    if (e.u == e.v) {
+      ++report.self_loops;
+      report.quarantined.push_back(e);
+      continue;
+    }
+    if (!seen.insert(undirected_key(e.u, e.v)).second) {
+      ++report.duplicate_in_batch;
+      report.quarantined.push_back(e);
+      continue;
+    }
+    // Liveness answered by the owning shard: owner(u) holds u's complete
+    // list, so the answer equals the single-device graph's.
+    const bool exists_now = e.u < n && e.v < n;
+    const bool live =
+        exists_now && graph(owner(e.u)).has_live_edge(e.u, e.v);
+    if (e.sign > 0 && live) {
+      ++report.insert_of_present;
+      report.quarantined.push_back(e);
+      continue;
+    }
+    if (e.sign <= 0 && !live) {
+      ++report.delete_of_absent;
+      report.quarantined.push_back(e);
+      continue;
+    }
+    clean.updates.push_back(e);
+  }
+  return clean;
+}
+
+std::vector<EdgeBatch> ShardedGraph::split_batch(
+    const EdgeBatch& batch) const {
+  std::vector<EdgeBatch> subs(num_shards());
+  for (auto& sub : subs) sub.new_vertex_labels = batch.new_vertex_labels;
+  for (const EdgeUpdate& e : batch.updates) {
+    const std::uint32_t ou = owner(e.u);
+    const std::uint32_t ov = owner(e.v);
+    subs[ou].updates.push_back(e);
+    if (ov != ou) subs[ov].updates.push_back(e);
+  }
+  return subs;
+}
+
+void ShardedGraph::note_applied(const EdgeBatch& batch) {
+  for (const EdgeUpdate& e : batch.updates) {
+    if (owner(e.u) == owner(e.v)) continue;
+    if (e.sign > 0) {
+      ++cut_edges_;
+    } else if (cut_edges_ > 0) {
+      --cut_edges_;
+    }
+  }
+}
+
+PartitionStats ShardedGraph::partition_stats() const {
+  PartitionStats st;
+  st.owned_vertices.assign(num_shards(), 0);
+  st.owned_edges.assign(num_shards(), 0);
+  st.cut_edges = cut_edges_;
+
+  std::vector<VertexId> nbrs;
+  for (std::size_t s = 0; s < num_shards(); ++s) {
+    const DynamicGraph& g = graph(s);
+    const VertexId n = g.num_vertices();
+    for (VertexId v = 0; v < n; ++v) {
+      if (owner(v) != s) continue;
+      ++st.owned_vertices[s];
+      st.owned_edges[s] += g.live_degree(v);
+    }
+  }
+
+  std::uint64_t max = 0;
+  std::uint64_t total = 0;
+  for (const std::uint64_t x : st.owned_edges) {
+    max = std::max(max, x);
+    total += x;
+  }
+  if (total == 0) {
+    max = 0;
+    for (const std::uint64_t x : st.owned_vertices) {
+      max = std::max(max, x);
+      total += x;
+    }
+  }
+  st.imbalance = total == 0 ? 1.0
+                            : static_cast<double>(max) * num_shards() /
+                                  static_cast<double>(total);
+  return st;
+}
+
+void ShardedGraph::set_fault_injector(FaultInjector* faults) {
+  for (auto& shard : shards_) {
+    shard->graph.set_fault_injector(faults);
+    shard->device.set_fault_injector(faults);
+  }
+}
+
+void ShardedGraph::validate() const {
+  for (const auto& shard : shards_) shard->graph.validate();
+}
+
+}  // namespace gcsm::shard

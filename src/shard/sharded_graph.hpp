@@ -1,0 +1,98 @@
+// The partitioned data-graph store behind the multi-device sharded engine
+// (DESIGN.md, "Multi-device sharding").
+//
+// Each of the N shards pairs one DynamicGraph with its own gpusim::Device
+// and DcsrCache. Every shard graph spans the FULL vertex-id space (labels
+// everywhere, so label checks stay local), but stores adjacency only for
+// edges with at least one owned endpoint:
+//
+//   * an edge owned on both sides lives in that one shard;
+//   * a CUT edge (endpoints owned by different shards) is replicated WHOLE
+//     into both endpoint shards — the ownership tag is owner(endpoint)
+//     itself, so seed work items anchor at owner(xa) and are enumerated
+//     exactly once globally.
+//
+// The invariant that makes sharded matching exact: owner(v)'s graph holds
+// v's COMPLETE neighbor list, byte-identical (same insertion order, same
+// tombstones) to the list a single-device DynamicGraph would hold, because
+// sub-batches preserve the original record order. Any fetch routed to the
+// owner therefore sees exactly the single-device OLD/NEW views.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/dcsr_cache.hpp"
+#include "gpusim/device.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "graph/update_stream.hpp"
+#include "shard/partitioner.hpp"
+
+namespace gcsm::shard {
+
+// One simulated device's slice of the data graph.
+struct Shard {
+  DynamicGraph graph;
+  gpusim::Device device;
+  DcsrCache cache;
+
+  Shard(const CsrGraph& initial, const gpusim::SimParams& sim)
+      : graph(initial), device(sim) {}
+};
+
+class ShardedGraph {
+ public:
+  ShardedGraph(const CsrGraph& initial, std::size_t num_shards,
+               PartitionStrategy strategy, const gpusim::SimParams& sim);
+
+  std::size_t num_shards() const { return shards_.size(); }
+  const GraphPartitioner& partitioner() const { return partitioner_; }
+  std::uint32_t owner(VertexId v) const { return partitioner_.owner(v); }
+
+  DynamicGraph& graph(std::size_t s) { return shards_[s]->graph; }
+  const DynamicGraph& graph(std::size_t s) const { return shards_[s]->graph; }
+  gpusim::Device& device(std::size_t s) { return shards_[s]->device; }
+  const DcsrCache& cache(std::size_t s) const { return shards_[s]->cache; }
+  DcsrCache& cache(std::size_t s) { return shards_[s]->cache; }
+
+  // Identical across shards (new-vertex labels are replicated everywhere).
+  VertexId num_vertices() const { return shards_[0]->graph.num_vertices(); }
+
+  // Mirrors graph/update_stream.cpp's sanitize_batch decision-for-decision,
+  // answering liveness from the owning shard (exact by the completeness
+  // invariant). The surviving records and the quarantine report are
+  // bit-identical to what the single-device sanitizer produces.
+  EdgeBatch sanitize(const EdgeBatch& batch, QuarantineReport& report) const;
+
+  // Splits a sanitized batch by endpoint ownership: sub-batch s carries
+  // every record with an endpoint owned by s (cut records appear in both
+  // endpoint shards), in the original record order; new_vertex_labels are
+  // replicated to every shard so id spaces stay aligned.
+  std::vector<EdgeBatch> split_batch(const EdgeBatch& batch) const;
+
+  // Call after a sanitized batch has been applied to every shard: maintains
+  // the incremental cut-edge count.
+  void note_applied(const EdgeBatch& batch);
+
+  std::uint64_t cut_edges() const { return cut_edges_; }
+
+  // Per-shard load + cut accounting, computed from owned vertices only (so
+  // replicated cut edges are not double counted).
+  PartitionStats partition_stats() const;
+
+  // Arms device.alloc / device.dma / cache.build / graph.apply on every
+  // shard. nullptr disarms.
+  void set_fault_injector(FaultInjector* faults);
+
+  // validate() on every shard graph (invariant checks at batch boundaries).
+  void validate() const;
+
+ private:
+  GraphPartitioner partitioner_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint64_t cut_edges_ = 0;
+};
+
+}  // namespace gcsm::shard
